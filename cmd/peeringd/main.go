@@ -1,0 +1,135 @@
+// Command peeringd runs a complete simulated Peering platform: a
+// synthetic Internet, a configurable set of PoPs with IXP and transit
+// interconnections, a backbone mesh, and the management workflow. It
+// prints the §4.2-style footprint summary and, with -watch, periodic
+// status lines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/netip"
+	"os"
+	"time"
+
+	"repro/internal/inet"
+	"repro/internal/ixp"
+	"repro/peering"
+)
+
+func main() {
+	pops := flag.Int("pops", 3, "number of PoPs")
+	edges := flag.Int("edges", 200, "edge ASes in the synthetic Internet")
+	members := flag.Int("ixp-members", 40, "members of the main exchange")
+	bilateral := flag.Int("ixp-bilateral", 6, "bilateral sessions at the main exchange")
+	routes := flag.Int("routes-per-neighbor", 25, "routes announced per neighbor")
+	watch := flag.Duration("watch", 0, "keep running and print status at this interval (0 = exit after setup)")
+	listen := flag.String("listen", "", "accept remote experiment tunnels on this TCP address (e.g. :1790)")
+	flag.Parse()
+
+	cfg := inet.DefaultGenConfig()
+	cfg.Edges = *edges
+	topo := inet.Generate(cfg)
+	if err := inet.Validate(topo); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthetic Internet: %d ASes (types: %v)\n", topo.Len(), topo.TypeCounts())
+
+	platform := peering.NewPlatform(peering.PlatformConfig{ASN: 47065, Topology: topo})
+
+	// The main exchange, AMS-IX style.
+	x := ixp.New("AMS-IX", 64700, topo, netip.MustParsePrefix("80.249.208.0/21"))
+	for i := 0; i < *members; i++ {
+		if _, err := x.AddMember(uint32(10000+i), i < *bilateral); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var popList []*peering.PoP
+	for i := 0; i < *pops; i++ {
+		name := fmt.Sprintf("pop%02d", i)
+		pop, err := platform.AddPoP(peering.PoPConfig{
+			Name:      name,
+			RouterID:  netip.AddrFrom4([4]byte{198, 51, 100, byte(i + 1)}),
+			LocalPool: netip.MustParsePrefix(fmt.Sprintf("127.%d.0.0/16", 65+i)),
+			ExpLAN:    netip.MustParsePrefix(fmt.Sprintf("100.%d.0.0/24", 65+i)),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Every PoP gets a transit; the first also joins the exchange.
+		if _, err := pop.ConnectTransit(uint32(1000+i), *routes); err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			if err := pop.ConnectIXP(x, 2, *routes); err != nil {
+				log.Fatal(err)
+			}
+		}
+		popList = append(popList, pop)
+	}
+	// Full backbone mesh.
+	for i := 0; i < len(popList); i++ {
+		for j := i + 1; j < len(popList); j++ {
+			if err := platform.ConnectBackbone(popList[i], popList[j],
+				400e6, time.Duration(20+10*(i+j))*time.Millisecond); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// Wait for convergence: every router has routes from its neighbors.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		total := 0
+		for _, pop := range popList {
+			total += pop.Router.RouteCount()
+		}
+		if total > 0 {
+			time.Sleep(300 * time.Millisecond)
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	fmt.Printf("\n%-8s %10s %10s %10s\n", "pop", "neighbors", "routes", "forwarded")
+	for _, pop := range popList {
+		fmt.Printf("%-8s %10d %10d %10d\n", pop.Name,
+			len(pop.Router.Neighbors()), pop.Router.RouteCount(), pop.Router.Forwarded.Load())
+	}
+	total, bi := x.MemberCounts()
+	fmt.Printf("\nAMS-IX: %d members (%d bilateral)\n", total, bi)
+	fmt.Printf("backbone links: %d\n", len(platform.BackboneLinks()))
+	fmt.Println("platform is up; submit experiment proposals via the peering API")
+
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("accepting remote experiment tunnels on %s (Client.DialTCP)\n", ln.Addr())
+		go func() {
+			if err := platform.ListenAndServe(ln); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		if *watch <= 0 {
+			select {} // serve forever
+		}
+	}
+
+	if *watch <= 0 {
+		return
+	}
+	tick := time.NewTicker(*watch)
+	defer tick.Stop()
+	for range tick.C {
+		fmt.Fprintf(os.Stdout, "%s ", time.Now().Format(time.TimeOnly))
+		for _, pop := range popList {
+			fmt.Printf("%s(routes=%d fwd=%d) ", pop.Name, pop.Router.RouteCount(), pop.Router.Forwarded.Load())
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,161 @@
+// Command vbgp-bench regenerates every table and figure of the paper's
+// evaluation and prints paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	vbgp-bench [-fig all|6a|6b|backbone|amsix|updates|footprint] [-scale N]
+//
+// Absolute numbers differ from the paper (the substrate is an in-memory
+// simulator, not BIRD on a server at AMS-IX); the comparisons check the
+// shapes the paper claims: linear growth, configuration orderings, and
+// envelope ranges.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which experiment to run: all, 6a, 6b, backbone, amsix, updates, footprint")
+	scale := flag.Int("scale", 10, "downscale factor for full-footprint experiments")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("6a", fig6a)
+	run("6b", fig6b)
+	run("backbone", backbone)
+	run("amsix", func() error { return amsix(*scale) })
+	run("updates", updates)
+	run("footprint", func() error { return footprint(*scale) })
+}
+
+func header(title, paper string) {
+	fmt.Printf("=== %s ===\n", title)
+	fmt.Printf("paper: %s\n", paper)
+}
+
+func fig6a() error {
+	header("Figure 6a — memory vs known routes",
+		"linear growth, ~327 B/route, ordering control < data < data+default; 32 GiB ~ 100M routes")
+	sizes := []int{50000, 100000, 200000}
+	res := eval.MeasureFig6a(sizes, 20)
+	fmt.Printf("%-45s", "routes:")
+	for _, n := range sizes {
+		fmt.Printf("%12d", n)
+	}
+	fmt.Printf("%14s\n", "B/route")
+	for _, cfg := range eval.Fig6aConfigs {
+		fmt.Printf("%-45s", cfg)
+		for _, pt := range res.Curves[cfg] {
+			fmt.Printf("%10.1fMB", float64(pt.Bytes)/1e6)
+		}
+		fmt.Printf("%14.0f\n", res.BytesPerRoute(cfg))
+	}
+	bpr := res.BytesPerRoute("per-interconnection-data-plane")
+	fmt.Printf("measured: %0.f B/route => 32 GiB supports ~%.0fM routes (paper: ~100M at 327 B/route)\n",
+		bpr, 32*1024*1024*1024/bpr/1e6)
+	ok := res.BytesPerRoute("control-plane") < res.BytesPerRoute("per-interconnection-data-plane") &&
+		res.BytesPerRoute("per-interconnection-data-plane") < res.BytesPerRoute("per-interconnection-data-plane-with-default")
+	fmt.Printf("shape check (ordering holds): %v\n", ok)
+	return nil
+}
+
+func fig6b() error {
+	header("Figure 6b — CPU vs update rate",
+		"linear growth; accept < single-router < multi-router; thousands of updates/s on one core")
+	res := eval.MeasureFig6b(1 << 17)
+	rates := []float64{500, 1000, 2000, 4000}
+	fmt.Printf("%-22s%14s", "config", "per-update")
+	for _, r := range rates {
+		fmt.Printf("%12.0f/s", r)
+	}
+	fmt.Println()
+	for _, cfg := range eval.Fig6bConfigs {
+		fmt.Printf("%-22s%14s", cfg, res.PerUpdate[cfg])
+		for _, r := range rates {
+			fmt.Printf("%13.2f%%", 100*res.CPUAtRate(cfg, r))
+		}
+		fmt.Println()
+	}
+	ok := res.PerUpdate["accept"] < res.PerUpdate["single-router-vbgp"] &&
+		res.PerUpdate["single-router-vbgp"] <= res.PerUpdate["multi-router-vbgp"]
+	fmt.Printf("shape check (ordering holds): %v\n", ok)
+	fmt.Printf("max sustainable rate (single-router): %.0f updates/s on one core\n",
+		1/res.PerUpdate["single-router-vbgp"].Seconds())
+	return nil
+}
+
+func backbone() error {
+	header("§6 backbone throughput (iperf3 between PoP pairs)",
+		"min 60, avg ~400, max 750 Mbps across all PoP pairs")
+	res, err := eval.MeasureBackbone(13, 47065)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pairs measured: %d\n", len(res.Pairs))
+	fmt.Printf("measured: min %.0f, avg %.0f, max %.0f Mbps\n", res.Min, res.Avg, res.Max)
+	fmt.Printf("shape check (within provisioned envelope 60-750): %v\n",
+		res.Min >= 60*0.5 && res.Max <= 750*1.01)
+	return nil
+}
+
+func amsix(scale int) error {
+	header("§6 AMS-IX scale",
+		"854 peer ASes (106 bilateral, 4 route servers), 2.7M routes on a commodity server")
+	res, err := eval.MeasureAMSIX(scale, 40)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scale: 1/%d of AMS-IX\n", scale)
+	fmt.Printf("members: %d (bilateral %d), route servers: %d\n", res.Members, res.Bilateral, res.RouteServers)
+	fmt.Printf("routes loaded through live RS sessions: %d\n", res.Routes)
+	fmt.Printf("heap: %.1f MB (%.0f B/route)\n", float64(res.HeapBytes)/1e6, res.BytesPerRoute)
+	fmt.Printf("extrapolated to the paper's 2.7M routes: %.1f GB (paper: fits a 32 GiB server)\n",
+		res.BytesPerRoute*2.7e6/1e9)
+	return nil
+}
+
+func updates() error {
+	header("§6 AMS-IX update load (18h trace)",
+		"mean 21.8 updates/s, p99 ~400 updates/s, handled with headroom")
+	res := eval.MeasureUpdateLoad()
+	fmt.Printf("mean %.1f upd/s -> %.3f%% CPU; p99 %.0f upd/s -> %.2f%% CPU\n",
+		res.MeanRate, 100*res.MeanCPU, res.P99Rate, 100*res.P99CPU)
+	fmt.Printf("shape check (p99 well under one core): %v\n", res.P99CPU < 0.5)
+	return nil
+}
+
+func footprint(scale int) error {
+	header("§4.2 footprint and connectivity",
+		"13 PoPs, 8 ASNs, 40 prefixes; 923 peers (129 bilateral); AMS-IX 854/106, SIX 306/63, PHX 140/10, IX.br 129/6; 33% transit / 28% access / 23% content")
+	res := eval.MeasureFootprint(scale)
+	fmt.Printf("scale: 1/%d of the production footprint\n", scale)
+	fmt.Printf("PoPs %d, ASNs %d, prefixes %d (configured per paper)\n", res.PoPs, res.ASNs, res.Prefixes)
+	fmt.Printf("synthetic Internet: %d ASes\n", res.TopologySize)
+	for _, name := range eval.SortedKeys(res.PerIXP) {
+		c := res.PerIXP[name]
+		fmt.Printf("  %-12s members %4d  bilateral %3d\n", name, c[0], c[1])
+	}
+	fmt.Printf("distinct peers: %d, bilateral total: %d\n", res.TotalPeers, res.Bilateral)
+	fmt.Printf("peer type mix (%%):")
+	for _, typ := range eval.SortedKeys(res.TypePercent) {
+		fmt.Printf(" %s %.0f", typ, res.TypePercent[typ])
+	}
+	fmt.Println()
+	fmt.Printf("union of peers' customer cones: %d ASes (reach of peer announcements)\n", res.PeerConeUnion)
+	return nil
+}

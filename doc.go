@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "PEERING:
+// Virtualizing BGP at the Edge for Research" (CoNEXT 2019).
+//
+// The public API lives in the peering subpackage; the paper's primary
+// contribution (vBGP) is internal/core, and every substrate it depends
+// on — the BGP protocol stack, RIBs, the layer-2 simulator, the
+// enforcement engines, the synthetic Internet, IXPs, tunnels, the
+// configuration pipeline — is implemented under internal/. See DESIGN.md
+// for the system inventory and EXPERIMENTS.md for the reproduced
+// evaluation.
+package repro

@@ -1,0 +1,191 @@
+// Security study: the class of experiments Peering is known for (§7.1
+// and the RAPTOR/Bitcoin/TLS line of work). Three parts:
+//
+//  1. A CONTROLLED hijack of the experiment's own address space — a
+//     more-specific announcement from a second PoP draws the catchment,
+//     with ground truth measured in the synthetic Internet.
+//  2. An UNAUTHORIZED hijack of someone else's prefix — rejected by the
+//     enforcement engine and attributed in the audit log (§4.7).
+//  3. BGP poisoning — announcing a path that names a transit AS makes
+//     that AS reject the route, revealing the backup paths the rest of
+//     the Internet falls back to (the hidden-route measurement of §7.1).
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"time"
+
+	"repro/internal/inet"
+	"repro/internal/policy"
+	"repro/peering"
+)
+
+func main() {
+	cfg := inet.DefaultGenConfig()
+	cfg.Tier2 = 12
+	cfg.Edges = 80
+	topo := inet.Generate(cfg)
+
+	platform := peering.NewPlatform(peering.PlatformConfig{ASN: 47065, Topology: topo})
+	popA := mustPoP(platform, "amsix", "127.65.0.0/16", "100.65.0.0/24", "198.51.100.1")
+	popB := mustPoP(platform, "seattle", "127.66.0.0/16", "100.66.0.0/24", "198.51.100.2")
+	if _, err := popA.ConnectTransit(1000, 40); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := popB.ConnectTransit(1001, 40); err != nil {
+		log.Fatal(err)
+	}
+
+	// Approval grants a poisoning budget of 1 (the capability framework;
+	// the paper rejected requests for large numbers of poisonings).
+	if err := platform.Submit(peering.Proposal{
+		Name: "whitehat", Owner: "sec-team", Plan: "controlled hijack + poisoning study",
+		Prefixes: []netip.Prefix{netip.MustParsePrefix("184.164.224.0/23")},
+		ASNs:     []uint32{61574},
+		Caps:     policy.Capabilities{MaxPoisonedASNs: 1},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	key, err := platform.Approve("whitehat", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := peering.NewClient("whitehat", key, 61574)
+	for _, pop := range []*peering.PoP{popA, popB} {
+		if err := c.OpenTunnel(pop); err != nil {
+			log.Fatal(err)
+		}
+		if err := c.StartBGP(pop.Name); err != nil {
+			log.Fatal(err)
+		}
+		if err := c.WaitEstablished(pop.Name, 5*time.Second); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Part 1: controlled hijack of our own space.
+	victim := netip.MustParsePrefix("184.164.224.0/24")
+	specific := netip.MustParsePrefix("184.164.224.0/25")
+	if err := c.Announce("amsix", victim); err != nil {
+		log.Fatal(err)
+	}
+	waitReach(topo, 1001, victim)
+	before := len(topo.ChoosersOf(victim, 1000))
+	fmt.Printf("baseline: /24 announced at amsix, catchment via AS1000 = %d ASes\n", before)
+
+	// The "attacker" (ourselves, at the second PoP) announces the
+	// more-specific /25: longest-prefix match diverts the catchment.
+	if err := c.Announce("seattle", specific); err != nil {
+		log.Fatal(err)
+	}
+	waitReach(topo, 1000, specific)
+	diverted := len(topo.ChoosersOf(specific, 1001))
+	fmt.Printf("controlled hijack: /25 announced at seattle, %d ASes now route the /25 via AS1001\n", diverted)
+	if diverted == 0 {
+		log.Fatal("controlled hijack drew no catchment")
+	}
+
+	// Part 2: unauthorized hijack of foreign space is blocked.
+	foreign := inet.PrefixForASN(10000)
+	if err := c.Announce("amsix", foreign); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	if rt := topo.RouteAt(1000, foreign); rt != nil {
+		for _, hop := range rt.Path {
+			if hop == 47065 {
+				log.Fatal("unauthorized hijack escaped!")
+			}
+		}
+	}
+	rejected := 0
+	for _, e := range platform.Engine.Audit() {
+		if e.Experiment == "whitehat" && e.Action == policy.ActionReject {
+			rejected++
+			fmt.Printf("enforcement: %s\n", e)
+		}
+	}
+	if rejected == 0 {
+		log.Fatal("no audit entry for the blocked hijack")
+	}
+
+	// Part 3: poisoning reveals backup routes. Baseline: how does a
+	// distant stub reach us? Then poison the first hop of that path and
+	// watch the stub switch to its backup.
+	probe := netip.MustParsePrefix("184.164.225.0/24")
+	if err := c.Announce("amsix", probe); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.Announce("seattle", probe); err != nil {
+		log.Fatal(err)
+	}
+	waitReach(topo, 10040, probe)
+	baseline := topo.RouteAt(10040, probe)
+	fmt.Printf("baseline path from AS10040: %v\n", baseline.Path)
+	// Poison the transit the stub's provider currently uses; paths
+	// through it vanish and the stub falls back to an alternative.
+	poisonTarget := baseline.Path[1]
+	if len(baseline.Path) > 3 {
+		poisonTarget = baseline.Path[2]
+	}
+
+	if err := c.Withdraw("amsix", probe, 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.Withdraw("seattle", probe, 0); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if err := c.Announce("amsix", probe, peering.WithPoison(poisonTarget)); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.Announce("seattle", probe, peering.WithPoison(poisonTarget)); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	after := topo.RouteAt(10040, probe)
+	if after == nil {
+		fmt.Printf("poisoning AS%d: AS10040 has NO path left — it depended entirely on the poisoned AS\n", poisonTarget)
+	} else {
+		fmt.Printf("poisoning AS%d: AS10040's backup path revealed: %v\n", poisonTarget, after.Path)
+		// The poisoned ASN appears in the announcement by construction;
+		// what matters is that no AS before the platform (the actual
+		// forwarding hops) is the poisoned one.
+		for _, hop := range after.Path {
+			if hop == 47065 {
+				break
+			}
+			if hop == poisonTarget {
+				log.Fatal("poisoned AS still transiting the route")
+			}
+		}
+	}
+	if topo.Reachable(poisonTarget, probe) {
+		log.Fatal("poisoned AS accepted a path containing itself")
+	}
+	fmt.Printf("poisoned AS%d itself rejects the route (loop prevention), as intended\n", poisonTarget)
+	fmt.Println("security study complete")
+}
+
+func mustPoP(p *peering.Platform, name, pool, lan, id string) *peering.PoP {
+	pop, err := p.AddPoP(peering.PoPConfig{
+		Name: name, RouterID: netip.MustParseAddr(id),
+		LocalPool: netip.MustParsePrefix(pool), ExpLAN: netip.MustParsePrefix(lan),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return pop
+}
+
+func waitReach(topo *inet.Topology, asn uint32, prefix netip.Prefix) {
+	deadline := time.Now().Add(5 * time.Second)
+	for !topo.Reachable(asn, prefix) && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !topo.Reachable(asn, prefix) {
+		log.Fatalf("AS%d never learned %s", asn, prefix)
+	}
+}

@@ -1,0 +1,250 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/netip"
+)
+
+// Message is implemented by all BGP message types.
+type Message interface {
+	// Type returns the message type code.
+	Type() uint8
+	// body encodes the message payload (everything after the header).
+	// opts carries per-session negotiation state that affects encoding.
+	body(opts *codecOpts) []byte
+}
+
+// codecOpts carries session-negotiated options that change message wire
+// format.
+type codecOpts struct {
+	as4       bool // 4-octet AS_PATH encoding
+	addPathV4 bool // path IDs in IPv4 NLRI
+	addPathV6 bool // path IDs in MP IPv6 NLRI
+}
+
+// Open is a BGP OPEN message.
+type Open struct {
+	Version  uint8
+	ASN      uint16 // AS_TRANS when the real ASN needs 4 octets
+	HoldTime uint16
+	BGPID    netip.Addr // router ID, always an IPv4 address
+	Caps     *Capabilities
+}
+
+// Type implements Message.
+func (*Open) Type() uint8 { return MsgOpen }
+
+func (m *Open) body(*codecOpts) []byte {
+	b := []byte{m.Version}
+	b = binary.BigEndian.AppendUint16(b, m.ASN)
+	b = binary.BigEndian.AppendUint16(b, m.HoldTime)
+	id := m.BGPID.As4()
+	b = append(b, id[:]...)
+	opt := marshalCapabilities(m.Caps)
+	b = append(b, byte(len(opt)))
+	return append(b, opt...)
+}
+
+// Update is a BGP UPDATE message. IPv4 reachability travels in
+// Withdrawn/NLRI; IPv6 reachability travels in the MP attributes and is
+// surfaced here as MPReach/MPUnreach after decoding.
+type Update struct {
+	Withdrawn []NLRI
+	Attrs     *PathAttrs
+	NLRI      []NLRI
+
+	// MPReach and MPUnreach are IPv6 routes carried in MP_REACH_NLRI /
+	// MP_UNREACH_NLRI; the IPv6 next hop is Attrs.MPNextHop.
+	MPReach   []NLRI
+	MPUnreach []NLRI
+}
+
+// Type implements Message.
+func (*Update) Type() uint8 { return MsgUpdate }
+
+func (m *Update) body(opts *codecOpts) []byte {
+	var wd []byte
+	for _, n := range m.Withdrawn {
+		wd = appendNLRI(wd, n, opts.addPathV4)
+	}
+	attrs := marshalAttrs(m.Attrs, opts.as4, m.MPReach, m.MPUnreach, opts.addPathV6)
+	b := binary.BigEndian.AppendUint16(nil, uint16(len(wd)))
+	b = append(b, wd...)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(attrs)))
+	b = append(b, attrs...)
+	for _, n := range m.NLRI {
+		b = appendNLRI(b, n, opts.addPathV4)
+	}
+	return b
+}
+
+// Notification is a BGP NOTIFICATION message; sending one closes the
+// session.
+type Notification struct {
+	Code    uint8
+	Subcode uint8
+	Data    []byte
+}
+
+// Type implements Message.
+func (*Notification) Type() uint8 { return MsgNotification }
+
+func (m *Notification) body(*codecOpts) []byte {
+	b := []byte{m.Code, m.Subcode}
+	return append(b, m.Data...)
+}
+
+// Error renders the notification as an error.
+func (m *Notification) Error() string {
+	return fmt.Sprintf("bgp: received notification code=%d subcode=%d", m.Code, m.Subcode)
+}
+
+// Keepalive is a BGP KEEPALIVE message.
+type Keepalive struct{}
+
+// Type implements Message.
+func (*Keepalive) Type() uint8 { return MsgKeepalive }
+
+func (*Keepalive) body(*codecOpts) []byte { return nil }
+
+// RouteRefresh is an RFC 2918 ROUTE-REFRESH message.
+type RouteRefresh struct {
+	Family AFISAFI
+}
+
+// Type implements Message.
+func (*RouteRefresh) Type() uint8 { return MsgRouteRefresh }
+
+func (m *RouteRefresh) body(*codecOpts) []byte {
+	b := binary.BigEndian.AppendUint16(nil, m.Family.AFI)
+	return append(b, 0, m.Family.SAFI)
+}
+
+// marshalMessage frames a message with the BGP header.
+func marshalMessage(m Message, opts *codecOpts) ([]byte, error) {
+	body := m.body(opts)
+	total := HeaderLen + len(body)
+	if total > MaxMessageLen {
+		return nil, fmt.Errorf("bgp: message length %d exceeds maximum %d", total, MaxMessageLen)
+	}
+	b := make([]byte, 0, total)
+	b = append(b, marker[:]...)
+	b = binary.BigEndian.AppendUint16(b, uint16(total))
+	b = append(b, m.Type())
+	return append(b, body...), nil
+}
+
+// readMessage reads and decodes one message from r.
+func readMessage(r io.Reader, opts *codecOpts) (Message, error) {
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if [16]byte(hdr[:16]) != marker {
+		return nil, notif(ErrCodeHeader, 1)
+	}
+	length := int(binary.BigEndian.Uint16(hdr[16:18]))
+	typ := hdr[18]
+	if length < HeaderLen || length > MaxMessageLen {
+		return nil, notif(ErrCodeHeader, ErrSubBadLength)
+	}
+	body := make([]byte, length-HeaderLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return decodeBody(typ, body, opts)
+}
+
+// decodeBody decodes a message payload of the given type.
+func decodeBody(typ uint8, body []byte, opts *codecOpts) (Message, error) {
+	switch typ {
+	case MsgOpen:
+		return decodeOpen(body)
+	case MsgUpdate:
+		return decodeUpdate(body, opts)
+	case MsgNotification:
+		if len(body) < 2 {
+			return nil, notif(ErrCodeHeader, ErrSubBadLength)
+		}
+		return &Notification{Code: body[0], Subcode: body[1], Data: append([]byte(nil), body[2:]...)}, nil
+	case MsgKeepalive:
+		if len(body) != 0 {
+			return nil, notif(ErrCodeHeader, ErrSubBadLength)
+		}
+		return &Keepalive{}, nil
+	case MsgRouteRefresh:
+		if len(body) != 4 {
+			return nil, notif(ErrCodeHeader, ErrSubBadLength)
+		}
+		return &RouteRefresh{Family: AFISAFI{binary.BigEndian.Uint16(body), body[3]}}, nil
+	default:
+		return nil, notif(ErrCodeHeader, ErrSubBadType, typ)
+	}
+}
+
+func decodeOpen(body []byte) (*Open, error) {
+	if len(body) < 10 {
+		return nil, notif(ErrCodeHeader, ErrSubBadLength)
+	}
+	m := &Open{
+		Version:  body[0],
+		ASN:      binary.BigEndian.Uint16(body[1:3]),
+		HoldTime: binary.BigEndian.Uint16(body[3:5]),
+		BGPID:    netip.AddrFrom4([4]byte(body[5:9])),
+	}
+	if m.Version != Version {
+		return nil, notif(ErrCodeOpen, ErrSubUnsupportedVersion, 0, Version)
+	}
+	optLen := int(body[9])
+	if len(body) < 10+optLen {
+		return nil, notif(ErrCodeHeader, ErrSubBadLength)
+	}
+	caps, err := parseCapabilities(body[10 : 10+optLen])
+	if err != nil {
+		return nil, err
+	}
+	m.Caps = caps
+	return m, nil
+}
+
+func decodeUpdate(body []byte, opts *codecOpts) (*Update, error) {
+	if len(body) < 4 {
+		return nil, notif(ErrCodeUpdate, ErrSubMalformedAttrs)
+	}
+	wdLen := int(binary.BigEndian.Uint16(body[0:2]))
+	if len(body) < 2+wdLen+2 {
+		return nil, notif(ErrCodeUpdate, ErrSubMalformedAttrs)
+	}
+	withdrawn, err := decodeNLRIList(body[2:2+wdLen], opts.addPathV4, false)
+	if err != nil {
+		return nil, err
+	}
+	attrLen := int(binary.BigEndian.Uint16(body[2+wdLen : 4+wdLen]))
+	if len(body) < 4+wdLen+attrLen {
+		return nil, notif(ErrCodeUpdate, ErrSubMalformedAttrs)
+	}
+	attrBytes := body[4+wdLen : 4+wdLen+attrLen]
+	nlriBytes := body[4+wdLen+attrLen:]
+
+	m := &Update{Withdrawn: withdrawn}
+	if attrLen > 0 {
+		attrs, mpReach, mpUnreach, err := parseAttrs(attrBytes, opts.as4, opts.addPathV6)
+		if err != nil {
+			return nil, err
+		}
+		m.Attrs, m.MPReach, m.MPUnreach = attrs, mpReach, mpUnreach
+	}
+	if len(nlriBytes) > 0 {
+		nlri, err := decodeNLRIList(nlriBytes, opts.addPathV4, false)
+		if err != nil {
+			return nil, err
+		}
+		m.NLRI = nlri
+		if m.Attrs == nil || !m.Attrs.HasOrigin || m.Attrs.ASPath == nil || !m.Attrs.NextHop.IsValid() {
+			return nil, notif(ErrCodeUpdate, ErrSubMissingWellKnown)
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,502 @@
+package bgp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a BGP FSM state (RFC 4271 §8.2.2). The Connect and Active
+// states concern TCP connection management, which the transport (a tunnel
+// or net.Pipe in the simulator, TCP in cmd/peeringd) handles before a
+// Session is created; a Session therefore starts in StateOpenSent.
+type State int32
+
+// FSM states.
+const (
+	StateIdle State = iota
+	StateConnect
+	StateActive
+	StateOpenSent
+	StateOpenConfirm
+	StateEstablished
+)
+
+// String returns the RFC name of the state.
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "Idle"
+	case StateConnect:
+		return "Connect"
+	case StateActive:
+		return "Active"
+	case StateOpenSent:
+		return "OpenSent"
+	case StateOpenConfirm:
+		return "OpenConfirm"
+	case StateEstablished:
+		return "Established"
+	default:
+		return fmt.Sprintf("State(%d)", int32(s))
+	}
+}
+
+// Config configures one side of a BGP session.
+type Config struct {
+	// LocalASN and RemoteASN are the 4-octet AS numbers. RemoteASN 0
+	// accepts any peer ASN (used by route servers).
+	LocalASN  uint32
+	RemoteASN uint32
+	// LocalID is the BGP identifier (an IPv4 address).
+	LocalID netip.Addr
+	// HoldTime proposed in the OPEN. Zero selects DefaultHoldTime.
+	HoldTime time.Duration
+	// Families lists address families for the multiprotocol capability.
+	// Defaults to IPv4 unicast.
+	Families []AFISAFI
+	// AddPath maps families to the ADD-PATH mode advertised
+	// (AddPathSend, AddPathReceive, or AddPathSendReceive).
+	AddPath map[AFISAFI]uint8
+	// DisableAS4 advertises no 4-octet-AS capability, forcing 2-octet
+	// AS_PATH encoding (for interop tests).
+	DisableAS4 bool
+	// MRAI, when positive, enforces BGP's MinRouteAdvertisementInterval
+	// (RFC 4271 §9.2.1.1): successive advertisements of the SAME prefix
+	// are paced, with only the newest version sent when the interval
+	// expires. Withdrawals and first advertisements go out immediately.
+	// The paper notes MRAI as a baseline delay any update pipeline sits
+	// behind (§6). Zero disables pacing.
+	MRAI time.Duration
+
+	// OnUpdate is called for each received UPDATE while Established.
+	OnUpdate func(*Update)
+	// OnRouteRefresh is called when the peer requests re-advertisement
+	// of a family (RFC 2918).
+	OnRouteRefresh func(AFISAFI)
+	// OnEstablished is called once the session reaches Established.
+	OnEstablished func()
+	// OnClose is called exactly once when the session ends.
+	OnClose func(error)
+
+	// Logf, when set, receives session event logs.
+	Logf func(format string, args ...any)
+}
+
+// Session is one BGP session over an established transport. Create with
+// NewSession and call Run (usually in a goroutine); send routes with
+// Send.
+type Session struct {
+	cfg    Config
+	conn   net.Conn
+	reader io.Reader
+
+	state atomic.Int32
+
+	writeMu sync.Mutex
+	enc     codecOpts // applies to what we send
+	dec     codecOpts // applies to what we receive
+
+	negotiated struct {
+		remoteASN  uint32
+		remoteID   netip.Addr
+		holdTime   time.Duration
+		remoteCaps *Capabilities
+	}
+
+	holdMu   sync.Mutex
+	lastRecv time.Time
+
+	mraiMu      sync.Mutex
+	mraiLast    map[string]time.Time
+	mraiPending map[string]*Update
+	// MRAISuppressed counts advertisements absorbed by pacing.
+	MRAISuppressed atomic.Uint64
+
+	closeOnce sync.Once
+	closeErr  error
+	done      chan struct{}
+
+	// Counters for the scalability evaluation (paper §6).
+	UpdatesIn  atomic.Uint64
+	UpdatesOut atomic.Uint64
+	BytesIn    atomic.Uint64
+	BytesOut   atomic.Uint64
+}
+
+// NewSession wraps conn in a BGP session. The caller owns starting it
+// with Run.
+func NewSession(conn net.Conn, cfg Config) *Session {
+	if cfg.HoldTime == 0 {
+		cfg.HoldTime = DefaultHoldTime * time.Second
+	}
+	if len(cfg.Families) == 0 {
+		cfg.Families = []AFISAFI{IPv4Unicast}
+	}
+	s := &Session{cfg: cfg, conn: conn, done: make(chan struct{})}
+	s.reader = &countingReader{r: conn, n: &s.BytesIn}
+	s.state.Store(int32(StateIdle))
+	return s
+}
+
+// countingReader tallies inbound bytes for the §6 counters.
+type countingReader struct {
+	r io.Reader
+	n *atomic.Uint64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(uint64(n))
+	return n, err
+}
+
+// State returns the current FSM state.
+func (s *Session) State() State { return State(s.state.Load()) }
+
+// RemoteASN returns the peer's negotiated 4-octet ASN (valid once the
+// session leaves OpenSent).
+func (s *Session) RemoteASN() uint32 { return s.negotiated.remoteASN }
+
+// RemoteID returns the peer's BGP identifier.
+func (s *Session) RemoteID() netip.Addr { return s.negotiated.remoteID }
+
+// RemoteCaps returns the peer's capability set.
+func (s *Session) RemoteCaps() *Capabilities { return s.negotiated.remoteCaps }
+
+// AddPathSendEnabled reports whether we encode path IDs for family f.
+func (s *Session) AddPathSendEnabled(f AFISAFI) bool {
+	switch f {
+	case IPv4Unicast:
+		return s.enc.addPathV4
+	case IPv6Unicast:
+		return s.enc.addPathV6
+	}
+	return false
+}
+
+// Done returns a channel closed when the session terminates.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Err returns the terminal error after Done is closed.
+func (s *Session) Err() error {
+	select {
+	case <-s.done:
+		return s.closeErr
+	default:
+		return nil
+	}
+}
+
+func (s *Session) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// localCaps builds the capability set advertised in our OPEN.
+func (s *Session) localCaps() *Capabilities {
+	c := &Capabilities{MP: s.cfg.Families, RouteRefresh: true}
+	if !s.cfg.DisableAS4 {
+		c.AS4 = s.cfg.LocalASN
+	}
+	if len(s.cfg.AddPath) > 0 {
+		c.AddPath = s.cfg.AddPath
+	}
+	return c
+}
+
+// Run drives the session: it sends our OPEN, completes the handshake,
+// then processes messages until the session ends. It always returns the
+// terminal error (nil only on clean administrative shutdown).
+func (s *Session) Run() error {
+	s.state.Store(int32(StateOpenSent))
+	openASN := uint16(ASTrans)
+	if s.cfg.LocalASN <= 0xffff {
+		openASN = uint16(s.cfg.LocalASN)
+	}
+	open := &Open{
+		Version:  Version,
+		ASN:      openASN,
+		HoldTime: uint16(s.cfg.HoldTime / time.Second),
+		BGPID:    s.cfg.LocalID,
+		Caps:     s.localCaps(),
+	}
+	if err := s.write(open); err != nil {
+		s.shutdown(err)
+		return s.closeErr
+	}
+
+	// Handshake: expect the peer's OPEN.
+	msg, err := readMessage(s.reader, &s.dec)
+	if err != nil {
+		s.shutdown(fmt.Errorf("bgp: waiting for OPEN: %w", err))
+		return s.closeErr
+	}
+	peerOpen, ok := msg.(*Open)
+	if !ok {
+		s.notifyAndClose(notif(ErrCodeFSM, 0))
+		return s.closeErr
+	}
+	if err := s.handleOpen(peerOpen); err != nil {
+		var ne *NotificationError
+		if errors.As(err, &ne) {
+			s.notifyAndClose(ne)
+		} else {
+			s.shutdown(err)
+		}
+		return s.closeErr
+	}
+	s.state.Store(int32(StateOpenConfirm))
+	if err := s.write(&Keepalive{}); err != nil {
+		s.shutdown(err)
+		return s.closeErr
+	}
+
+	s.touch()
+	if s.negotiated.holdTime > 0 {
+		go s.keepaliveLoop()
+	}
+
+	for {
+		msg, err := readMessage(s.reader, &s.dec)
+		if err != nil {
+			var ne *NotificationError
+			if errors.As(err, &ne) {
+				s.notifyAndClose(ne)
+			} else {
+				s.shutdown(err)
+			}
+			return s.closeErr
+		}
+		s.touch()
+		if err := s.handleMessage(msg); err != nil {
+			var ne *NotificationError
+			if errors.As(err, &ne) {
+				s.notifyAndClose(ne)
+			} else {
+				s.shutdown(err)
+			}
+			return s.closeErr
+		}
+		if s.State() == StateIdle {
+			return s.closeErr
+		}
+	}
+}
+
+// handleOpen validates the peer's OPEN and completes negotiation.
+func (s *Session) handleOpen(o *Open) error {
+	remoteASN := uint32(o.ASN)
+	if o.Caps != nil && o.Caps.AS4 != 0 {
+		remoteASN = o.Caps.AS4
+	}
+	if s.cfg.RemoteASN != 0 && remoteASN != s.cfg.RemoteASN {
+		return notif(ErrCodeOpen, ErrSubBadPeerAS)
+	}
+	if !o.BGPID.IsValid() || o.BGPID == netip.IPv4Unspecified() {
+		return notif(ErrCodeOpen, ErrSubBadBGPID)
+	}
+	if o.HoldTime == 1 || o.HoldTime == 2 {
+		return notif(ErrCodeOpen, ErrSubUnacceptableHold)
+	}
+	s.negotiated.remoteASN = remoteASN
+	s.negotiated.remoteID = o.BGPID
+	s.negotiated.remoteCaps = o.Caps
+
+	hold := s.cfg.HoldTime
+	if peer := time.Duration(o.HoldTime) * time.Second; peer < hold {
+		hold = peer
+	}
+	s.negotiated.holdTime = hold
+
+	local := s.localCaps()
+	as4 := local.AS4 != 0 && o.Caps != nil && o.Caps.AS4 != 0
+	s.enc.as4, s.dec.as4 = as4, as4
+	if o.Caps != nil {
+		sendV4, recvV4 := negotiateAddPath(local, o.Caps, IPv4Unicast)
+		sendV6, recvV6 := negotiateAddPath(local, o.Caps, IPv6Unicast)
+		s.enc.addPathV4, s.dec.addPathV4 = sendV4, recvV4
+		s.enc.addPathV6, s.dec.addPathV6 = sendV6, recvV6
+	}
+	s.logf("negotiated: peer AS%d id=%s hold=%s as4=%v addpath(v4 send=%v recv=%v)",
+		remoteASN, o.BGPID, hold, as4, s.enc.addPathV4, s.dec.addPathV4)
+	return nil
+}
+
+func (s *Session) handleMessage(msg Message) error {
+	switch m := msg.(type) {
+	case *Keepalive:
+		if s.State() == StateOpenConfirm {
+			s.state.Store(int32(StateEstablished))
+			s.logf("established")
+			if s.cfg.OnEstablished != nil {
+				s.cfg.OnEstablished()
+			}
+		}
+	case *Update:
+		if s.State() != StateEstablished {
+			return notif(ErrCodeFSM, 0)
+		}
+		s.UpdatesIn.Add(1)
+		if s.cfg.OnUpdate != nil {
+			s.cfg.OnUpdate(m)
+		}
+	case *Notification:
+		s.shutdown(m)
+	case *RouteRefresh:
+		if s.cfg.OnRouteRefresh != nil {
+			s.cfg.OnRouteRefresh(m.Family)
+		}
+	case *Open:
+		return notif(ErrCodeFSM, 0)
+	}
+	return nil
+}
+
+// Send transmits an UPDATE. It is safe for concurrent use. With MRAI
+// configured, single-prefix advertisements may be delayed and coalesced;
+// Send still reports success immediately (the paced copy is delivered by
+// a timer).
+func (s *Session) Send(u *Update) error {
+	if s.State() != StateEstablished {
+		return fmt.Errorf("bgp: session not established (state %s)", s.State())
+	}
+	if s.cfg.MRAI > 0 && len(u.NLRI) == 1 && len(u.Withdrawn) == 0 && len(u.MPReach) == 0 && len(u.MPUnreach) == 0 {
+		if s.paceAdvertisement(u) {
+			return nil
+		}
+	}
+	s.UpdatesOut.Add(1)
+	return s.write(u)
+}
+
+// paceAdvertisement applies MRAI to a single-prefix advertisement. It
+// returns true if the update was absorbed (queued or coalesced).
+func (s *Session) paceAdvertisement(u *Update) bool {
+	key := u.NLRI[0].String()
+	now := time.Now()
+	s.mraiMu.Lock()
+	if s.mraiLast == nil {
+		s.mraiLast = make(map[string]time.Time)
+		s.mraiPending = make(map[string]*Update)
+	}
+	last, seen := s.mraiLast[key]
+	if !seen || now.Sub(last) >= s.cfg.MRAI {
+		s.mraiLast[key] = now
+		s.mraiMu.Unlock()
+		return false // send immediately
+	}
+	// Within the interval: keep only the newest version and arm a timer
+	// if none is pending.
+	_, pending := s.mraiPending[key]
+	s.mraiPending[key] = u
+	s.MRAISuppressed.Add(1)
+	if !pending {
+		delay := s.cfg.MRAI - now.Sub(last)
+		time.AfterFunc(delay, func() { s.flushPaced(key) })
+	}
+	s.mraiMu.Unlock()
+	return true
+}
+
+func (s *Session) flushPaced(key string) {
+	s.mraiMu.Lock()
+	u := s.mraiPending[key]
+	delete(s.mraiPending, key)
+	s.mraiLast[key] = time.Now()
+	s.mraiMu.Unlock()
+	if u == nil || s.State() != StateEstablished {
+		return
+	}
+	s.UpdatesOut.Add(1)
+	_ = s.write(u)
+}
+
+// SendRouteRefresh requests re-advertisement of family f from the peer.
+func (s *Session) SendRouteRefresh(f AFISAFI) error {
+	return s.write(&RouteRefresh{Family: f})
+}
+
+func (s *Session) write(m Message) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	b, err := marshalMessage(m, &s.enc)
+	if err != nil {
+		return err
+	}
+	s.BytesOut.Add(uint64(len(b)))
+	_, err = s.conn.Write(b)
+	return err
+}
+
+func (s *Session) touch() {
+	s.holdMu.Lock()
+	s.lastRecv = time.Now()
+	s.holdMu.Unlock()
+}
+
+func (s *Session) keepaliveLoop() {
+	interval := s.negotiated.holdTime / 3
+	if interval <= 0 {
+		return
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			s.holdMu.Lock()
+			idle := time.Since(s.lastRecv)
+			s.holdMu.Unlock()
+			if idle > s.negotiated.holdTime {
+				s.notifyAndClose(notif(ErrCodeHoldTimer, 0))
+				return
+			}
+			if err := s.write(&Keepalive{}); err != nil {
+				s.shutdown(err)
+				return
+			}
+		}
+	}
+}
+
+// Close performs an administrative shutdown (Cease notification).
+func (s *Session) Close() error {
+	s.closeOnce.Do(func() {
+		_ = s.write(&Notification{Code: ErrCodeCease, Subcode: CeaseAdminShutdown})
+		s.state.Store(int32(StateIdle))
+		s.closeErr = nil
+		_ = s.conn.Close()
+		close(s.done)
+		if s.cfg.OnClose != nil {
+			s.cfg.OnClose(nil)
+		}
+	})
+	return nil
+}
+
+// notifyAndClose sends a NOTIFICATION for err and terminates.
+func (s *Session) notifyAndClose(ne *NotificationError) {
+	_ = s.write(&Notification{Code: ne.Code, Subcode: ne.Subcode, Data: ne.Data})
+	s.shutdown(ne)
+}
+
+func (s *Session) shutdown(err error) {
+	s.closeOnce.Do(func() {
+		s.state.Store(int32(StateIdle))
+		s.closeErr = err
+		_ = s.conn.Close()
+		close(s.done)
+		if s.cfg.OnClose != nil {
+			s.cfg.OnClose(err)
+		}
+	})
+}

@@ -1,0 +1,109 @@
+// Package bpf implements a small eBPF-inspired virtual machine used for
+// vBGP's data-plane enforcement (paper §3.3): simple programs are loaded
+// at interface hook points, inspect each packet, and return an XDP-style
+// verdict. Programs may keep state in maps, enabling stateful policies
+// such as per-neighbor rate limiting.
+//
+// Like the kernel, the package refuses to run unverified programs: Load
+// runs a verifier that bounds execution (no backward jumps, all paths
+// reach EXIT) and checks register and map discipline before a program can
+// be attached.
+package bpf
+
+import "fmt"
+
+// Verdict is the program return value, mirroring XDP action codes.
+type Verdict uint64
+
+// Verdicts.
+const (
+	VerdictAborted Verdict = 0 // internal error: treated as drop
+	VerdictDrop    Verdict = 1
+	VerdictPass    Verdict = 2
+)
+
+// String returns the XDP-style name of the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictAborted:
+		return "XDP_ABORTED"
+	case VerdictDrop:
+		return "XDP_DROP"
+	case VerdictPass:
+		return "XDP_PASS"
+	default:
+		return fmt.Sprintf("Verdict(%d)", uint64(v))
+	}
+}
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes. Loads read from the packet with bounds checking; a load beyond
+// the packet aborts the program (verdict VerdictAborted).
+const (
+	OpMov     Op = iota // dst = src
+	OpMovImm            // dst = imm
+	OpLdB               // dst = packet[src+off] (byte)
+	OpLdH               // dst = be16(packet[src+off:]) (half word)
+	OpLdW               // dst = be32(packet[src+off:]) (word)
+	OpLdLen             // dst = len(packet)
+	OpAdd               // dst += src
+	OpAddImm            // dst += imm
+	OpSub               // dst -= src
+	OpAnd               // dst &= src
+	OpAndImm            // dst &= imm
+	OpOr                // dst |= src
+	OpOrImm             // dst |= imm
+	OpLsh               // dst <<= imm
+	OpRsh               // dst >>= imm
+	OpJmp               // pc += off
+	OpJEq               // if dst == src: pc += off
+	OpJEqImm            // if dst == imm: pc += off
+	OpJNeImm            // if dst != imm: pc += off
+	OpJGtImm            // if dst > imm: pc += off
+	OpJLtImm            // if dst < imm: pc += off
+	OpJSetImm           // if dst & imm != 0: pc += off
+	OpCall              // call helper imm; result in R0
+	OpExit              // return R0 as the verdict
+)
+
+// Register names. R1 holds the packet context by convention (programs use
+// loads relative to offsets held in registers).
+const (
+	R0 = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	NumRegs
+)
+
+// Helper IDs callable with OpCall.
+const (
+	// HelperKtimeNS returns a monotonic timestamp in nanoseconds in R0.
+	HelperKtimeNS = 1
+	// HelperMapLookup reads map R1 at key R2 into R0; R0 is the value,
+	// or 0 if the key is missing (R9 is set to 1 when found, 0 when
+	// missing).
+	HelperMapLookup = 2
+	// HelperMapUpdate writes value R3 at key R2 of map R1.
+	HelperMapUpdate = 3
+)
+
+// Insn is one instruction.
+type Insn struct {
+	Op  Op
+	Dst uint8
+	Src uint8
+	Off int32
+	Imm uint64
+}
+
+// MaxInsns bounds program size, as the kernel verifier does.
+const MaxInsns = 4096

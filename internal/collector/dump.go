@@ -1,0 +1,199 @@
+package collector
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+// Dump format: a compact MRT-inspired binary framing. Each record:
+//
+//	magic   uint16  0x5052 ("PR")
+//	kind    uint8   EventKind
+//	time    int64   Unix nanoseconds
+//	pathID  uint32
+//	family  uint8   4 or 6
+//	bits    uint8
+//	addr    4 or 16 bytes
+//	nhFam   uint8   0 (none), 4, or 6
+//	nh      0/4/16 bytes
+//	pathLen uint16, then pathLen x uint32
+//	commLen uint16, then commLen x uint32
+//
+// All integers big-endian. The format is versionless by design — the
+// magic doubles as a sync marker.
+const dumpMagic = 0x5052
+
+// WriteEvents serializes events to w in dump format.
+func WriteEvents(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range events {
+		if err := writeEvent(bw, e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeEvent(w io.Writer, e Event) error {
+	var b []byte
+	b = binary.BigEndian.AppendUint16(b, dumpMagic)
+	b = append(b, byte(e.Kind))
+	b = binary.BigEndian.AppendUint64(b, uint64(e.Time.UnixNano()))
+	b = binary.BigEndian.AppendUint32(b, e.PathID)
+	addr := e.Prefix.Addr()
+	if addr.Is6() {
+		raw := addr.As16()
+		b = append(b, 6, byte(e.Prefix.Bits()))
+		b = append(b, raw[:]...)
+	} else {
+		raw := addr.As4()
+		b = append(b, 4, byte(e.Prefix.Bits()))
+		b = append(b, raw[:]...)
+	}
+	switch {
+	case !e.NextHop.IsValid():
+		b = append(b, 0)
+	case e.NextHop.Is6():
+		raw := e.NextHop.As16()
+		b = append(b, 6)
+		b = append(b, raw[:]...)
+	default:
+		raw := e.NextHop.As4()
+		b = append(b, 4)
+		b = append(b, raw[:]...)
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(e.ASPath)))
+	for _, asn := range e.ASPath {
+		b = binary.BigEndian.AppendUint32(b, asn)
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(e.Communities)))
+	for _, c := range e.Communities {
+		b = binary.BigEndian.AppendUint32(b, uint32(c))
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// ReadEvents parses a dump stream until EOF.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	br := bufio.NewReader(r)
+	var out []Event
+	for {
+		e, err := readEvent(br)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}
+
+func readEvent(r *bufio.Reader) (Event, error) {
+	var e Event
+	var hdr [15]byte // magic(2) kind(1) time(8) pathID(4)
+	if _, err := io.ReadFull(r, hdr[:2]); err != nil {
+		return e, err // clean EOF between records
+	}
+	if binary.BigEndian.Uint16(hdr[:2]) != dumpMagic {
+		return e, fmt.Errorf("collector: bad record magic %#x", hdr[:2])
+	}
+	if _, err := io.ReadFull(r, hdr[2:]); err != nil {
+		return e, unexpected(err)
+	}
+	e.Kind = EventKind(hdr[2])
+	e.Time = timeFromNanos(int64(binary.BigEndian.Uint64(hdr[3:11])))
+	e.PathID = binary.BigEndian.Uint32(hdr[11:15])
+
+	var fb [2]byte
+	if _, err := io.ReadFull(r, fb[:]); err != nil {
+		return e, unexpected(err)
+	}
+	fam, bits := fb[0], int(fb[1])
+	switch fam {
+	case 4:
+		var raw [4]byte
+		if _, err := io.ReadFull(r, raw[:]); err != nil {
+			return e, unexpected(err)
+		}
+		if bits > 32 {
+			return e, fmt.Errorf("collector: v4 prefix bits %d", bits)
+		}
+		e.Prefix = netip.PrefixFrom(netip.AddrFrom4(raw), bits)
+	case 6:
+		var raw [16]byte
+		if _, err := io.ReadFull(r, raw[:]); err != nil {
+			return e, unexpected(err)
+		}
+		if bits > 128 {
+			return e, fmt.Errorf("collector: v6 prefix bits %d", bits)
+		}
+		e.Prefix = netip.PrefixFrom(netip.AddrFrom16(raw), bits)
+	default:
+		return e, fmt.Errorf("collector: bad address family %d", fam)
+	}
+
+	nhFam, err := r.ReadByte()
+	if err != nil {
+		return e, unexpected(err)
+	}
+	switch nhFam {
+	case 0:
+	case 4:
+		var raw [4]byte
+		if _, err := io.ReadFull(r, raw[:]); err != nil {
+			return e, unexpected(err)
+		}
+		e.NextHop = netip.AddrFrom4(raw)
+	case 6:
+		var raw [16]byte
+		if _, err := io.ReadFull(r, raw[:]); err != nil {
+			return e, unexpected(err)
+		}
+		e.NextHop = netip.AddrFrom16(raw)
+	default:
+		return e, fmt.Errorf("collector: bad next-hop family %d", nhFam)
+	}
+
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return e, unexpected(err)
+	}
+	pathLen := int(binary.BigEndian.Uint16(lenBuf[:]))
+	for i := 0; i < pathLen; i++ {
+		var asn [4]byte
+		if _, err := io.ReadFull(r, asn[:]); err != nil {
+			return e, unexpected(err)
+		}
+		e.ASPath = append(e.ASPath, binary.BigEndian.Uint32(asn[:]))
+	}
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return e, unexpected(err)
+	}
+	commLen := int(binary.BigEndian.Uint16(lenBuf[:]))
+	for i := 0; i < commLen; i++ {
+		var c [4]byte
+		if _, err := io.ReadFull(r, c[:]); err != nil {
+			return e, unexpected(err)
+		}
+		e.Communities = append(e.Communities, bgp.Community(binary.BigEndian.Uint32(c[:])))
+	}
+	return e, nil
+}
+
+// unexpected maps a mid-record EOF to an explicit truncation error.
+func unexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+func timeFromNanos(ns int64) time.Time { return time.Unix(0, ns) }

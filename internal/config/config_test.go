@@ -1,0 +1,267 @@
+package config
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+func a(s string) netip.Addr     { return netip.MustParseAddr(s) }
+
+func sampleModel() Model {
+	return Model{
+		PlatformASN: 47065,
+		GlobalPool:  pfx("127.127.0.0/16"),
+		Experiments: []ExperimentSpec{
+			{Name: "exp1", Owner: "alice", ASNs: []uint32{61574},
+				Prefixes: []netip.Prefix{pfx("184.164.224.0/23")}, Approved: true, VPNKey: "k1"},
+			{Name: "exp2", Owner: "bob", ASNs: []uint32{61575},
+				Prefixes: []netip.Prefix{pfx("184.164.226.0/24")}, Approved: true, VPNKey: "k2",
+				Caps: policy.Capabilities{MaxPoisonedASNs: 2, MaxCommunities: 4}},
+			{Name: "pending", Owner: "carol", Approved: false},
+		},
+		PoPs: []PoPSpec{
+			{
+				Name: "amsix", RouterID: a("198.51.100.1"), LocalPool: pfx("127.65.0.0/16"),
+				Interfaces: []IfaceSpec{
+					{Name: "ix0", Role: "neighbor", Addr: pfx("80.249.208.254/21")},
+					{Name: "exp0", Role: "experiment", Addr: pfx("100.65.0.254/24")},
+					{Name: "bb0", Role: "backbone", Addr: pfx("100.127.0.1/24")},
+				},
+				Neighbors: []NeighborSpec{
+					{Name: "rs1", ID: 1, ASN: 64700, Addr: a("80.249.208.250"), Interface: "ix0", RouteServer: true},
+					{Name: "transit1", ID: 2, ASN: 3356, Addr: a("80.249.208.1"), Interface: "ix0", Transit: true},
+				},
+			},
+			{
+				Name: "seattle", RouterID: a("198.51.100.2"), LocalPool: pfx("127.66.0.0/16"),
+				BandwidthLimitBps: 100e6,
+				Interfaces: []IfaceSpec{
+					{Name: "ix0", Role: "neighbor", Addr: pfx("206.81.80.254/23")},
+					{Name: "exp0", Role: "experiment", Addr: pfx("100.66.0.254/24")},
+				},
+				Neighbors: []NeighborSpec{
+					{Name: "rs1", ID: 10, ASN: 64701, Addr: a("206.81.80.250"), Interface: "ix0", RouteServer: true},
+				},
+			},
+		},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	m := sampleModel()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Model)
+	}{
+		{"duplicate neighbor ID", func(m *Model) { m.PoPs[1].Neighbors[0].ID = 1 }},
+		{"zero neighbor ID", func(m *Model) { m.PoPs[0].Neighbors[0].ID = 0 }},
+		{"ID too large", func(m *Model) { m.PoPs[0].Neighbors[0].ID = 10000 }},
+		{"unknown interface", func(m *Model) { m.PoPs[0].Neighbors[0].Interface = "ghost" }},
+		{"duplicate interface", func(m *Model) {
+			m.PoPs[0].Interfaces = append(m.PoPs[0].Interfaces, m.PoPs[0].Interfaces[0])
+		}},
+		{"overlapping allocations", func(m *Model) {
+			m.Experiments[1].Prefixes = []netip.Prefix{pfx("184.164.224.0/24")}
+		}},
+		{"approved without allocation", func(m *Model) { m.Experiments[2].Approved = true }},
+	}
+	for _, c := range cases {
+		m := sampleModel()
+		c.mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: validation passed", c.name)
+		}
+	}
+}
+
+func TestSyncPolicy(t *testing.T) {
+	m := sampleModel()
+	en := policy.NewEngine(m.PlatformASN)
+	m.SyncPolicy(en)
+	if got := en.Experiments(); len(got) != 2 || got[0] != "exp1" || got[1] != "exp2" {
+		t.Fatalf("registered = %v", got)
+	}
+	// Capabilities flow through.
+	if en.Experiment("exp2").Caps.MaxPoisonedASNs != 2 {
+		t.Error("capabilities lost in sync")
+	}
+	// De-approving removes, approving new adds; others untouched.
+	m.Experiments[0].Approved = false
+	m.Experiments[2].Approved = true
+	m.Experiments[2].ASNs = []uint32{61576}
+	m.Experiments[2].Prefixes = []netip.Prefix{pfx("184.164.228.0/24")}
+	m.SyncPolicy(en)
+	if got := en.Experiments(); len(got) != 2 || got[0] != "exp2" || got[1] != "pending" {
+		t.Fatalf("after resync = %v", got)
+	}
+}
+
+func TestNetworkIntent(t *testing.T) {
+	m := sampleModel()
+	intent, err := m.NetworkIntent("amsix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(intent.Ifaces) != 3 {
+		t.Errorf("interfaces = %d", len(intent.Ifaces))
+	}
+	if got := intent.Ifaces["ix0"].Addrs[0]; got != a("80.249.208.254") {
+		t.Errorf("ix0 addr = %s", got)
+	}
+	if _, err := m.NetworkIntent("nope"); err == nil {
+		t.Error("unknown pop accepted")
+	}
+}
+
+func TestRenderRouterConfig(t *testing.T) {
+	m := sampleModel()
+	text, err := RenderRouterConfig(&m, "amsix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"router id 198.51.100.1",
+		"protocol bgp rs1",
+		"add paths rx",
+		"neighbor 80.249.208.1 as 3356",
+		"protocol bgp mux_exp1",
+		"if net ~ 184.164.224.0/23 then accept",
+		"reject;",
+		"table t_rs1",
+		"table t_transit1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered config missing %q", want)
+		}
+	}
+	// Unapproved experiments generate nothing.
+	if strings.Contains(text, "pending") {
+		t.Error("unapproved experiment leaked into config")
+	}
+}
+
+func TestRenderedConfigScalesWithNeighbors(t *testing.T) {
+	// "configuration files for BIRD alone can exceed over 10,000 lines
+	// at large PoPs" — line count must grow linearly with neighbors.
+	m := sampleModel()
+	small, _ := RenderRouterConfig(&m, "amsix")
+	for i := 0; i < 500; i++ {
+		m.PoPs[0].Neighbors = append(m.PoPs[0].Neighbors, NeighborSpec{
+			Name: fmt.Sprintf("peer%d", i), ID: uint32(100 + i), ASN: uint32(20000 + i),
+			Addr: a("80.249.209.1"), Interface: "ix0",
+		})
+	}
+	big, err := RenderRouterConfig(&m, "amsix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallLines := strings.Count(small, "\n")
+	bigLines := strings.Count(big, "\n")
+	if bigLines < smallLines+500*10 {
+		t.Errorf("config did not scale: %d -> %d lines", smallLines, bigLines)
+	}
+}
+
+func TestRenderVPNConfig(t *testing.T) {
+	m := sampleModel()
+	text := RenderVPNConfig(&m)
+	if !strings.Contains(text, "client exp1 key k1") || !strings.Contains(text, "client exp2 key k2") {
+		t.Errorf("vpn config: %s", text)
+	}
+	if strings.Contains(text, "pending") {
+		t.Error("unapproved credential issued")
+	}
+}
+
+func TestStoreVersioning(t *testing.T) {
+	s := NewStore()
+	if _, n := s.Latest(); n != 0 {
+		t.Fatal("empty store should report rev 0")
+	}
+	m := sampleModel()
+	r1, err := s.Put(m)
+	if err != nil || r1 != 1 {
+		t.Fatalf("put: %d %v", r1, err)
+	}
+	m2 := sampleModel()
+	m2.Experiments[0].Approved = false
+	r2, _ := s.Put(m2)
+	if r2 != 2 {
+		t.Fatalf("rev2 = %d", r2)
+	}
+	got, err := s.Get(1)
+	if err != nil || !got.Experiments[0].Approved {
+		t.Error("rev 1 mutated")
+	}
+	r3, err := s.Rollback(1)
+	if err != nil || r3 != 3 {
+		t.Fatalf("rollback: %d %v", r3, err)
+	}
+	latest, n := s.Latest()
+	if n != 3 || !latest.Experiments[0].Approved {
+		t.Error("rollback content wrong")
+	}
+	if _, err := s.Get(99); err == nil {
+		t.Error("missing revision fetched")
+	}
+	bad := sampleModel()
+	bad.PoPs[0].Neighbors[0].ID = 0
+	if _, err := s.Put(bad); err == nil {
+		t.Error("invalid model stored")
+	}
+}
+
+func TestDeployerCanaryThenPromote(t *testing.T) {
+	s := NewStore()
+	rev, _ := s.Put(sampleModel())
+	applied := make(map[string]int)
+	d := NewDeployer(s, func(pop string, m Model) error {
+		applied[pop]++
+		return nil
+	})
+	if err := d.Canary(rev, []string{"amsix"}); err != nil {
+		t.Fatal(err)
+	}
+	if applied["amsix"] != 1 || applied["seattle"] != 0 {
+		t.Fatalf("after canary: %v", applied)
+	}
+	if err := d.Promote(rev); err != nil {
+		t.Fatal(err)
+	}
+	// The canary PoP is not re-applied.
+	if applied["amsix"] != 1 || applied["seattle"] != 1 {
+		t.Fatalf("after promote: %v", applied)
+	}
+	dep := d.Deployed()
+	if dep["amsix"] != rev || dep["seattle"] != rev {
+		t.Errorf("deployed = %v", dep)
+	}
+	if fleet := d.Fleet(); len(fleet) != 2 || fleet[0] != "amsix" {
+		t.Errorf("fleet = %v", fleet)
+	}
+}
+
+func TestDeployerApplyFailure(t *testing.T) {
+	s := NewStore()
+	rev, _ := s.Put(sampleModel())
+	boom := errors.New("apply failed")
+	d := NewDeployer(s, func(pop string, m Model) error { return boom })
+	if err := d.Canary(rev, []string{"amsix"}); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+	if len(d.Deployed()) != 0 {
+		t.Error("failed apply recorded as deployed")
+	}
+}

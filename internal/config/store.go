@@ -1,0 +1,146 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Store is the versioned configuration database: every Put snapshots a
+// new revision that can be inspected, deployed, and rolled back (§5:
+// "all configuration files ... are stored in a version-control system
+// where they can be inspected and rolled back if needed").
+type Store struct {
+	mu   sync.Mutex
+	revs []Model // revs[i] is revision i+1
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store { return &Store{} }
+
+// Put validates and stores a new revision, returning its number.
+func (s *Store) Put(m Model) (int, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.revs = append(s.revs, m)
+	return len(s.revs), nil
+}
+
+// Get returns revision rev (1-based).
+func (s *Store) Get(rev int) (Model, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rev < 1 || rev > len(s.revs) {
+		return Model{}, fmt.Errorf("config: no revision %d (have 1..%d)", rev, len(s.revs))
+	}
+	return s.revs[rev-1], nil
+}
+
+// Latest returns the newest revision and its number, or rev 0 when
+// empty.
+func (s *Store) Latest() (Model, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.revs) == 0 {
+		return Model{}, 0
+	}
+	return s.revs[len(s.revs)-1], len(s.revs)
+}
+
+// Rollback re-stores revision rev as the newest revision, returning the
+// new revision number.
+func (s *Store) Rollback(rev int) (int, error) {
+	m, err := s.Get(rev)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.revs = append(s.revs, m)
+	return len(s.revs), nil
+}
+
+// Deployer rolls revisions out to PoPs with canarying: a new revision is
+// applied to a canary subset first, then promoted to the rest (§5: "we
+// canary the new configuration on a subset of our production fleet").
+type Deployer struct {
+	store *Store
+	// Apply pushes one model to one PoP (wired to SyncPolicy +
+	// netctl.Reconcile + router config regeneration by the platform).
+	Apply func(pop string, m Model) error
+
+	mu       sync.Mutex
+	deployed map[string]int // pop -> revision
+}
+
+// NewDeployer creates a deployer over the store.
+func NewDeployer(store *Store, apply func(pop string, m Model) error) *Deployer {
+	return &Deployer{store: store, Apply: apply, deployed: make(map[string]int)}
+}
+
+// Canary applies revision rev to the named PoPs only.
+func (d *Deployer) Canary(rev int, pops []string) error {
+	m, err := d.store.Get(rev)
+	if err != nil {
+		return err
+	}
+	for _, pop := range pops {
+		if err := d.Apply(pop, m); err != nil {
+			return fmt.Errorf("config: canary %s: %w", pop, err)
+		}
+		d.mu.Lock()
+		d.deployed[pop] = rev
+		d.mu.Unlock()
+	}
+	return nil
+}
+
+// Promote applies revision rev to every PoP in the model that is not
+// already running it.
+func (d *Deployer) Promote(rev int) error {
+	m, err := d.store.Get(rev)
+	if err != nil {
+		return err
+	}
+	for _, pop := range m.PoPs {
+		d.mu.Lock()
+		cur := d.deployed[pop.Name]
+		d.mu.Unlock()
+		if cur == rev {
+			continue
+		}
+		if err := d.Apply(pop.Name, m); err != nil {
+			return fmt.Errorf("config: promote %s: %w", pop.Name, err)
+		}
+		d.mu.Lock()
+		d.deployed[pop.Name] = rev
+		d.mu.Unlock()
+	}
+	return nil
+}
+
+// Deployed returns the revision each PoP runs, sorted by PoP name.
+func (d *Deployer) Deployed() map[string]int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]int, len(d.deployed))
+	for k, v := range d.deployed {
+		out[k] = v
+	}
+	return out
+}
+
+// Fleet returns the deployed PoP names, sorted.
+func (d *Deployer) Fleet() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.deployed))
+	for k := range d.deployed {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,135 @@
+package core
+
+import "repro/internal/bgp"
+
+// Announcement-control communities (paper §3.2.1): vBGP defines
+// whitelist/blacklist communities for every neighbor. An experiment tags
+// an announcement with PlatformASN:<id> to export it only to the
+// neighbor with that platform ID, or PlatformASN:<NoExportBase+id> to
+// exclude that neighbor. Untagged announcements go to all neighbors.
+// Control communities are consumed by vBGP and stripped before export to
+// the Internet.
+//
+// The scheme requires the platform ASN to fit in 16 bits (true of
+// Peering's primary ASN, 47065); platforms with 4-byte ASNs would use
+// large communities instead.
+const (
+	// NoExportBase offsets blacklist community values.
+	NoExportBase = 10000
+	// maxNeighborID bounds neighbor IDs so whitelist and blacklist
+	// value ranges cannot collide.
+	maxNeighborID = NoExportBase - 1
+	// internalOnlyID is a reserved pseudo-neighbor: a route whitelisted
+	// to it is never exported to any real neighbor. Used for
+	// platform-internal routes such as experiment-LAN prefixes relayed
+	// over the backbone. Real neighbor IDs must stay below it.
+	internalOnlyID = maxNeighborID
+)
+
+// AnnounceTo builds the whitelist community for a neighbor ID.
+func AnnounceTo(platformASN uint32, neighborID uint32) bgp.Community {
+	return bgp.NewCommunity(uint16(platformASN), uint16(neighborID))
+}
+
+// NoExportTo builds the blacklist community for a neighbor ID.
+func NoExportTo(platformASN uint32, neighborID uint32) bgp.Community {
+	return bgp.NewCommunity(uint16(platformASN), uint16(NoExportBase+neighborID))
+}
+
+// Large-community function values (RFC 8092): the platform's large
+// communities are <PlatformASN>:<function>:<neighborID>, usable by
+// platforms whose ASN does not fit the 16-bit regular-community field.
+const (
+	largeFnAnnounceTo = 1
+	largeFnNoExportTo = 2
+)
+
+// LargeAnnounceTo builds the large-community whitelist for a neighbor.
+func LargeAnnounceTo(platformASN, neighborID uint32) bgp.LargeCommunity {
+	return bgp.LargeCommunity{Global: platformASN, Local1: largeFnAnnounceTo, Local2: neighborID}
+}
+
+// LargeNoExportTo builds the large-community blacklist for a neighbor.
+func LargeNoExportTo(platformASN, neighborID uint32) bgp.LargeCommunity {
+	return bgp.LargeCommunity{Global: platformASN, Local1: largeFnNoExportTo, Local2: neighborID}
+}
+
+// targetSet is the parsed export policy of one announcement.
+type targetSet struct {
+	// allow, when non-empty, whitelists neighbor IDs.
+	allow map[uint32]bool
+	// deny blacklists neighbor IDs.
+	deny map[uint32]bool
+}
+
+// parseTargets extracts the control communities addressed to platformASN
+// from comms and returns the export policy along with the remaining
+// (non-control) communities.
+func parseTargets(platformASN uint32, comms []bgp.Community) (targetSet, []bgp.Community) {
+	ts := targetSet{allow: map[uint32]bool{}, deny: map[uint32]bool{}}
+	var rest []bgp.Community
+	for _, c := range comms {
+		if uint32(c.ASN()) != platformASN {
+			rest = append(rest, c)
+			continue
+		}
+		v := uint32(c.Value())
+		switch {
+		case v >= NoExportBase && v <= NoExportBase+maxNeighborID:
+			ts.deny[v-NoExportBase] = true
+		case v > 0:
+			ts.allow[v] = true
+		default:
+			rest = append(rest, c)
+		}
+	}
+	return ts, rest
+}
+
+// parseLargeTargets folds large-community controls (RFC 8092) into an
+// existing target set, returning the remaining non-control large
+// communities.
+func parseLargeTargets(platformASN uint32, ts targetSet, large []bgp.LargeCommunity) (targetSet, []bgp.LargeCommunity) {
+	var rest []bgp.LargeCommunity
+	for _, c := range large {
+		if c.Global != platformASN {
+			rest = append(rest, c)
+			continue
+		}
+		switch c.Local1 {
+		case largeFnAnnounceTo:
+			ts.allow[c.Local2] = true
+		case largeFnNoExportTo:
+			ts.deny[c.Local2] = true
+		default:
+			rest = append(rest, c)
+		}
+	}
+	return ts, rest
+}
+
+// controlCommunities re-encodes the target set as communities, used when
+// relaying an experiment announcement across the backbone so the remote
+// PoP can apply the same export policy.
+func (ts targetSet) controlCommunities(platformASN uint32) []bgp.Community {
+	var out []bgp.Community
+	for id := range ts.allow {
+		out = append(out, AnnounceTo(platformASN, id))
+	}
+	for id := range ts.deny {
+		out = append(out, NoExportTo(platformASN, id))
+	}
+	return out
+}
+
+// includes reports whether the neighbor with the given ID is an export
+// target.
+func (ts targetSet) includes(id uint32) bool {
+	if ts.deny[id] {
+		return false
+	}
+	if len(ts.allow) > 0 {
+		return ts.allow[id]
+	}
+	return true
+}

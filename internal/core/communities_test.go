@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+func TestParseTargetsWhitelistBlacklist(t *testing.T) {
+	comms := []bgp.Community{
+		AnnounceTo(platformASN, 3),
+		NoExportTo(platformASN, 5),
+		bgp.NewCommunity(3356, 70), // foreign: preserved
+	}
+	ts, rest := parseTargets(platformASN, comms)
+	if !ts.allow[3] || !ts.deny[5] {
+		t.Errorf("targets %+v", ts)
+	}
+	if len(rest) != 1 || rest[0] != bgp.NewCommunity(3356, 70) {
+		t.Errorf("rest %v", rest)
+	}
+	if ts.includes(5) {
+		t.Error("denied neighbor included")
+	}
+	if !ts.includes(3) {
+		t.Error("whitelisted neighbor excluded")
+	}
+	if ts.includes(4) {
+		t.Error("non-whitelisted neighbor included despite whitelist")
+	}
+}
+
+func TestParseTargetsEmptyMeansAll(t *testing.T) {
+	ts, _ := parseTargets(platformASN, nil)
+	if !ts.includes(1) || !ts.includes(9998) {
+		t.Error("empty targets should include every neighbor")
+	}
+	// Blacklist-only: everything but the denied.
+	ts2, _ := parseTargets(platformASN, []bgp.Community{NoExportTo(platformASN, 7)})
+	if ts2.includes(7) || !ts2.includes(8) {
+		t.Error("blacklist semantics")
+	}
+}
+
+func TestParseTargetsRoundTrip(t *testing.T) {
+	ts, _ := parseTargets(platformASN, []bgp.Community{
+		AnnounceTo(platformASN, 1), AnnounceTo(platformASN, 2), NoExportTo(platformASN, 3),
+	})
+	re := ts.controlCommunities(platformASN)
+	ts2, rest := parseTargets(platformASN, re)
+	if len(rest) != 0 {
+		t.Errorf("re-encoded controls left a remainder: %v", rest)
+	}
+	for id := uint32(1); id <= 4; id++ {
+		if ts.includes(id) != ts2.includes(id) {
+			t.Errorf("neighbor %d differs after round trip", id)
+		}
+	}
+}
+
+func TestParseLargeTargets(t *testing.T) {
+	ts, _ := parseTargets(platformASN, nil)
+	large := []bgp.LargeCommunity{
+		LargeAnnounceTo(platformASN, 12),
+		LargeNoExportTo(platformASN, 13),
+		{Global: 4200000000, Local1: 1, Local2: 1},   // foreign: preserved
+		{Global: platformASN, Local1: 99, Local2: 1}, // unknown fn: preserved
+	}
+	ts, rest := parseLargeTargets(platformASN, ts, large)
+	if !ts.allow[12] || !ts.deny[13] {
+		t.Errorf("large targets %+v", ts)
+	}
+	if len(rest) != 2 {
+		t.Errorf("rest %v", rest)
+	}
+}
+
+func TestLargeCommunitySteering(t *testing.T) {
+	// End to end: steer with large communities instead of regular ones.
+	f := newFig1(t)
+	x1 := f.connectExperiment(t, "X1", true)
+
+	attrs := &bgp.PathAttrs{
+		Origin: bgp.OriginIGP, HasOrigin: true,
+		ASPath:           []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{expASN}}},
+		NextHop:          ip("100.65.0.1"),
+		LargeCommunities: []bgp.LargeCommunity{LargeAnnounceTo(platformASN, 2)},
+	}
+	u := &bgp.Update{Attrs: attrs, NLRI: []bgp.NLRI{{Prefix: pfx("10.1.0.0/24")}}}
+	if err := x1.sess.Send(u); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "announcement at N2", func() bool {
+		_, ok := f.n2.routes()[bgp.NLRI{Prefix: pfx("10.1.0.0/24")}]
+		return ok
+	})
+	time.Sleep(50 * time.Millisecond)
+	if _, leaked := f.n1.routes()[bgp.NLRI{Prefix: pfx("10.1.0.0/24")}]; leaked {
+		t.Fatal("large-community whitelist leaked to N1")
+	}
+	// The control large community must be stripped on export.
+	lu := f.n2.lastUpdate()
+	for _, lc := range lu.Attrs.LargeCommunities {
+		if lc.Global == platformASN {
+			t.Errorf("control large community %v leaked", lc)
+		}
+	}
+}

@@ -1,0 +1,551 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/policy"
+	"repro/internal/rib"
+)
+
+const arpTimeout = 2 * time.Second
+
+// meshExpFlag marks experiment-route NLRIs on backbone sessions,
+// separating their version IDs from neighbor platform IDs.
+const meshExpFlag bgp.PathID = 1 << 31
+
+// expRouteKey identifies one version of one experiment announcement. An
+// experiment may announce the same prefix several times with different
+// ADD-PATH IDs, each version carrying different attributes and targeting
+// different neighbors (§2.2.2's prepend-to-N1, plain-to-N2 example).
+type expRouteKey struct {
+	prefix netip.Prefix
+	owner  string
+	id     bgp.PathID
+}
+
+// handleNeighborUpdate processes an UPDATE from a local external
+// neighbor: it stores routes in the neighbor's own table with forwarding
+// next hops, mirrors them into the optional default table, re-advertises
+// them to every experiment with the next hop rewritten to the neighbor's
+// LocalIP and the neighbor's ID as the ADD-PATH identifier (§3.2.1,
+// Fig. 2a), and relays them into the backbone mesh with the neighbor's
+// GlobalIP as next hop (§4.4).
+func (r *Router) handleNeighborUpdate(n *Neighbor, u *bgp.Update) {
+	for _, w := range append(append([]bgp.NLRI(nil), u.Withdrawn...), u.MPUnreach...) {
+		if n.Table.Withdraw(w.Prefix, n.Name, w.ID) == nil {
+			continue
+		}
+		if r.defaultTable != nil {
+			r.defaultTable.Withdraw(w.Prefix, n.Name, w.ID)
+		}
+		// Export the surviving best path (route servers hold several
+		// paths per prefix), or a withdrawal if none remains.
+		if best := n.Table.Best(w.Prefix); best != nil {
+			r.exportToExperiments(n, w.Prefix, best.Attrs, false)
+			r.exportToMesh(n, w.Prefix, best.Attrs, false)
+		} else {
+			r.exportToExperiments(n, w.Prefix, nil, true)
+			r.exportToMesh(n, w.Prefix, nil, true)
+		}
+	}
+
+	process := func(nlri bgp.NLRI, attrs *bgp.PathAttrs) {
+		if attrs == nil {
+			return
+		}
+		stored := attrs.Clone()
+		// Forwarding next hop: the neighbor itself for a direct
+		// adjacency; route servers are transparent, so their routes keep
+		// the announcing member's next hop (RFC 7947).
+		if nlri.Prefix.Addr().Is4() && !n.RouteServer {
+			stored.NextHop = n.Addr
+		}
+		p := &rib.Path{
+			Prefix: nlri.Prefix, ID: nlri.ID, Peer: n.Name, Attrs: stored,
+			EBGP: true, Seq: rib.NextSeq(),
+			PeerAddr: n.Addr, PeerRouterID: n.session.RemoteID(),
+		}
+		n.Table.Add(p)
+		if r.defaultTable != nil {
+			dp := *p
+			r.defaultTable.Add(&dp)
+		}
+		if best := n.Table.Best(nlri.Prefix); best != nil {
+			r.exportToExperiments(n, nlri.Prefix, best.Attrs, false)
+			r.exportToMesh(n, nlri.Prefix, best.Attrs, false)
+		}
+	}
+	for _, nlri := range u.NLRI {
+		process(nlri, u.Attrs)
+	}
+	for _, nlri := range u.MPReach {
+		process(nlri, u.Attrs)
+	}
+}
+
+// exportToExperiments sends one route (or withdrawal) from neighbor n to
+// every connected experiment.
+func (r *Router) exportToExperiments(n *Neighbor, prefix netip.Prefix, attrs *bgp.PathAttrs, withdraw bool) {
+	r.mu.Lock()
+	sessions := make([]*bgp.Session, 0, len(r.experiments))
+	for _, e := range r.experiments {
+		sessions = append(sessions, e.session)
+	}
+	r.mu.Unlock()
+	if len(sessions) == 0 {
+		return
+	}
+	u := r.experimentUpdate(n, prefix, attrs, withdraw)
+	for _, s := range sessions {
+		if s.State() == bgp.StateEstablished {
+			if err := s.Send(u); err != nil {
+				r.logf("export to experiment: %v", err)
+			}
+		}
+	}
+}
+
+// experimentUpdate builds the experiment-facing UPDATE for one route of
+// neighbor n: next hop rewritten to the neighbor's local pool address and
+// the neighbor ID carried as the ADD-PATH path ID.
+func (r *Router) experimentUpdate(n *Neighbor, prefix netip.Prefix, attrs *bgp.PathAttrs, withdraw bool) *bgp.Update {
+	nlri := bgp.NLRI{Prefix: prefix, ID: bgp.PathID(n.ID)}
+	v6 := prefix.Addr().Is6()
+	if withdraw {
+		if v6 {
+			return &bgp.Update{Attrs: &bgp.PathAttrs{}, MPUnreach: []bgp.NLRI{nlri}}
+		}
+		return &bgp.Update{Withdrawn: []bgp.NLRI{nlri}}
+	}
+	out := attrs.Clone()
+	if v6 {
+		out.MPNextHop = localIP6(n.GlobalIP)
+		out.NextHop = netip.Addr{}
+		return &bgp.Update{Attrs: out, MPReach: []bgp.NLRI{nlri}}
+	}
+	out.NextHop = n.LocalIP
+	return &bgp.Update{Attrs: out, NLRI: []bgp.NLRI{nlri}}
+}
+
+// localIP6 derives the IPv6 next hop exposed to experiments for a
+// neighbor (the NDP-equivalent of the IPv4 local pool).
+func localIP6(globalIP netip.Addr) netip.Addr {
+	g := globalIP.As4()
+	var raw [16]byte
+	raw[0], raw[1], raw[2], raw[3] = 0xfd, 0x47, 0x00, 0x65
+	copy(raw[12:], g[:])
+	return netip.AddrFrom16(raw)
+}
+
+// exportToMesh relays a locally learned neighbor route to every backbone
+// peer with the neighbor's GlobalIP as next hop and its platform ID as
+// the path ID, so remote PoPs can reconstruct per-neighbor tables
+// (Fig. 5).
+func (r *Router) exportToMesh(n *Neighbor, prefix netip.Prefix, attrs *bgp.PathAttrs, withdraw bool) {
+	r.mu.Lock()
+	peers := make([]*meshPeer, 0, len(r.meshPeers))
+	for _, p := range r.meshPeers {
+		peers = append(peers, p)
+	}
+	r.mu.Unlock()
+	if len(peers) == 0 {
+		return
+	}
+	var u *bgp.Update
+	if withdraw {
+		nlri := bgp.NLRI{Prefix: prefix, ID: bgp.PathID(n.ID)}
+		if prefix.Addr().Is6() {
+			u = &bgp.Update{Attrs: &bgp.PathAttrs{}, MPUnreach: []bgp.NLRI{nlri}}
+		} else {
+			u = &bgp.Update{Withdrawn: []bgp.NLRI{nlri}}
+		}
+	} else {
+		u = r.meshUpdateForNeighborRoute(n, prefix, attrs)
+	}
+	for _, p := range peers {
+		if p.session.State() == bgp.StateEstablished {
+			if err := p.session.Send(u); err != nil {
+				r.logf("mesh export to %s: %v", p.name, err)
+			}
+		}
+	}
+}
+
+// ConnectExperiment attaches an experiment BGP session over conn. The
+// experiment's routes are validated by the enforcement engine; the
+// experiment receives every known route via ADD-PATH once established.
+func (r *Router) ConnectExperiment(name string, expASN uint32, conn net.Conn) (*bgp.Session, error) {
+	e := &expConn{name: name}
+	sess := bgp.NewSession(conn, bgp.Config{
+		LocalASN:  r.cfg.ASN,
+		RemoteASN: expASN,
+		LocalID:   r.cfg.RouterID,
+		Families:  []bgp.AFISAFI{bgp.IPv4Unicast, bgp.IPv6Unicast},
+		AddPath: map[bgp.AFISAFI]uint8{
+			bgp.IPv4Unicast: bgp.AddPathSendReceive,
+			bgp.IPv6Unicast: bgp.AddPathSendReceive,
+		},
+		OnUpdate:       func(u *bgp.Update) { r.handleExperimentUpdate(e, u) },
+		OnEstablished:  func() { r.dumpTablesToExperiment(e) },
+		OnRouteRefresh: func(bgp.AFISAFI) { r.dumpTablesToExperiment(e) },
+		OnClose:        func(err error) { r.experimentDown(e, err) },
+		Logf:           r.cfg.Logf,
+	})
+	e.session = sess
+
+	r.mu.Lock()
+	if _, dup := r.experiments[name]; dup {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("core: experiment %s already connected", name)
+	}
+	e.tunnelIP = r.tunnelIPs[name]
+	r.experiments[name] = e
+	r.mu.Unlock()
+
+	go sess.Run()
+	return sess, nil
+}
+
+// dumpTablesToExperiment replays every neighbor's routes to a newly
+// established experiment session.
+func (r *Router) dumpTablesToExperiment(e *expConn) {
+	r.logf("experiment %s established, dumping tables", e.name)
+	r.mu.Lock()
+	neighbors := make([]*Neighbor, 0, len(r.neighbors))
+	for _, n := range r.neighbors {
+		neighbors = append(neighbors, n)
+	}
+	r.mu.Unlock()
+	for _, n := range neighbors {
+		type entry struct {
+			prefix netip.Prefix
+			attrs  *bgp.PathAttrs
+		}
+		var entries []entry
+		// One route per prefix per neighbor: the decision-process best,
+		// matching what incremental exports deliver (route servers hold
+		// several member paths per prefix).
+		n.Table.WalkBest(func(prefix netip.Prefix, best *rib.Path) bool {
+			entries = append(entries, entry{prefix, best.Attrs})
+			return true
+		})
+		for _, en := range entries {
+			if err := e.session.Send(r.experimentUpdate(n, en.prefix, en.attrs, false)); err != nil {
+				r.logf("table dump to %s: %v", e.name, err)
+				return
+			}
+		}
+	}
+}
+
+// handleExperimentUpdate validates and propagates an experiment's
+// announcements and withdrawals. Each NLRI's ADD-PATH ID names a version
+// of the announcement; versions coexist, letting the experiment send
+// different announcements for the same prefix to different neighbors.
+func (r *Router) handleExperimentUpdate(e *expConn, u *bgp.Update) {
+	for _, w := range append(append([]bgp.NLRI(nil), u.Withdrawn...), u.MPUnreach...) {
+		r.withdrawExperimentRoute(e.name, w.Prefix, w.ID, true)
+	}
+	process := func(nlri bgp.NLRI, attrs *bgp.PathAttrs) {
+		if attrs == nil {
+			return
+		}
+		// Control communities are platform-directed: extract them before
+		// policy evaluation so they do not count against (or get caught
+		// by) the experiment's community capability.
+		targets, rest := parseTargets(r.cfg.ASN, attrs.Communities)
+		targets, restLarge := parseLargeTargets(r.cfg.ASN, targets, attrs.LargeCommunities)
+		cleaned := attrs.Clone()
+		cleaned.Communities = rest
+		cleaned.LargeCommunities = restLarge
+
+		if r.cfg.Enforcer != nil {
+			res := r.cfg.Enforcer.EvaluateAnnouncement(e.name, r.cfg.Name, nlri.Prefix, cleaned)
+			if res.Action == policy.ActionReject {
+				r.logf("rejected announcement %s from %s: %v", nlri.Prefix, e.name, res.Reasons)
+				return
+			}
+			cleaned = res.Attrs
+		}
+
+		if v4 := cleaned.NextHop; v4.IsValid() && v4.Is4() {
+			r.mu.Lock()
+			e.tunnelIP = v4
+			r.mu.Unlock()
+		}
+
+		r.expRoutes.Add(&rib.Path{
+			Prefix: nlri.Prefix, ID: nlri.ID, Peer: e.name, Attrs: cleaned.Clone(),
+			EBGP: true, Seq: rib.NextSeq(),
+		})
+		r.mu.Lock()
+		if r.expTargets == nil {
+			r.expTargets = make(map[expRouteKey]targetSet)
+		}
+		r.expTargets[expRouteKey{nlri.Prefix, e.name, nlri.ID}] = targets
+		r.mu.Unlock()
+
+		r.syncPrefix(nlri.Prefix)
+		r.relayExperimentRouteToMesh(nlri.Prefix, nlri.ID, cleaned, targets, false)
+	}
+	for _, nlri := range u.NLRI {
+		process(nlri, u.Attrs)
+	}
+	for _, nlri := range u.MPReach {
+		process(nlri, u.Attrs)
+	}
+}
+
+// withdrawExperimentRoute removes one version of an experiment's route
+// and re-synchronizes neighbor exports. enforce selects whether the
+// withdrawal consumes policy budget (it does when coming from the
+// experiment itself).
+func (r *Router) withdrawExperimentRoute(owner string, prefix netip.Prefix, id bgp.PathID, enforce bool) {
+	if enforce && r.cfg.Enforcer != nil {
+		res := r.cfg.Enforcer.EvaluateWithdraw(owner, r.cfg.Name, prefix)
+		if res.Action == policy.ActionReject {
+			r.logf("rejected withdraw %s from %s: %v", prefix, owner, res.Reasons)
+			return
+		}
+	}
+	if r.expRoutes.Withdraw(prefix, owner, id) == nil {
+		return
+	}
+	r.mu.Lock()
+	delete(r.expTargets, expRouteKey{prefix, owner, id})
+	r.mu.Unlock()
+	r.syncPrefix(prefix)
+	if !isMeshOwner(owner) {
+		r.relayExperimentRouteToMesh(prefix, id, nil, targetSet{}, true)
+	}
+}
+
+func isMeshOwner(owner string) bool {
+	return len(owner) > 5 && owner[:5] == "mesh:"
+}
+
+// localNeighborsLocked returns local (directly connected) neighbors;
+// r.mu must be held.
+func (r *Router) localNeighborsLocked() []*Neighbor {
+	out := make([]*Neighbor, 0, len(r.neighbors))
+	for _, n := range r.neighbors {
+		if !n.Remote {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// syncPrefix reconciles every local neighbor's export state for one
+// experiment prefix: each neighbor receives the newest announcement
+// version that targets it, or a withdrawal if none does.
+func (r *Router) syncPrefix(prefix netip.Prefix) {
+	paths := r.expRoutes.Paths(prefix)
+	r.mu.Lock()
+	neighbors := r.localNeighborsLocked()
+	targets := make(map[expRouteKey]targetSet, len(r.expTargets))
+	for k, v := range r.expTargets {
+		targets[k] = v
+	}
+	r.mu.Unlock()
+
+	for _, n := range neighbors {
+		var chosen *rib.Path
+		for _, p := range paths {
+			ts, ok := targets[expRouteKey{prefix, p.Peer, p.ID}]
+			if ok && !ts.includes(n.ID) {
+				continue
+			}
+			if chosen == nil || p.Seq > chosen.Seq {
+				chosen = p
+			}
+		}
+		cur := n.AdjOut.Paths(prefix)
+		switch {
+		case chosen == nil && len(cur) > 0:
+			r.sendExperimentWithdrawToNeighbor(n, prefix)
+		case chosen != nil:
+			// Skip if this exact version was already exported.
+			if len(cur) == 1 && cur[0].Peer == chosen.Peer && cur[0].ID == chosen.ID && cur[0].Seq == chosen.Seq {
+				continue
+			}
+			r.sendExperimentRouteToNeighbor(n, chosen)
+		}
+	}
+}
+
+// sendExperimentRouteToNeighbor exports one experiment route version on a
+// neighbor session: control communities are stripped, the platform ASN
+// is prepended, and the next hop becomes the router's own address on the
+// neighbor's segment.
+func (r *Router) sendExperimentRouteToNeighbor(n *Neighbor, chosen *rib.Path) {
+	prefix := chosen.Prefix
+	out := chosen.Attrs.Clone()
+	ts, rest := parseTargets(r.cfg.ASN, out.Communities)
+	_, restLarge := parseLargeTargets(r.cfg.ASN, ts, out.LargeCommunities)
+	out.Communities = rest
+	out.LargeCommunities = restLarge
+	out.PrependAS(r.cfg.ASN, 1)
+	v6 := prefix.Addr().Is6()
+	var u *bgp.Update
+	if v6 {
+		out.NextHop = netip.Addr{}
+		if n.ifc != nil {
+			out.MPNextHop = bbAddr6(n.ifc.PrimaryAddr())
+		}
+		u = &bgp.Update{Attrs: out, MPReach: []bgp.NLRI{{Prefix: prefix}}}
+	} else {
+		if n.ifc != nil {
+			out.NextHop = n.ifc.PrimaryAddr()
+		}
+		u = &bgp.Update{Attrs: out, NLRI: []bgp.NLRI{{Prefix: prefix}}}
+	}
+	// Track the exported version regardless of session state so
+	// replayExperimentRoutes can recover after establishment.
+	for _, p := range n.AdjOut.Paths(prefix) {
+		n.AdjOut.Withdraw(prefix, p.Peer, p.ID)
+	}
+	n.AdjOut.Add(&rib.Path{Prefix: prefix, ID: chosen.ID, Peer: chosen.Peer, Attrs: out, Seq: chosen.Seq})
+	if n.session == nil || n.session.State() != bgp.StateEstablished {
+		return
+	}
+	if err := n.session.Send(u); err != nil {
+		r.logf("export %s to neighbor %s: %v", prefix, n.Name, err)
+	}
+}
+
+// sendExperimentWithdrawToNeighbor withdraws the prefix from a neighbor.
+func (r *Router) sendExperimentWithdrawToNeighbor(n *Neighbor, prefix netip.Prefix) {
+	for _, p := range n.AdjOut.Paths(prefix) {
+		n.AdjOut.Withdraw(prefix, p.Peer, p.ID)
+	}
+	if n.session == nil || n.session.State() != bgp.StateEstablished {
+		return
+	}
+	var u *bgp.Update
+	if prefix.Addr().Is6() {
+		u = &bgp.Update{Attrs: &bgp.PathAttrs{}, MPUnreach: []bgp.NLRI{{Prefix: prefix}}}
+	} else {
+		u = &bgp.Update{Withdrawn: []bgp.NLRI{{Prefix: prefix}}}
+	}
+	if err := n.session.Send(u); err != nil {
+		r.logf("withdraw %s from neighbor %s: %v", prefix, n.Name, err)
+	}
+}
+
+// replayExperimentRoutes exports existing experiment announcements to a
+// neighbor whose session just established.
+func (r *Router) replayExperimentRoutes(n *Neighbor) {
+	var prefixes []netip.Prefix
+	r.expRoutes.Walk(func(prefix netip.Prefix, _ []*rib.Path) bool {
+		prefixes = append(prefixes, prefix)
+		return true
+	})
+	for _, prefix := range prefixes {
+		// Force a resend by clearing the tracked export state.
+		for _, p := range n.AdjOut.Paths(prefix) {
+			n.AdjOut.Withdraw(prefix, p.Peer, p.ID)
+		}
+		r.syncPrefix(prefix)
+	}
+}
+
+// relayExperimentRouteToMesh forwards an experiment announcement to
+// every backbone peer so remote PoPs can export it to their neighbors
+// (§4.4) and route inbound traffic back here. The target set is
+// re-encoded as control communities; the next hop is this router's
+// backbone address; the version ID is carried with the meshExpFlag bit.
+func (r *Router) relayExperimentRouteToMesh(prefix netip.Prefix, id bgp.PathID, attrs *bgp.PathAttrs, targets targetSet, withdraw bool) {
+	r.mu.Lock()
+	peers := make([]*meshPeer, 0, len(r.meshPeers))
+	for _, p := range r.meshPeers {
+		peers = append(peers, p)
+	}
+	bb := r.bbIfc
+	r.mu.Unlock()
+	if len(peers) == 0 || bb == nil {
+		return
+	}
+	nlri := bgp.NLRI{Prefix: prefix, ID: id | meshExpFlag}
+	var u *bgp.Update
+	if withdraw {
+		if prefix.Addr().Is6() {
+			u = &bgp.Update{Attrs: &bgp.PathAttrs{}, MPUnreach: []bgp.NLRI{nlri}}
+		} else {
+			u = &bgp.Update{Withdrawn: []bgp.NLRI{nlri}}
+		}
+	} else {
+		out := attrs.Clone()
+		out.Communities = append(out.Communities, targets.controlCommunities(r.cfg.ASN)...)
+		if prefix.Addr().Is6() {
+			out.MPNextHop = bbAddr6(bb.PrimaryAddr())
+			out.NextHop = netip.Addr{}
+			u = &bgp.Update{Attrs: out, MPReach: []bgp.NLRI{nlri}}
+		} else {
+			out.NextHop = bb.PrimaryAddr()
+			u = &bgp.Update{Attrs: out, NLRI: []bgp.NLRI{nlri}}
+		}
+	}
+	for _, p := range peers {
+		if p.session.State() == bgp.StateEstablished {
+			if err := p.session.Send(u); err != nil {
+				r.logf("mesh relay to %s: %v", p.name, err)
+			}
+		}
+	}
+}
+
+// bbAddr6 maps a backbone IPv4 address into the v6 relay space.
+func bbAddr6(v4 netip.Addr) netip.Addr {
+	raw4 := v4.As4()
+	var raw [16]byte
+	raw[0], raw[1], raw[2], raw[3] = 0xfd, 0x47, 0x00, 0xbb
+	copy(raw[12:], raw4[:])
+	return netip.AddrFrom16(raw)
+}
+
+// experimentDown withdraws everything a disconnected experiment
+// announced.
+func (r *Router) experimentDown(e *expConn, err error) {
+	r.logf("experiment %s disconnected: %v", e.name, err)
+	r.mu.Lock()
+	delete(r.experiments, e.name)
+	r.mu.Unlock()
+	type ver struct {
+		prefix netip.Prefix
+		id     bgp.PathID
+	}
+	var vers []ver
+	r.expRoutes.Walk(func(prefix netip.Prefix, paths []*rib.Path) bool {
+		for _, p := range paths {
+			if p.Peer == e.name {
+				vers = append(vers, ver{prefix, p.ID})
+			}
+		}
+		return true
+	})
+	for _, v := range vers {
+		r.withdrawExperimentRoute(e.name, v.prefix, v.id, false)
+	}
+}
+
+// neighborDown withdraws a disconnected neighbor's routes from
+// experiments and the mesh.
+func (r *Router) neighborDown(n *Neighbor, err error) {
+	r.logf("neighbor %s down: %v", n.Name, err)
+	removed := n.Table.WithdrawPeer(n.Name)
+	for _, p := range removed {
+		if r.defaultTable != nil {
+			r.defaultTable.Withdraw(p.Prefix, n.Name, 0)
+		}
+		r.exportToExperiments(n, p.Prefix, nil, true)
+		r.exportToMesh(n, p.Prefix, nil, true)
+	}
+	r.mu.Lock()
+	delete(r.byRealMAC, n.realMAC)
+	r.mu.Unlock()
+}

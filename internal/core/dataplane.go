@@ -1,0 +1,257 @@
+package core
+
+import (
+	"net/netip"
+
+	"repro/internal/bgp"
+	"repro/internal/ethernet"
+	"repro/internal/netsim"
+	"repro/internal/rib"
+)
+
+// handleFrame is the router's data plane (paper §3.2.2, Fig. 2b). The
+// destination MAC of each frame selects the forwarding behavior:
+//
+//   - a per-neighbor MAC (assigned by this router or, thanks to the
+//     derived-MAC scheme, by any router on the backbone) selects that
+//     neighbor's routing table: the experiment chose this route;
+//   - the interface's own MAC means inbound traffic for an experiment
+//     prefix, forwarded toward the announcing experiment with the source
+//     MAC rewritten to identify the delivering neighbor.
+func (r *Router) handleFrame(ifc *netsim.Interface, frame *ethernet.Frame) {
+	if frame.Type != ethernet.TypeIPv4 {
+		return
+	}
+	var ip ethernet.IPv4
+	if ip.DecodeFromBytes(frame.Payload) != nil {
+		return
+	}
+
+	r.mu.Lock()
+	n := r.byLocalMAC[frame.Dst]
+	r.mu.Unlock()
+
+	if n != nil {
+		r.forwardViaNeighbor(ifc, frame, &ip, n)
+		return
+	}
+	if frame.Dst == ifc.MAC() {
+		r.forwardInbound(ifc, frame, &ip)
+	}
+}
+
+// forwardViaNeighbor enacts the experiment's per-packet route selection:
+// look up the destination in the chosen neighbor's table and forward via
+// that neighbor (locally, or across the backbone for a remote neighbor).
+func (r *Router) forwardViaNeighbor(in *netsim.Interface, frame *ethernet.Frame, ip *ethernet.IPv4, n *Neighbor) {
+	path := n.Table.Lookup(ip.Dst)
+	if path == nil {
+		r.DroppedNoRoute.Add(1)
+		return
+	}
+	if ip.TTL <= 1 {
+		r.TTLExpired.Add(1)
+		r.sendTimeExceeded(in, ip)
+		return
+	}
+	fwd := *ip
+	fwd.TTL--
+	fwd.Payload = append([]byte(nil), ip.Payload...)
+
+	if n.Remote {
+		// Fig. 5: resolve the remote external neighbor's GlobalIP on the
+		// backbone; the owning router answers with the derived MAC and
+		// repeats the lookup in its own per-neighbor table.
+		r.mu.Lock()
+		bb := r.bbIfc
+		r.mu.Unlock()
+		if bb == nil {
+			r.DroppedNoRoute.Add(1)
+			return
+		}
+		nh := path.NextHop()
+		dstMAC, err := bb.Resolve(bb.PrimaryAddr(), nh, arpTimeout)
+		if err != nil {
+			r.DroppedNoMAC.Add(1)
+			return
+		}
+		r.Forwarded.Add(1)
+		bb.Send(&ethernet.Frame{
+			Dst: dstMAC, Src: frame.Src, Type: ethernet.TypeIPv4, Payload: fwd.Marshal(),
+		})
+		return
+	}
+
+	// Direct neighbors forward to the neighbor itself; route-server
+	// tables preserve each member's next hop, so the lookup decides.
+	nh := path.NextHop()
+	if !nh.IsValid() {
+		nh = n.Addr
+	}
+	dstMAC := n.realMAC
+	if dstMAC.IsZero() || nh != n.Addr {
+		var err error
+		dstMAC, err = n.ifc.Resolve(n.ifc.PrimaryAddr(), nh, arpTimeout)
+		if err != nil {
+			r.DroppedNoMAC.Add(1)
+			return
+		}
+		if nh == n.Addr {
+			r.mu.Lock()
+			n.realMAC = dstMAC
+			r.byRealMAC[dstMAC] = n
+			r.mu.Unlock()
+		}
+	}
+	r.Forwarded.Add(1)
+	n.ifc.Send(&ethernet.Frame{
+		Dst: dstMAC, Src: n.ifc.MAC(), Type: ethernet.TypeIPv4, Payload: fwd.Marshal(),
+	})
+}
+
+// forwardInbound delivers traffic destined to experiment prefixes:
+// locally connected experiments get the frame on the experiment LAN with
+// the source MAC rewritten to the delivering neighbor's assigned MAC;
+// prefixes announced at other PoPs are forwarded across the backbone.
+func (r *Router) forwardInbound(in *netsim.Interface, frame *ethernet.Frame, ip *ethernet.IPv4) {
+	path := r.expRoutes.Lookup(ip.Dst)
+	if path == nil {
+		// Traffic for an experiment's tunnel address (hosted services,
+		// probe replies) is delivered even without an announcement —
+		// including addresses registered ahead of the BGP session.
+		r.mu.Lock()
+		var owner string
+		for name, e := range r.experiments {
+			if e.tunnelIP == ip.Dst {
+				owner = name
+				break
+			}
+		}
+		if owner == "" {
+			for name, addr := range r.tunnelIPs {
+				if addr == ip.Dst {
+					owner = name
+					break
+				}
+			}
+		}
+		r.mu.Unlock()
+		if owner == "" {
+			r.DroppedNoRoute.Add(1)
+			return
+		}
+		path = &rib.Path{Peer: owner, Attrs: &bgp.PathAttrs{NextHop: ip.Dst}}
+	}
+	if ip.TTL <= 1 {
+		r.TTLExpired.Add(1)
+		r.sendTimeExceeded(in, ip)
+		return
+	}
+	fwd := *ip
+	fwd.TTL--
+	fwd.Payload = append([]byte(nil), ip.Payload...)
+
+	srcMAC := r.attributionMAC(frame.Src)
+
+	if isMeshOwner(path.Peer) {
+		r.mu.Lock()
+		bb := r.bbIfc
+		r.mu.Unlock()
+		if bb == nil {
+			r.DroppedNoRoute.Add(1)
+			return
+		}
+		dstMAC, err := bb.Resolve(bb.PrimaryAddr(), path.NextHop(), arpTimeout)
+		if err != nil {
+			r.DroppedNoMAC.Add(1)
+			return
+		}
+		r.Forwarded.Add(1)
+		bb.Send(&ethernet.Frame{Dst: dstMAC, Src: srcMAC, Type: ethernet.TypeIPv4, Payload: fwd.Marshal()})
+		return
+	}
+
+	r.mu.Lock()
+	expIfc := r.expIfc
+	var tunnelIP netip.Addr
+	if e := r.experiments[path.Peer]; e != nil {
+		tunnelIP = e.tunnelIP
+	} else {
+		tunnelIP = r.tunnelIPs[path.Peer]
+	}
+	r.mu.Unlock()
+	if expIfc == nil {
+		r.DroppedNoRoute.Add(1)
+		return
+	}
+	if !tunnelIP.IsValid() {
+		tunnelIP = path.NextHop() // fall back to the announced next hop
+	}
+	if !tunnelIP.IsValid() {
+		r.DroppedNoMAC.Add(1)
+		return
+	}
+	dstMAC, err := expIfc.Resolve(expIfc.PrimaryAddr(), tunnelIP, arpTimeout)
+	if err != nil {
+		r.DroppedNoMAC.Add(1)
+		return
+	}
+	if srcMAC.IsZero() {
+		srcMAC = expIfc.MAC()
+	}
+	r.Forwarded.Add(1)
+	expIfc.Send(&ethernet.Frame{Dst: dstMAC, Src: srcMAC, Type: ethernet.TypeIPv4, Payload: fwd.Marshal()})
+}
+
+// sendTimeExceeded emits an ICMP time-exceeded for an expired packet,
+// sourced from the ingress interface's PRIMARY address — the kernel
+// behavior Peering's network controller preserves so traceroutes show
+// the intended hop identity (§5).
+func (r *Router) sendTimeExceeded(in *netsim.Interface, ip *ethernet.IPv4) {
+	src := in.PrimaryAddr()
+	if !src.IsValid() || !ip.Src.IsValid() {
+		return
+	}
+	orig := ip.Marshal()
+	if len(orig) > ethernet.IPv4HeaderLen+8 {
+		orig = orig[:ethernet.IPv4HeaderLen+8]
+	}
+	exceeded := ethernet.ICMP{Type: ethernet.ICMPTimeExceed, Data: orig}
+	reply := ethernet.IPv4{TTL: 64, Protocol: ethernet.ProtoICMP,
+		Src: src, Dst: ip.Src, Payload: exceeded.Marshal()}
+	// Route the error back the way inbound experiment traffic goes.
+	var fr ethernet.Frame
+	fr.Type = ethernet.TypeIPv4
+	fr.Payload = reply.Marshal()
+	fr.Dst = in.MAC() // loop through the inbound path locally
+	r.forwardInbound(in, &fr, &reply)
+}
+
+// attributionMAC maps the frame's source to the per-neighbor MAC
+// experiments use to identify the delivering neighbor. A frame from a
+// local neighbor matches its real MAC; a frame relayed over the backbone
+// already carries a derived per-neighbor MAC, which is preserved.
+func (r *Router) attributionMAC(src ethernet.MAC) ethernet.MAC {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n, ok := r.byRealMAC[src]; ok {
+		return n.LocalMAC
+	}
+	if _, ok := r.byLocalMAC[src]; ok {
+		return src // already attributed by another PoP
+	}
+	if src[0] == 0x02 && src[1] == 0x7f {
+		return src // derived per-neighbor MAC from a PoP we haven't met
+	}
+	return ethernet.MAC{}
+}
+
+// LookupVia returns the route neighbor n would use for dst — the lookup
+// the data plane performs per packet — for tests and diagnostics.
+func (r *Router) LookupVia(neighborName string, dst netip.Addr) *rib.Path {
+	n := r.Neighbor(neighborName)
+	if n == nil {
+		return nil
+	}
+	return n.Table.Lookup(dst)
+}

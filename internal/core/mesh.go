@@ -1,0 +1,341 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+
+	"repro/internal/bgp"
+	"repro/internal/rib"
+)
+
+// AddBackbonePeer connects this router to another vBGP router over the
+// backbone with an iBGP-style session (same ASN, ADD-PATH in both
+// directions). remoteAddr is the peer router's backbone address, used as
+// the next hop for experiment routes relayed from that PoP.
+func (r *Router) AddBackbonePeer(name string, remoteAddr netip.Addr, conn net.Conn) error {
+	r.mu.Lock()
+	if _, dup := r.meshPeers[name]; dup {
+		r.mu.Unlock()
+		return fmt.Errorf("core: duplicate backbone peer %s", name)
+	}
+	p := &meshPeer{name: name, addr: remoteAddr}
+	r.meshPeers[name] = p
+	r.mu.Unlock()
+
+	sess := bgp.NewSession(conn, bgp.Config{
+		LocalASN:  r.cfg.ASN,
+		RemoteASN: r.cfg.ASN,
+		LocalID:   r.cfg.RouterID,
+		Families:  []bgp.AFISAFI{bgp.IPv4Unicast, bgp.IPv6Unicast},
+		AddPath: map[bgp.AFISAFI]uint8{
+			bgp.IPv4Unicast: bgp.AddPathSendReceive,
+			bgp.IPv6Unicast: bgp.AddPathSendReceive,
+		},
+		OnUpdate:      func(u *bgp.Update) { r.handleMeshUpdate(p, u) },
+		OnEstablished: func() { r.dumpToMeshPeer(p) },
+		OnClose:       func(err error) { r.meshPeerDown(p, err) },
+		Logf:          r.cfg.Logf,
+	})
+	p.session = sess
+	go sess.Run()
+	return nil
+}
+
+// dumpToMeshPeer replays local state to a newly established backbone
+// peer: every local neighbor's routes (next hop GlobalIP, path ID = the
+// neighbor's platform ID) and every local experiment announcement.
+func (r *Router) dumpToMeshPeer(p *meshPeer) {
+	r.logf("backbone peer %s established", p.name)
+	r.mu.Lock()
+	neighbors := r.localNeighborsLocked()
+	targets := make(map[expRouteKey]targetSet, len(r.expTargets))
+	for k, v := range r.expTargets {
+		targets[k] = v
+	}
+	r.mu.Unlock()
+
+	for _, n := range neighbors {
+		type entry struct {
+			prefix netip.Prefix
+			attrs  *bgp.PathAttrs
+		}
+		var entries []entry
+		n.Table.Walk(func(prefix netip.Prefix, paths []*rib.Path) bool {
+			for _, pt := range paths {
+				entries = append(entries, entry{prefix, pt.Attrs})
+			}
+			return true
+		})
+		for _, en := range entries {
+			u := r.meshUpdateForNeighborRoute(n, en.prefix, en.attrs)
+			if err := p.session.Send(u); err != nil {
+				r.logf("mesh dump to %s: %v", p.name, err)
+				return
+			}
+		}
+	}
+
+	// Local experiment routes.
+	type expEntry struct {
+		prefix netip.Prefix
+		owner  string
+		id     bgp.PathID
+		attrs  *bgp.PathAttrs
+	}
+	var expEntries []expEntry
+	r.expRoutes.Walk(func(prefix netip.Prefix, paths []*rib.Path) bool {
+		for _, pt := range paths {
+			if !isMeshOwner(pt.Peer) {
+				expEntries = append(expEntries, expEntry{prefix, pt.Peer, pt.ID, pt.Attrs})
+			}
+		}
+		return true
+	})
+	r.mu.Lock()
+	bb := r.bbIfc
+	lan := r.expLANPrefix
+	r.mu.Unlock()
+	if bb == nil {
+		return
+	}
+	// Relay the experiment-LAN prefix so tunnel-address traffic (probe
+	// replies, hosted services) arriving at other PoPs routes back here.
+	// Whitelisting the reserved internal-only pseudo-neighbor keeps it
+	// off the Internet.
+	if lan.IsValid() {
+		out := &bgp.PathAttrs{
+			Origin: bgp.OriginIGP, HasOrigin: true,
+			ASPath:      []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{r.cfg.ASN}}},
+			NextHop:     bb.PrimaryAddr(),
+			Communities: []bgp.Community{AnnounceTo(r.cfg.ASN, internalOnlyID)},
+		}
+		u := &bgp.Update{Attrs: out, NLRI: []bgp.NLRI{{Prefix: lan, ID: meshExpFlag}}}
+		if err := p.session.Send(u); err != nil {
+			r.logf("mesh lan relay to %s: %v", p.name, err)
+			return
+		}
+	}
+	for _, en := range expEntries {
+		out := en.attrs.Clone()
+		ts := targets[expRouteKey{en.prefix, en.owner, en.id}]
+		out.Communities = append(out.Communities, ts.controlCommunities(r.cfg.ASN)...)
+		nlri := bgp.NLRI{Prefix: en.prefix, ID: en.id | meshExpFlag}
+		var u *bgp.Update
+		if en.prefix.Addr().Is6() {
+			out.MPNextHop = bbAddr6(bb.PrimaryAddr())
+			out.NextHop = netip.Addr{}
+			u = &bgp.Update{Attrs: out, MPReach: []bgp.NLRI{nlri}}
+		} else {
+			out.NextHop = bb.PrimaryAddr()
+			u = &bgp.Update{Attrs: out, NLRI: []bgp.NLRI{nlri}}
+		}
+		if err := p.session.Send(u); err != nil {
+			r.logf("mesh dump to %s: %v", p.name, err)
+			return
+		}
+	}
+}
+
+func (r *Router) meshUpdateForNeighborRoute(n *Neighbor, prefix netip.Prefix, attrs *bgp.PathAttrs) *bgp.Update {
+	nlri := bgp.NLRI{Prefix: prefix, ID: bgp.PathID(n.ID)}
+	out := attrs.Clone()
+	if prefix.Addr().Is6() {
+		out.MPNextHop = localIP6(n.GlobalIP)
+		out.NextHop = netip.Addr{}
+		return &bgp.Update{Attrs: out, MPReach: []bgp.NLRI{nlri}}
+	}
+	out.NextHop = n.GlobalIP
+	return &bgp.Update{Attrs: out, NLRI: []bgp.NLRI{nlri}}
+}
+
+// handleMeshUpdate processes routes from another PoP. Routes whose next
+// hop is in the platform's global pool describe a remote PoP's external
+// neighbor: the router materializes a remote Neighbor (local pool IP,
+// derived MAC, own table) and re-exports the route to its experiments —
+// the hop-by-hop rewrite of §4.4. Other routes are experiment
+// announcements relayed for export through this PoP's neighbors.
+func (r *Router) handleMeshUpdate(p *meshPeer, u *bgp.Update) {
+	for _, w := range u.Withdrawn {
+		r.withdrawMeshRoute(p, w)
+	}
+	for _, w := range u.MPUnreach {
+		r.withdrawMeshRoute(p, w)
+	}
+	process := func(nlri bgp.NLRI, attrs *bgp.PathAttrs, v6 bool) {
+		if attrs == nil {
+			return
+		}
+		nh := attrs.NextHop
+		if v6 {
+			// v6 relays carry the identity in the mapped suffix.
+			nh = v6Embedded(attrs.MPNextHop)
+		}
+		if nlri.ID&meshExpFlag == 0 && r.globalPool.Contains(nh) {
+			r.handleRemoteNeighborRoute(p, nlri, attrs, nh)
+			return
+		}
+		r.handleRelayedExperimentRoute(p, nlri, attrs, nh)
+	}
+	for _, nlri := range u.NLRI {
+		process(nlri, u.Attrs, false)
+	}
+	for _, nlri := range u.MPReach {
+		process(nlri, u.Attrs, true)
+	}
+}
+
+// v6Embedded recovers the v4 identity embedded in a relay v6 next hop.
+func v6Embedded(a netip.Addr) netip.Addr {
+	if !a.IsValid() || !a.Is6() {
+		return netip.Addr{}
+	}
+	raw := a.As16()
+	return netip.AddrFrom4([4]byte(raw[12:16]))
+}
+
+// handleRemoteNeighborRoute stores a route from a remote PoP's external
+// neighbor and exports it to local experiments.
+func (r *Router) handleRemoteNeighborRoute(p *meshPeer, nlri bgp.NLRI, attrs *bgp.PathAttrs, globalIP netip.Addr) {
+	n, err := r.remoteNeighbor(globalIP, uint32(nlri.ID), attrs.FirstASN())
+	if err != nil {
+		r.logf("remote neighbor for %s: %v", globalIP, err)
+		return
+	}
+	stored := attrs.Clone()
+	if nlri.Prefix.Addr().Is4() {
+		stored.NextHop = globalIP // forwarding next hop across the backbone
+	}
+	n.Table.Add(&rib.Path{
+		Prefix: nlri.Prefix, Peer: n.Name, Attrs: stored,
+		EBGP: true, Seq: rib.NextSeq(), PeerAddr: globalIP,
+	})
+	if r.defaultTable != nil {
+		r.defaultTable.Add(&rib.Path{
+			Prefix: nlri.Prefix, Peer: n.Name, Attrs: stored.Clone(),
+			Seq: rib.NextSeq(), PeerAddr: globalIP,
+		})
+	}
+	r.exportToExperiments(n, nlri.Prefix, attrs, false)
+}
+
+// remoteNeighbor finds or creates the remote-neighbor entry for a global
+// pool address.
+func (r *Router) remoteNeighbor(globalIP netip.Addr, id uint32, asn uint32) (*Neighbor, error) {
+	name := "remote:" + globalIP.String()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n, ok := r.neighbors[name]; ok {
+		return n, nil
+	}
+	localIP, err := r.localPool.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	n := &Neighbor{
+		Name: name, ID: id, ASN: asn, Remote: true,
+		LocalIP: localIP, GlobalIP: globalIP, LocalMAC: MACForGlobalIP(globalIP),
+		Table:  rib.NewTable(r.cfg.Name + ":adj-in:" + name),
+		AdjOut: rib.NewTable(r.cfg.Name + ":adj-out:" + name),
+	}
+	r.neighbors[name] = n
+	r.byLocalMAC[n.LocalMAC] = n
+	if r.expIfc != nil {
+		r.expIfc.AddMAC(n.LocalMAC)
+	}
+	return n, nil
+}
+
+// handleRelayedExperimentRoute exports an experiment route announced at
+// another PoP through this PoP's neighbors, honoring the control
+// communities, and records it for inbound forwarding across the
+// backbone.
+func (r *Router) handleRelayedExperimentRoute(p *meshPeer, nlri bgp.NLRI, attrs *bgp.PathAttrs, remoteBB netip.Addr) {
+	owner := "mesh:" + p.name
+	id := nlri.ID &^ meshExpFlag
+	targets, rest := parseTargets(r.cfg.ASN, attrs.Communities)
+	cleaned := attrs.Clone()
+	cleaned.Communities = rest
+	if nlri.Prefix.Addr().Is4() {
+		cleaned.NextHop = remoteBB
+	}
+	r.expRoutes.Add(&rib.Path{
+		Prefix: nlri.Prefix, ID: id, Peer: owner, Attrs: cleaned, Seq: rib.NextSeq(),
+	})
+	r.mu.Lock()
+	if r.expTargets == nil {
+		r.expTargets = make(map[expRouteKey]targetSet)
+	}
+	r.expTargets[expRouteKey{nlri.Prefix, owner, id}] = targets
+	r.mu.Unlock()
+	r.syncPrefix(nlri.Prefix)
+}
+
+// withdrawMeshRoute handles a withdrawal from a backbone peer.
+func (r *Router) withdrawMeshRoute(p *meshPeer, w bgp.NLRI) {
+	if w.ID&meshExpFlag != 0 {
+		// Experiment route version withdrawn at its home PoP.
+		r.withdrawExperimentRoute("mesh:"+p.name, w.Prefix, w.ID&^meshExpFlag, false)
+		return
+	}
+	// Remote-neighbor withdrawal: the path ID names the neighbor.
+	if w.ID != 0 {
+		r.mu.Lock()
+		var n *Neighbor
+		for _, cand := range r.neighbors {
+			if cand.Remote && cand.ID == uint32(w.ID) {
+				n = cand
+				break
+			}
+		}
+		r.mu.Unlock()
+		if n != nil && n.Table.Withdraw(w.Prefix, n.Name, 0) != nil {
+			if r.defaultTable != nil {
+				r.defaultTable.Withdraw(w.Prefix, n.Name, 0)
+			}
+			r.exportToExperiments(n, w.Prefix, nil, true)
+		}
+		return
+	}
+	// Experiment route withdrawal relayed without a version ID.
+	r.withdrawExperimentRoute("mesh:"+p.name, w.Prefix, 0, false)
+}
+
+// meshPeerDown drops everything learned from a backbone peer.
+func (r *Router) meshPeerDown(p *meshPeer, err error) {
+	r.logf("backbone peer %s down: %v", p.name, err)
+	r.mu.Lock()
+	delete(r.meshPeers, p.name)
+	var remotes []*Neighbor
+	for _, n := range r.neighbors {
+		if n.Remote {
+			remotes = append(remotes, n)
+		}
+	}
+	r.mu.Unlock()
+	// Without per-peer ownership of remote neighbors we withdraw all
+	// remote tables; peers still up will re-announce (route refresh).
+	for _, n := range remotes {
+		removed := n.Table.WithdrawPeer(n.Name)
+		for _, pt := range removed {
+			r.exportToExperiments(n, pt.Prefix, nil, true)
+		}
+	}
+	owner := "mesh:" + p.name
+	var prefixes []netip.Prefix
+	r.expRoutes.Walk(func(prefix netip.Prefix, paths []*rib.Path) bool {
+		for _, pt := range paths {
+			if pt.Peer == owner {
+				prefixes = append(prefixes, prefix)
+			}
+		}
+		return true
+	})
+	for _, prefix := range prefixes {
+		for _, pt := range r.expRoutes.Paths(prefix) {
+			if pt.Peer == owner {
+				r.withdrawExperimentRoute(owner, prefix, pt.ID, false)
+			}
+		}
+	}
+}

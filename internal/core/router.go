@@ -1,0 +1,528 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bgp"
+	"repro/internal/bpf"
+	"repro/internal/ethernet"
+	"repro/internal/netsim"
+	"repro/internal/policy"
+	"repro/internal/rib"
+)
+
+// Config configures a vBGP router (one Peering PoP).
+type Config struct {
+	// Name is the PoP name, e.g. "amsix".
+	Name string
+	// ASN is the platform's AS number.
+	ASN uint32
+	// RouterID is the BGP identifier.
+	RouterID netip.Addr
+	// LocalPool is the per-router next-hop pool exposed to experiments.
+	// Defaults to 127.65.0.0/16.
+	LocalPool netip.Prefix
+	// GlobalPool is the platform-wide external-neighbor pool, shared by
+	// every router on the backbone. Required for backbone operation;
+	// a private pool is created when nil.
+	GlobalPool *Pool
+	// Enforcer is the control-plane enforcement engine applied to
+	// experiment announcements. Nil disables enforcement (used only by
+	// the accept-all baseline in the Fig. 6b benchmark).
+	Enforcer *policy.Engine
+	// MaintainDefaultTable additionally maintains a best-path Loc-RIB,
+	// the overhead a router serving production traffic would pay; vBGP
+	// does not need it because experiments pick their own routes. This
+	// is the third curve of Fig. 6a.
+	MaintainDefaultTable bool
+	// Logf, when set, receives router event logs.
+	Logf func(format string, args ...any)
+}
+
+// Neighbor is one BGP adjacency of the router: a directly connected
+// external network (local), or an external neighbor of another PoP
+// reachable over the backbone (remote).
+type Neighbor struct {
+	// Name identifies the neighbor ("AMS-IX-RS1", "remote:127.127.0.9").
+	Name string
+	// ID is the neighbor's platform-wide identifier, used as the
+	// ADD-PATH path ID on experiment sessions and as the value of the
+	// announcement-control communities.
+	ID uint32
+	// ASN is the neighbor's AS number.
+	ASN uint32
+	// Addr is the neighbor's interface address (local neighbors).
+	Addr netip.Addr
+	// Remote marks neighbors of other PoPs learned over the backbone.
+	Remote bool
+	// RouteServer marks transparent route-server sessions (RFC 7947):
+	// relayed routes keep each member's next hop and arrive with
+	// per-member ADD-PATH IDs, so the neighbor's table holds many paths
+	// per prefix.
+	RouteServer bool
+
+	// LocalIP is the address from the router's local pool that
+	// experiments use as this neighbor's next hop.
+	LocalIP netip.Addr
+	// LocalMAC is the MAC the LocalIP resolves to. It is derived from
+	// GlobalIP, so the same neighbor has the same MAC at every PoP and
+	// source-MAC attribution survives backbone forwarding.
+	LocalMAC ethernet.MAC
+	// GlobalIP is the neighbor's platform-wide pool address (Fig. 5).
+	GlobalIP netip.Addr
+
+	// Table holds the routes learned from this neighbor. Path next hops
+	// are forwarding next hops: Addr for local neighbors, the remote
+	// external neighbor's GlobalIP for remote ones.
+	Table *rib.Table
+	// AdjOut holds experiment announcements exported to this neighbor.
+	AdjOut *rib.Table
+
+	ifc     *netsim.Interface // attachment of local neighbors
+	session *bgp.Session      // nil for remote neighbors
+	realMAC ethernet.MAC      // local neighbor's resolved MAC
+}
+
+// expConn is one connected experiment.
+type expConn struct {
+	name    string
+	session *bgp.Session
+	// tunnelIP is the experiment's address on the experiment LAN,
+	// learned from its announcements' next hop.
+	tunnelIP netip.Addr
+}
+
+// meshPeer is a backbone session to another vBGP router.
+type meshPeer struct {
+	name    string
+	session *bgp.Session
+	// addr is the remote router's backbone address.
+	addr netip.Addr
+}
+
+// Router is a vBGP instance.
+type Router struct {
+	cfg        Config
+	localPool  *Pool
+	globalPool *Pool
+
+	mu           sync.Mutex
+	ifcs         map[string]*netsim.Interface
+	expIfc       *netsim.Interface
+	expLANPrefix netip.Prefix
+	bbIfc        *netsim.Interface
+	neighbors    map[string]*Neighbor
+	byLocalMAC   map[ethernet.MAC]*Neighbor
+	byGlobalIP   map[netip.Addr]*Neighbor // local neighbors, for backbone ARP
+	byRealMAC    map[ethernet.MAC]*Neighbor
+	experiments  map[string]*expConn
+	meshPeers    map[string]*meshPeer
+	// expTargets records each experiment announcement's export policy.
+	expTargets map[expRouteKey]targetSet
+	// tunnelIPs records experiment tunnel addresses registered before
+	// the BGP session connects.
+	tunnelIPs map[string]netip.Addr
+
+	// expRoutes maps experiment prefixes to the connected experiment (or
+	// the backbone peer fronting it) for inbound forwarding.
+	expRoutes *rib.Table
+	// defaultTable is the optional router-managed best-path table.
+	defaultTable *rib.Table
+
+	// Data plane counters.
+	Forwarded      atomic.Uint64
+	DroppedNoMAC   atomic.Uint64
+	DroppedNoRoute atomic.Uint64
+	TTLExpired     atomic.Uint64
+}
+
+// NewRouter creates a vBGP router.
+func NewRouter(cfg Config) *Router {
+	if !cfg.LocalPool.IsValid() {
+		cfg.LocalPool = DefaultLocalPool
+	}
+	gp := cfg.GlobalPool
+	if gp == nil {
+		gp = NewPool(DefaultGlobalPool)
+	}
+	r := &Router{
+		cfg:         cfg,
+		localPool:   NewPool(cfg.LocalPool),
+		globalPool:  gp,
+		ifcs:        make(map[string]*netsim.Interface),
+		neighbors:   make(map[string]*Neighbor),
+		byLocalMAC:  make(map[ethernet.MAC]*Neighbor),
+		byGlobalIP:  make(map[netip.Addr]*Neighbor),
+		byRealMAC:   make(map[ethernet.MAC]*Neighbor),
+		experiments: make(map[string]*expConn),
+		meshPeers:   make(map[string]*meshPeer),
+		tunnelIPs:   make(map[string]netip.Addr),
+		expRoutes:   rib.NewTable(cfg.Name + ":exp-routes"),
+	}
+	if cfg.MaintainDefaultTable {
+		r.defaultTable = rib.NewTable(cfg.Name + ":default")
+	}
+	return r
+}
+
+// Name returns the router's PoP name.
+func (r *Router) Name() string { return r.cfg.Name }
+
+// ASN returns the platform AS number.
+func (r *Router) ASN() uint32 { return r.cfg.ASN }
+
+func (r *Router) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf("["+r.cfg.Name+"] "+format, args...)
+	}
+}
+
+// MACForGlobalIP derives the platform-wide per-neighbor MAC from the
+// neighbor's global pool address. Deriving rather than allocating makes
+// the MAC identical at every PoP, so per-packet attribution (source-MAC
+// rewriting, §3.2.2) and backbone next-hop resolution (§4.4) compose.
+func MACForGlobalIP(gip netip.Addr) ethernet.MAC {
+	raw := gip.As4()
+	return ethernet.MAC{0x02, 0x7f, raw[0], raw[1], raw[2], raw[3]}
+}
+
+// AddInterface creates a router interface named name with the given
+// address, attached to seg. The role selects the interface's duty:
+// "experiment" (faces experiment tunnels), "backbone", or "neighbor".
+func (r *Router) AddInterface(name, role string, addr netip.Prefix, seg *netsim.Segment) *netsim.Interface {
+	mac := deriveIfcMAC(r.cfg.Name, name)
+	ifc := netsim.NewInterface(r.cfg.Name+":"+name, mac)
+	ifc.AddAddr(addr.Addr())
+	ifc.SetHandler(r.handleFrame)
+	switch role {
+	case "experiment":
+		ifc.SetARPResponder(r.answerExperimentARP)
+	case "backbone":
+		ifc.SetARPResponder(r.answerBackboneARP)
+	}
+	ifc.Attach(seg)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ifcs[name] = ifc
+	switch role {
+	case "experiment":
+		r.expIfc = ifc
+		r.expLANPrefix = addr.Masked()
+	case "backbone":
+		r.bbIfc = ifc
+	}
+	return ifc
+}
+
+// deriveIfcMAC builds a stable unicast MAC from the router and interface
+// names.
+func deriveIfcMAC(router, ifc string) ethernet.MAC {
+	h := fnv64(router + "/" + ifc)
+	var m ethernet.MAC
+	m[0] = 0x02
+	m[1] = 0x10
+	binary.BigEndian.PutUint32(m[2:], uint32(h))
+	return m
+}
+
+func fnv64(s string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// Interface returns the named router interface, or nil.
+func (r *Router) Interface(name string) *netsim.Interface {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ifcs[name]
+}
+
+// answerExperimentARP implements the proxy-ARP of Fig. 2b: requests for a
+// neighbor's LocalIP are answered with the neighbor's LocalMAC.
+func (r *Router) answerExperimentARP(target netip.Addr) (ethernet.MAC, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, n := range r.neighbors {
+		if n.LocalIP == target {
+			return n.LocalMAC, true
+		}
+	}
+	return ethernet.MAC{}, false
+}
+
+// answerBackboneARP implements Fig. 5: requests for the GlobalIP of one
+// of this router's local neighbors are answered with the neighbor's MAC,
+// steering backbone frames for that neighbor to this router.
+func (r *Router) answerBackboneARP(target netip.Addr) (ethernet.MAC, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n, ok := r.byGlobalIP[target]; ok {
+		return n.LocalMAC, true
+	}
+	return ethernet.MAC{}, false
+}
+
+// NeighborConfig configures one external BGP adjacency.
+type NeighborConfig struct {
+	// Name identifies the neighbor.
+	Name string
+	// ID is the neighbor's platform-wide identifier (community value and
+	// experiment-session path ID). Must be unique across the platform
+	// and nonzero.
+	ID uint32
+	// ASN is the neighbor's AS number. Zero accepts any (route server
+	// sessions relay many origin ASes, but the session ASN is still the
+	// route server's; use the server's ASN here).
+	ASN uint32
+	// Addr is the neighbor's address on the shared segment.
+	Addr netip.Addr
+	// Interface names the router interface the neighbor is reached
+	// through.
+	Interface string
+	// Conn is the BGP transport to the neighbor.
+	Conn net.Conn
+	// RouteServer negotiates ADD-PATH reception for a transparent
+	// route-server session.
+	RouteServer bool
+}
+
+// AddNeighbor registers a local external neighbor and starts its BGP
+// session. The returned Neighbor is live once the session establishes.
+func (r *Router) AddNeighbor(cfg NeighborConfig) (*Neighbor, error) {
+	if cfg.ID == 0 {
+		return nil, fmt.Errorf("core: neighbor %s needs a nonzero platform ID", cfg.Name)
+	}
+	r.mu.Lock()
+	if _, dup := r.neighbors[cfg.Name]; dup {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("core: duplicate neighbor %s", cfg.Name)
+	}
+	ifc := r.ifcs[cfg.Interface]
+	if ifc == nil {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("core: unknown interface %s", cfg.Interface)
+	}
+	localIP, err := r.localPool.Alloc()
+	if err != nil {
+		r.mu.Unlock()
+		return nil, err
+	}
+	globalIP, err := r.globalPool.Alloc()
+	if err != nil {
+		r.mu.Unlock()
+		return nil, err
+	}
+	n := &Neighbor{
+		Name: cfg.Name, ID: cfg.ID, ASN: cfg.ASN, Addr: cfg.Addr,
+		RouteServer: cfg.RouteServer,
+		LocalIP:     localIP, GlobalIP: globalIP, LocalMAC: MACForGlobalIP(globalIP),
+		Table:  rib.NewTable(r.cfg.Name + ":adj-in:" + cfg.Name),
+		AdjOut: rib.NewTable(r.cfg.Name + ":adj-out:" + cfg.Name),
+		ifc:    ifc,
+	}
+	r.neighbors[cfg.Name] = n
+	r.byLocalMAC[n.LocalMAC] = n
+	r.byGlobalIP[globalIP] = n
+	// Frames for the neighbor's MAC arrive on the experiment LAN and the
+	// backbone; accept them there.
+	if r.expIfc != nil {
+		r.expIfc.AddMAC(n.LocalMAC)
+	}
+	if r.bbIfc != nil {
+		r.bbIfc.AddMAC(n.LocalMAC)
+	}
+	r.mu.Unlock()
+
+	scfg := bgp.Config{
+		LocalASN:  r.cfg.ASN,
+		RemoteASN: cfg.ASN,
+		LocalID:   r.cfg.RouterID,
+		Families:  []bgp.AFISAFI{bgp.IPv4Unicast, bgp.IPv6Unicast},
+		OnUpdate:  func(u *bgp.Update) { r.handleNeighborUpdate(n, u) },
+		OnEstablished: func() {
+			r.logf("neighbor %s established", n.Name)
+			r.resolveNeighborMAC(n)
+			r.replayExperimentRoutes(n)
+		},
+		OnClose: func(err error) { r.neighborDown(n, err) },
+		Logf:    r.cfg.Logf,
+	}
+	if cfg.RouteServer {
+		scfg.AddPath = map[bgp.AFISAFI]uint8{
+			bgp.IPv4Unicast: bgp.AddPathReceive,
+			bgp.IPv6Unicast: bgp.AddPathReceive,
+		}
+	}
+	sess := bgp.NewSession(cfg.Conn, scfg)
+	n.session = sess
+	go sess.Run()
+	return n, nil
+}
+
+// resolveNeighborMAC learns the neighbor's real MAC so inbound frames can
+// be attributed to it (source-MAC rewriting, §3.2.2).
+func (r *Router) resolveNeighborMAC(n *Neighbor) {
+	if n.ifc == nil || !n.Addr.IsValid() {
+		return
+	}
+	mac, err := n.ifc.Resolve(n.ifc.PrimaryAddr(), n.Addr, arpTimeout)
+	if err != nil {
+		r.logf("ARP for neighbor %s (%s): %v", n.Name, n.Addr, err)
+		return
+	}
+	r.mu.Lock()
+	n.realMAC = mac
+	r.byRealMAC[mac] = n
+	r.mu.Unlock()
+}
+
+// SetNeighborRateLimit polices traffic the router forwards via one
+// neighbor to at most pps packets per window of 2^windowShift
+// nanoseconds, using a BPF program on the neighbor's egress interface —
+// the per-neighbor rate limiting the paper's data-plane enforcement
+// supports (§3.3). It returns the program so callers can inspect stats.
+func (r *Router) SetNeighborRateLimit(name string, pps uint64, windowShift uint) (*bpf.Program, error) {
+	n := r.Neighbor(name)
+	if n == nil || n.ifc == nil {
+		return nil, fmt.Errorf("core: no local neighbor %s", name)
+	}
+	prog, _, err := bpf.RateLimiter("rate-"+name, pps, windowShift)
+	if err != nil {
+		return nil, err
+	}
+	mac := n.realMAC
+	nbr := n
+	n.ifc.AddEgressFilter(netsim.FilterFunc(func(data []byte) netsim.Verdict {
+		var fr ethernet.Frame
+		if fr.DecodeFromBytes(data) != nil || fr.Type != ethernet.TypeIPv4 {
+			return netsim.VerdictPass
+		}
+		// Only police frames actually destined to this neighbor (the
+		// interface may be shared, e.g. an IXP fabric).
+		_ = mac
+		if fr.Dst != nbr.realMAC && !nbr.realMAC.IsZero() {
+			return netsim.VerdictPass
+		}
+		if prog.Run(data) == bpf.VerdictPass {
+			return netsim.VerdictPass
+		}
+		return netsim.VerdictDrop
+	}))
+	return prog, nil
+}
+
+// Neighbor returns the named neighbor, or nil.
+func (r *Router) Neighbor(name string) *Neighbor {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.neighbors[name]
+}
+
+// Neighbors returns all neighbors (local and remote).
+func (r *Router) Neighbors() []*Neighbor {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Neighbor, 0, len(r.neighbors))
+	for _, n := range r.neighbors {
+		out = append(out, n)
+	}
+	return out
+}
+
+// RouteCount returns the total number of paths across all neighbor
+// tables (the quantity Fig. 6a plots memory against).
+func (r *Router) RouteCount() int {
+	r.mu.Lock()
+	neighbors := make([]*Neighbor, 0, len(r.neighbors))
+	for _, n := range r.neighbors {
+		neighbors = append(neighbors, n)
+	}
+	r.mu.Unlock()
+	total := 0
+	for _, n := range neighbors {
+		total += n.Table.PathCount()
+	}
+	return total
+}
+
+// SetExperimentTunnelIP registers an experiment's tunnel address so the
+// data plane can deliver traffic addressed to it (experiments may host
+// services reachable on the tunnel IP, §4.6) even before the experiment
+// announces prefixes.
+func (r *Router) SetExperimentTunnelIP(name string, ip netip.Addr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tunnelIPs[name] = ip
+	if e := r.experiments[name]; e != nil {
+		e.tunnelIP = ip
+	}
+}
+
+// ExperimentRoutes exposes the experiment-prefix table (tests and the
+// peering facade).
+func (r *Router) ExperimentRoutes() *rib.Table { return r.expRoutes }
+
+// DefaultTable returns the router-managed best-path table, or nil when
+// MaintainDefaultTable is off.
+func (r *Router) DefaultTable() *rib.Table { return r.defaultTable }
+
+// InjectRoute installs a route into a neighbor's table directly, without
+// a BGP session — the deployment variant §7.2 describes ("a centralized
+// controller decides which routes to use and injects them into tables at
+// routers", the design vBGP inspired at Facebook). The data plane's
+// per-packet MAC signaling then selects among injected routes exactly as
+// it does among learned ones. The injected route is also exported to
+// experiments.
+func (r *Router) InjectRoute(neighborName string, prefix netip.Prefix, attrs *bgp.PathAttrs) error {
+	n := r.Neighbor(neighborName)
+	if n == nil {
+		return fmt.Errorf("core: no neighbor %s", neighborName)
+	}
+	stored := attrs.Clone()
+	if prefix.Addr().Is4() && !n.RouteServer && n.Addr.IsValid() {
+		stored.NextHop = n.Addr
+	}
+	n.Table.Add(&rib.Path{
+		Prefix: prefix, Peer: n.Name, Attrs: stored,
+		EBGP: true, Seq: rib.NextSeq(), PeerAddr: n.Addr,
+	})
+	if r.defaultTable != nil {
+		r.defaultTable.Add(&rib.Path{Prefix: prefix, Peer: n.Name, Attrs: stored.Clone(), Seq: rib.NextSeq()})
+	}
+	r.exportToExperiments(n, prefix, stored, false)
+	r.exportToMesh(n, prefix, stored, false)
+	return nil
+}
+
+// RemoveInjectedRoute withdraws a controller-injected route.
+func (r *Router) RemoveInjectedRoute(neighborName string, prefix netip.Prefix) error {
+	n := r.Neighbor(neighborName)
+	if n == nil {
+		return fmt.Errorf("core: no neighbor %s", neighborName)
+	}
+	if n.Table.Withdraw(prefix, n.Name, 0) == nil {
+		return fmt.Errorf("core: no injected route for %s via %s", prefix, neighborName)
+	}
+	if r.defaultTable != nil {
+		r.defaultTable.Withdraw(prefix, n.Name, 0)
+	}
+	if best := n.Table.Best(prefix); best != nil {
+		r.exportToExperiments(n, prefix, best.Attrs, false)
+		r.exportToMesh(n, prefix, best.Attrs, false)
+	} else {
+		r.exportToExperiments(n, prefix, nil, true)
+		r.exportToMesh(n, prefix, nil, true)
+	}
+	return nil
+}

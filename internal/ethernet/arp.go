@@ -1,0 +1,108 @@
+package ethernet
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// ARPOp is the ARP operation code.
+type ARPOp uint16
+
+// ARP operations.
+const (
+	ARPRequest ARPOp = 1
+	ARPReply   ARPOp = 2
+)
+
+// String returns "request" or "reply".
+func (op ARPOp) String() string {
+	switch op {
+	case ARPRequest:
+		return "request"
+	case ARPReply:
+		return "reply"
+	default:
+		return fmt.Sprintf("ARPOp(%d)", uint16(op))
+	}
+}
+
+// arpLen is the wire length of an Ethernet/IPv4 ARP packet.
+const arpLen = 28
+
+// ARP is an Ethernet/IPv4 ARP packet (RFC 826). vBGP answers ARP queries
+// for its per-neighbor next-hop IPs with the per-neighbor MAC it allocated
+// (paper §3.2.2, Fig. 2b steps 6-7).
+type ARP struct {
+	Op        ARPOp
+	SenderMAC MAC
+	SenderIP  netip.Addr // must be IPv4
+	TargetMAC MAC
+	TargetIP  netip.Addr // must be IPv4
+}
+
+// DecodeFromBytes parses an ARP packet. Only Ethernet/IPv4 ARP
+// (htype=1, ptype=0x0800, hlen=6, plen=4) is accepted.
+func (a *ARP) DecodeFromBytes(data []byte) error {
+	if len(data) < arpLen {
+		return fmt.Errorf("%w: ARP needs %d bytes, have %d", ErrTruncated, arpLen, len(data))
+	}
+	htype := uint16(data[0])<<8 | uint16(data[1])
+	ptype := EtherType(uint16(data[2])<<8 | uint16(data[3]))
+	hlen, plen := data[4], data[5]
+	if htype != 1 || ptype != TypeIPv4 || hlen != 6 || plen != 4 {
+		return fmt.Errorf("ethernet: unsupported ARP htype=%d ptype=%s hlen=%d plen=%d", htype, ptype, hlen, plen)
+	}
+	a.Op = ARPOp(uint16(data[6])<<8 | uint16(data[7]))
+	copy(a.SenderMAC[:], data[8:14])
+	a.SenderIP = netip.AddrFrom4([4]byte(data[14:18]))
+	copy(a.TargetMAC[:], data[18:24])
+	a.TargetIP = netip.AddrFrom4([4]byte(data[24:28]))
+	return nil
+}
+
+// AppendTo appends the wire representation of the ARP packet to b.
+// It panics if either IP address is not IPv4.
+func (a ARP) AppendTo(b []byte) []byte {
+	sip, tip := a.SenderIP.As4(), a.TargetIP.As4()
+	b = append(b,
+		0, 1, // htype: Ethernet
+		byte(TypeIPv4>>8), byte(TypeIPv4&0xff), // ptype: IPv4
+		6, 4, // hlen, plen
+		byte(a.Op>>8), byte(a.Op),
+	)
+	b = append(b, a.SenderMAC[:]...)
+	b = append(b, sip[:]...)
+	b = append(b, a.TargetMAC[:]...)
+	return append(b, tip[:]...)
+}
+
+// Marshal returns the wire representation in a fresh slice.
+func (a ARP) Marshal() []byte { return a.AppendTo(make([]byte, 0, arpLen)) }
+
+// Frame wraps the ARP packet in an Ethernet frame from src. Requests are
+// broadcast; replies are unicast to the target MAC.
+func (a ARP) Frame(src MAC) Frame {
+	dst := Broadcast
+	if a.Op == ARPReply {
+		dst = a.TargetMAC
+	}
+	return Frame{Dst: dst, Src: src, Type: TypeARP, Payload: a.Marshal()}
+}
+
+// NewARPRequest builds an ARP request asking who has target, from the
+// given sender.
+func NewARPRequest(senderMAC MAC, senderIP, target netip.Addr) ARP {
+	return ARP{Op: ARPRequest, SenderMAC: senderMAC, SenderIP: senderIP, TargetIP: target}
+}
+
+// Reply builds the reply to request a, answering that answerMAC holds the
+// requested IP.
+func (a ARP) Reply(answerMAC MAC) ARP {
+	return ARP{
+		Op:        ARPReply,
+		SenderMAC: answerMAC,
+		SenderIP:  a.TargetIP,
+		TargetMAC: a.SenderMAC,
+		TargetIP:  a.SenderIP,
+	}
+}

@@ -1,0 +1,54 @@
+package ethernet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ICMP message types used by the simulator.
+const (
+	ICMPEchoReply   = 0
+	ICMPEchoRequest = 8
+	ICMPTimeExceed  = 11
+)
+
+// ICMP is a minimal ICMPv4 message: echo request/reply and time exceeded.
+// Data carries the echo payload, or the embedded datagram for errors.
+type ICMP struct {
+	Type uint8
+	Code uint8
+	ID   uint16 // echo only
+	Seq  uint16 // echo only
+	Data []byte
+}
+
+// icmpHeaderLen is the fixed ICMP header length.
+const icmpHeaderLen = 8
+
+// DecodeFromBytes parses an ICMP message and verifies its checksum.
+func (m *ICMP) DecodeFromBytes(data []byte) error {
+	if len(data) < icmpHeaderLen {
+		return fmt.Errorf("%w: ICMP needs %d bytes, have %d", ErrTruncated, icmpHeaderLen, len(data))
+	}
+	if Checksum(data) != 0 {
+		return fmt.Errorf("ethernet: ICMP checksum mismatch")
+	}
+	m.Type = data[0]
+	m.Code = data[1]
+	m.ID = binary.BigEndian.Uint16(data[4:6])
+	m.Seq = binary.BigEndian.Uint16(data[6:8])
+	m.Data = data[icmpHeaderLen:]
+	return nil
+}
+
+// Marshal returns the wire representation with a valid checksum.
+func (m ICMP) Marshal() []byte {
+	b := make([]byte, icmpHeaderLen, icmpHeaderLen+len(m.Data))
+	b[0], b[1] = m.Type, m.Code
+	binary.BigEndian.PutUint16(b[4:6], m.ID)
+	binary.BigEndian.PutUint16(b[6:8], m.Seq)
+	b = append(b, m.Data...)
+	cs := Checksum(b)
+	binary.BigEndian.PutUint16(b[2:4], cs)
+	return b
+}

@@ -1,0 +1,107 @@
+package ethernet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// IPv4HeaderLen is the length of an IPv4 header without options.
+const IPv4HeaderLen = 20
+
+// IP protocol numbers used by the simulator.
+const (
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+)
+
+// IPv4 is an IPv4 header (RFC 791) without options. Payload aliases the
+// decoded buffer.
+type IPv4 struct {
+	TOS      uint8
+	ID       uint16
+	Flags    uint8 // upper 3 bits of the flags/fragment field
+	FragOff  uint16
+	TTL      uint8
+	Protocol uint8
+	Src      netip.Addr
+	Dst      netip.Addr
+	Payload  []byte
+}
+
+// DecodeFromBytes parses an IPv4 header. Options are skipped; the header
+// checksum is verified.
+func (ip *IPv4) DecodeFromBytes(data []byte) error {
+	if len(data) < IPv4HeaderLen {
+		return fmt.Errorf("%w: IPv4 header needs %d bytes, have %d", ErrTruncated, IPv4HeaderLen, len(data))
+	}
+	if v := data[0] >> 4; v != 4 {
+		return fmt.Errorf("ethernet: IPv4 version field is %d", v)
+	}
+	ihl := int(data[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(data) < ihl {
+		return fmt.Errorf("%w: IPv4 IHL %d exceeds buffer %d", ErrTruncated, ihl, len(data))
+	}
+	if Checksum(data[:ihl]) != 0 {
+		return fmt.Errorf("ethernet: IPv4 header checksum mismatch")
+	}
+	total := int(binary.BigEndian.Uint16(data[2:4]))
+	if total < ihl || total > len(data) {
+		return fmt.Errorf("%w: IPv4 total length %d, buffer %d", ErrTruncated, total, len(data))
+	}
+	ip.TOS = data[1]
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	flagsFrag := binary.BigEndian.Uint16(data[6:8])
+	ip.Flags = uint8(flagsFrag >> 13)
+	ip.FragOff = flagsFrag & 0x1fff
+	ip.TTL = data[8]
+	ip.Protocol = data[9]
+	ip.Src = netip.AddrFrom4([4]byte(data[12:16]))
+	ip.Dst = netip.AddrFrom4([4]byte(data[16:20]))
+	ip.Payload = data[ihl:total]
+	return nil
+}
+
+// AppendTo appends the wire representation (header + payload) to b,
+// computing total length and checksum. It panics if Src or Dst is not IPv4.
+func (ip *IPv4) AppendTo(b []byte) []byte {
+	start := len(b)
+	total := IPv4HeaderLen + len(ip.Payload)
+	src, dst := ip.Src.As4(), ip.Dst.As4()
+	b = append(b,
+		0x45, ip.TOS,
+		byte(total>>8), byte(total),
+		byte(ip.ID>>8), byte(ip.ID),
+		ip.Flags<<5|byte(ip.FragOff>>8), byte(ip.FragOff),
+		ip.TTL, ip.Protocol,
+		0, 0, // checksum placeholder
+	)
+	b = append(b, src[:]...)
+	b = append(b, dst[:]...)
+	cs := Checksum(b[start : start+IPv4HeaderLen])
+	binary.BigEndian.PutUint16(b[start+10:start+12], cs)
+	return append(b, ip.Payload...)
+}
+
+// Marshal returns the wire representation in a fresh slice.
+func (ip *IPv4) Marshal() []byte {
+	return ip.AppendTo(make([]byte, 0, IPv4HeaderLen+len(ip.Payload)))
+}
+
+// Checksum computes the RFC 1071 Internet checksum of data. Verifying a
+// header including its checksum field yields zero.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	for len(data) >= 2 {
+		sum += uint32(data[0])<<8 | uint32(data[1])
+		data = data[2:]
+	}
+	if len(data) == 1 {
+		sum += uint32(data[0]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum>>16 + sum&0xffff
+	}
+	return ^uint16(sum)
+}

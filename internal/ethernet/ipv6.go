@@ -1,0 +1,65 @@
+package ethernet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// IPv6HeaderLen is the fixed IPv6 header length.
+const IPv6HeaderLen = 40
+
+// IPv6 is an IPv6 fixed header (RFC 8200). Extension headers are treated
+// as payload. Payload aliases the decoded buffer.
+type IPv6 struct {
+	TrafficClass uint8
+	FlowLabel    uint32 // 20 bits
+	NextHeader   uint8
+	HopLimit     uint8
+	Src          netip.Addr
+	Dst          netip.Addr
+	Payload      []byte
+}
+
+// DecodeFromBytes parses the fixed IPv6 header.
+func (ip *IPv6) DecodeFromBytes(data []byte) error {
+	if len(data) < IPv6HeaderLen {
+		return fmt.Errorf("%w: IPv6 header needs %d bytes, have %d", ErrTruncated, IPv6HeaderLen, len(data))
+	}
+	vtf := binary.BigEndian.Uint32(data[0:4])
+	if v := vtf >> 28; v != 6 {
+		return fmt.Errorf("ethernet: IPv6 version field is %d", v)
+	}
+	ip.TrafficClass = uint8(vtf >> 20)
+	ip.FlowLabel = vtf & 0xfffff
+	plen := int(binary.BigEndian.Uint16(data[4:6]))
+	ip.NextHeader = data[6]
+	ip.HopLimit = data[7]
+	ip.Src = netip.AddrFrom16([16]byte(data[8:24]))
+	ip.Dst = netip.AddrFrom16([16]byte(data[24:40]))
+	if IPv6HeaderLen+plen > len(data) {
+		return fmt.Errorf("%w: IPv6 payload length %d, buffer %d", ErrTruncated, plen, len(data)-IPv6HeaderLen)
+	}
+	ip.Payload = data[IPv6HeaderLen : IPv6HeaderLen+plen]
+	return nil
+}
+
+// AppendTo appends the wire representation (header + payload) to b. It
+// panics if Src or Dst is not IPv6.
+func (ip *IPv6) AppendTo(b []byte) []byte {
+	vtf := uint32(6)<<28 | uint32(ip.TrafficClass)<<20 | ip.FlowLabel&0xfffff
+	src, dst := ip.Src.As16(), ip.Dst.As16()
+	b = append(b,
+		byte(vtf>>24), byte(vtf>>16), byte(vtf>>8), byte(vtf),
+		byte(len(ip.Payload)>>8), byte(len(ip.Payload)),
+		ip.NextHeader, ip.HopLimit,
+	)
+	b = append(b, src[:]...)
+	b = append(b, dst[:]...)
+	return append(b, ip.Payload...)
+}
+
+// Marshal returns the wire representation in a fresh slice.
+func (ip *IPv6) Marshal() []byte {
+	return ip.AppendTo(make([]byte, 0, IPv6HeaderLen+len(ip.Payload)))
+}

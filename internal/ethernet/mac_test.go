@@ -1,0 +1,134 @@
+package ethernet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseMACRoundTrip(t *testing.T) {
+	cases := []string{
+		"00:00:00:00:00:00",
+		"ff:ff:ff:ff:ff:ff",
+		"02:00:5e:10:00:01",
+		"aa:bb:cc:dd:ee:ff",
+	}
+	for _, s := range cases {
+		m, err := ParseMAC(s)
+		if err != nil {
+			t.Fatalf("ParseMAC(%q): %v", s, err)
+		}
+		if got := m.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestParseMACUppercase(t *testing.T) {
+	m, err := ParseMAC("AA:BB:CC:DD:EE:FF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != (MAC{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}) {
+		t.Errorf("got %v", m)
+	}
+}
+
+func TestParseMACErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"00:00:00:00:00",      // too short
+		"00:00:00:00:00:0",    // too short
+		"00:00:00:00:00:00:0", // too long
+		"00-00-00-00-00-00",   // wrong separator
+		"0g:00:00:00:00:00",   // bad hex
+		"zz:zz:zz:zz:zz:zz",
+	}
+	for _, s := range bad {
+		if _, err := ParseMAC(s); err == nil {
+			t.Errorf("ParseMAC(%q): want error", s)
+		}
+	}
+}
+
+func TestMACStringParseProperty(t *testing.T) {
+	f := func(m MAC) bool {
+		parsed, err := ParseMAC(m.String())
+		return err == nil && parsed == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMACPredicates(t *testing.T) {
+	if !Broadcast.IsBroadcast() || !Broadcast.IsMulticast() {
+		t.Error("broadcast predicates")
+	}
+	if !Zero.IsZero() {
+		t.Error("zero predicate")
+	}
+	u := MAC{0x02, 0, 0, 0, 0, 1}
+	if u.IsBroadcast() || u.IsMulticast() || u.IsZero() {
+		t.Errorf("%v misclassified", u)
+	}
+	mc := MAC{0x01, 0x00, 0x5e, 0, 0, 1}
+	if !mc.IsMulticast() || mc.IsBroadcast() {
+		t.Errorf("%v misclassified", mc)
+	}
+}
+
+func TestMustParseMACPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseMAC on bad input did not panic")
+		}
+	}()
+	MustParseMAC("not a mac")
+}
+
+func TestMACAllocatorUnique(t *testing.T) {
+	a := NewMACAllocator(7)
+	seen := make(map[MAC]bool)
+	for i := 0; i < 10000; i++ {
+		m := a.Next()
+		if seen[m] {
+			t.Fatalf("duplicate MAC %v at iteration %d", m, i)
+		}
+		seen[m] = true
+		if m.IsMulticast() {
+			t.Fatalf("allocated multicast MAC %v", m)
+		}
+		if m[0]&0x02 == 0 {
+			t.Fatalf("allocated MAC %v without locally-administered bit", m)
+		}
+	}
+}
+
+func TestMACAllocatorScopesDisjoint(t *testing.T) {
+	a, b := NewMACAllocator(1), NewMACAllocator(2)
+	am, bm := a.Next(), b.Next()
+	if am == bm {
+		t.Errorf("allocators with different scopes collided: %v", am)
+	}
+}
+
+func TestMACAllocatorConcurrent(t *testing.T) {
+	a := NewMACAllocator(3)
+	const goroutines, per = 8, 500
+	ch := make(chan MAC, goroutines*per)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			for i := 0; i < per; i++ {
+				ch <- a.Next()
+			}
+		}()
+	}
+	seen := make(map[MAC]bool)
+	for i := 0; i < goroutines*per; i++ {
+		m := <-ch
+		if seen[m] {
+			t.Fatalf("duplicate MAC %v under concurrency", m)
+		}
+		seen[m] = true
+	}
+}

@@ -1,0 +1,13 @@
+package eval
+
+import (
+	"net"
+
+	"repro/internal/pipe"
+)
+
+// connPair returns both ends of an in-memory transport.
+func connPair() (net.Conn, net.Conn) {
+	a, b := pipe.New()
+	return a, b
+}

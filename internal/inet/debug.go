@@ -1,0 +1,147 @@
+package inet
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+)
+
+// SetImportFilter installs an import filter at an AS: routes for which
+// the filter returns false are rejected on import. Networks use such
+// filters to stop route leaks and hijacks, and stale or misconfigured
+// filters are exactly what breaks global reachability of Peering
+// announcements (Appendix A: "improperly configured or out-of-date
+// filters in other networks").
+func (t *Topology) SetImportFilter(asn uint32, filter func(prefix netip.Prefix, path []uint32) bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a := t.ases[asn]
+	if a == nil {
+		return fmt.Errorf("inet: unknown AS %d", asn)
+	}
+	a.importFilter = filter
+	return nil
+}
+
+// BlockPrefixAt installs the common misconfiguration: AS asn silently
+// drops all routes for prefix (e.g. a stale bogon or max-length filter).
+func (t *Topology) BlockPrefixAt(asn uint32, prefix netip.Prefix) error {
+	prefix = prefix.Masked()
+	return t.SetImportFilter(asn, func(p netip.Prefix, _ []uint32) bool {
+		return p != prefix
+	})
+}
+
+// LookingGlass renders an AS's routes for a prefix the way a public
+// looking glass would: the chosen path, or nothing. The paper's central
+// debugging frustration (Appendix A) is that looking glasses only show
+// *presence*: when A has a route and its neighbor B does not, they
+// cannot disambiguate "A did not export" from "B filtered".
+func (t *Topology) LookingGlass(asn uint32, prefix netip.Prefix) string {
+	rt := t.RouteAt(asn, prefix)
+	if rt == nil {
+		return fmt.Sprintf("AS%d> show route %s\n  network not in table", asn, prefix)
+	}
+	return fmt.Sprintf("AS%d> show route %s\n  *> %s  path %v  (%s)",
+		asn, prefix, rt.Prefix, rt.Path, rt.LearnedOver)
+}
+
+// PropagationGap is one suspicious edge found by Diagnose: from has the
+// route and was expected to export it to to, but to never accepted it.
+type PropagationGap struct {
+	From, To uint32
+	// Reason distinguishes "filtered at To" (an import filter dropped
+	// it — the case looking glasses cannot identify) from "not
+	// preferred at To" (To has a different route it prefers).
+	Reason string
+}
+
+// String formats the gap as one report line.
+func (g PropagationGap) String() string {
+	return fmt.Sprintf("AS%d -> AS%d: %s", g.From, g.To, g.Reason)
+}
+
+// Diagnose walks every AS adjacency and reports where propagation of
+// prefix stopped even though export rules said it should flow — the
+// automated filter-troubleshooting the paper lists as future work
+// (Appendix A: "we plan to evaluate methods for automated filter
+// troubleshooting"). With ground truth unavailable on the real
+// Internet, the tool exists here to reproduce the *workflow*: find the
+// edge, then the reason.
+func (t *Topology) Diagnose(prefix netip.Prefix) []PropagationGap {
+	prefix = prefix.Masked()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var gaps []PropagationGap
+	for _, src := range t.ases {
+		route := src.routes[prefix]
+		if route == nil {
+			continue
+		}
+		neighbors := make([]uint32, 0, len(src.Customers)+len(src.Peers)+len(src.Providers))
+		neighbors = append(neighbors, src.Customers...)
+		neighbors = append(neighbors, src.Peers...)
+		neighbors = append(neighbors, src.Providers...)
+		for _, nbr := range neighbors {
+			dst := t.ases[nbr]
+			if dst == nil || dst.routes[prefix] != nil {
+				continue
+			}
+			if !exportable(route.LearnedOver, relToward(dst, src)) {
+				continue // valley-free: not expected to flow here
+			}
+			if hasASN(route.Path, dst.ASN) {
+				continue // loop prevention: expected rejection
+			}
+			cand := &Route{
+				Prefix:      prefix,
+				Path:        append([]uint32{dst.ASN}, route.Path...),
+				LearnedOver: relToward(src, dst),
+			}
+			// The receiver has no route at all, so absent a filter the
+			// candidate would have been installed: the filter is the
+			// culprit — exactly the disambiguation looking glasses
+			// cannot provide.
+			reason := "receiver holds no route despite eligible export"
+			if dst.importFilter != nil && !dst.importFilter(prefix, cand.Path) {
+				reason = "import filter at receiver drops the prefix"
+			}
+			gaps = append(gaps, PropagationGap{From: src.ASN, To: dst.ASN, Reason: reason})
+		}
+	}
+	sort.Slice(gaps, func(i, j int) bool {
+		if gaps[i].From != gaps[j].From {
+			return gaps[i].From < gaps[j].From
+		}
+		return gaps[i].To < gaps[j].To
+	})
+	return gaps
+}
+
+// UnreachableFrom lists the ASes with no route to prefix, sorted.
+func (t *Topology) UnreachableFrom(prefix netip.Prefix) []uint32 {
+	prefix = prefix.Masked()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []uint32
+	for asn, a := range t.ases {
+		if a.routes[prefix] == nil {
+			out = append(out, asn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DiagnoseReport renders a full Appendix-A-style troubleshooting
+// report for a prefix.
+func (t *Topology) DiagnoseReport(prefix netip.Prefix) string {
+	var b strings.Builder
+	unreachable := t.UnreachableFrom(prefix)
+	fmt.Fprintf(&b, "prefix %s: %d ASes lack a route\n", prefix, len(unreachable))
+	for _, gap := range t.Diagnose(prefix) {
+		fmt.Fprintf(&b, "  %s\n", gap)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,102 @@
+package inet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestImportFilterBlocksPropagation(t *testing.T) {
+	topo := diamond(t)
+	// M2 (AS 21) carries a stale filter dropping the experiment prefix.
+	if err := topo.BlockPrefixAt(21, pfx("184.164.224.0/24")); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.InjectExternal(20, pfx("184.164.224.0/24"), []uint32{47065, 61574}, RelCustomer); err != nil {
+		t.Fatal(err)
+	}
+	// Everything except the filtered AS and its single-homed customer
+	// learns the route.
+	if topo.Reachable(21, pfx("184.164.224.0/24")) {
+		t.Error("filtered AS accepted the prefix")
+	}
+	if topo.Reachable(31, pfx("184.164.224.0/24")) {
+		t.Error("customer behind the filter should be cut off")
+	}
+	if !topo.Reachable(11, pfx("184.164.224.0/24")) {
+		t.Error("unfiltered AS lost the route")
+	}
+}
+
+func TestDiagnoseFindsTheFilteringEdge(t *testing.T) {
+	topo := diamond(t)
+	if err := topo.BlockPrefixAt(21, pfx("184.164.224.0/24")); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.InjectExternal(20, pfx("184.164.224.0/24"), []uint32{47065, 61574}, RelCustomer); err != nil {
+		t.Fatal(err)
+	}
+	gaps := topo.Diagnose(pfx("184.164.224.0/24"))
+	found := false
+	for _, g := range gaps {
+		if g.To == 21 && strings.Contains(g.Reason, "import filter") {
+			found = true
+		}
+		if g.To != 21 && strings.Contains(g.Reason, "import filter") {
+			t.Errorf("false positive at %s", g)
+		}
+	}
+	if !found {
+		t.Fatalf("the filtering edge was not identified: %v", gaps)
+	}
+	report := topo.DiagnoseReport(pfx("184.164.224.0/24"))
+	if !strings.Contains(report, "ASes lack a route") || !strings.Contains(report, "import filter") {
+		t.Errorf("report:\n%s", report)
+	}
+}
+
+func TestDiagnoseCleanPrefixHasNoGaps(t *testing.T) {
+	topo := diamond(t)
+	if err := topo.InjectExternal(20, pfx("184.164.224.0/24"), []uint32{47065, 61574}, RelCustomer); err != nil {
+		t.Fatal(err)
+	}
+	if gaps := topo.Diagnose(pfx("184.164.224.0/24")); len(gaps) != 0 {
+		t.Errorf("clean propagation reported gaps: %v", gaps)
+	}
+	if got := topo.UnreachableFrom(pfx("184.164.224.0/24")); len(got) != 0 {
+		t.Errorf("unreachable: %v", got)
+	}
+}
+
+func TestDiagnoseIgnoresValleyFreeBoundaries(t *testing.T) {
+	// A peer-injected route legitimately stops at the cone boundary;
+	// Diagnose must not flag those edges.
+	topo := diamond(t)
+	if err := topo.InjectExternal(10, pfx("184.164.224.0/24"), []uint32{47065, 61574}, RelPeer); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range topo.Diagnose(pfx("184.164.224.0/24")) {
+		t.Errorf("valley-free boundary flagged: %s", g)
+	}
+}
+
+func TestLookingGlassOutput(t *testing.T) {
+	topo := diamond(t)
+	if err := topo.Originate(30, pfx("10.30.0.0/24")); err != nil {
+		t.Fatal(err)
+	}
+	have := topo.LookingGlass(31, pfx("10.30.0.0/24"))
+	if !strings.Contains(have, "*>") || !strings.Contains(have, "10.30.0.0/24") {
+		t.Errorf("looking glass with route:\n%s", have)
+	}
+	missing := topo.LookingGlass(31, pfx("203.0.113.0/24"))
+	if !strings.Contains(missing, "not in table") {
+		t.Errorf("looking glass without route:\n%s", missing)
+	}
+}
+
+func TestSetImportFilterUnknownAS(t *testing.T) {
+	topo := diamond(t)
+	if err := topo.BlockPrefixAt(424242, pfx("10.0.0.0/8")); err == nil {
+		t.Error("unknown AS accepted")
+	}
+}

@@ -1,0 +1,110 @@
+package inet
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// InjectExternal installs a route at AS viaASN as if learned from an
+// external network outside the topology (the Peering platform), over the
+// given relationship, and propagates it. path is the AS path as received
+// by viaASN (not including viaASN itself). This is how experiment
+// announcements enter the synthetic Internet: the platform announces to
+// neighbor viaASN, which classifies the platform as a customer or peer.
+func (t *Topology) InjectExternal(viaASN uint32, prefix netip.Prefix, path []uint32, rel Rel) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a := t.ases[viaASN]
+	if a == nil {
+		return fmt.Errorf("inet: unknown AS %d", viaASN)
+	}
+	prefix = prefix.Masked()
+	// Loop prevention: the neighbor rejects paths containing itself.
+	// This is the mechanism AS-path poisoning exploits (paper §7.1).
+	if hasASN(path, viaASN) {
+		return nil
+	}
+	cand := &Route{
+		Prefix:      prefix,
+		Path:        append([]uint32{viaASN}, path...),
+		LearnedOver: rel,
+	}
+	if a.importFilter != nil && !a.importFilter(prefix, cand.Path) {
+		return nil
+	}
+	if inc := a.routes[prefix]; inc != nil && inc.LearnedOver == RelOrigin {
+		return nil
+	}
+	// A re-announcement over the same external session is a BGP implicit
+	// withdraw of the previous version: tear the old injection's derived
+	// state down and rebuild, so a WORSE path (e.g. prepended) replaces
+	// the old one rather than losing the comparison to it.
+	if inc := a.routes[prefix]; inc != nil && t.injectedAtLocked(inc, viaASN) {
+		t.removeExternalLocked(a, prefix)
+	} else if !better(cand, inc) {
+		return nil
+	}
+	a.routes[prefix] = cand
+	t.propagateLocked(prefix)
+	return nil
+}
+
+// injectedAtLocked reports whether route rt was injected externally at
+// viaASN (its second hop is outside the topology).
+func (t *Topology) injectedAtLocked(rt *Route, viaASN uint32) bool {
+	return len(rt.Path) >= 2 && rt.Path[0] == viaASN && t.ases[rt.Path[1]] == nil
+}
+
+// RemoveExternal withdraws an externally injected route at viaASN and
+// re-converges the prefix.
+func (t *Topology) RemoveExternal(viaASN uint32, prefix netip.Prefix) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a := t.ases[viaASN]
+	if a == nil {
+		return fmt.Errorf("inet: unknown AS %d", viaASN)
+	}
+	prefix = prefix.Masked()
+	if a.routes[prefix] == nil {
+		return nil
+	}
+	t.removeExternalLocked(a, prefix)
+	t.propagateLocked(prefix)
+	return nil
+}
+
+// removeExternalLocked drops a's route for prefix and every derived
+// route, keeping originations and injections rooted at other ASes.
+func (t *Topology) removeExternalLocked(a *AS, prefix netip.Prefix) {
+	delete(a.routes, prefix)
+	for _, other := range t.ases {
+		if rt := other.routes[prefix]; rt != nil && rt.LearnedOver != RelOrigin {
+			// Keep injected roots at other ASes: a route whose second hop
+			// is not in the topology was injected externally.
+			if other != a && len(rt.Path) >= 2 && t.ases[rt.Path[1]] == nil {
+				continue
+			}
+			delete(other.routes, prefix)
+		}
+	}
+}
+
+// ChoosersOf returns the ASes whose chosen route for prefix goes through
+// via as the first hop after themselves — i.e. the catchment of an
+// injection at via. Useful for hijack and traffic-engineering studies.
+func (t *Topology) ChoosersOf(prefix netip.Prefix, via uint32) []uint32 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []uint32
+	prefix = prefix.Masked()
+	for asn, a := range t.ases {
+		rt := a.routes[prefix]
+		if rt == nil {
+			continue
+		}
+		if asn == via || hasASN(rt.Path, via) {
+			out = append(out, asn)
+		}
+	}
+	return out
+}

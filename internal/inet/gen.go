@@ -1,0 +1,161 @@
+package inet
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+)
+
+// GenConfig parameterizes the synthetic Internet generator. The defaults
+// (DefaultGenConfig) produce a topology whose composition matches the
+// §4.2 statistics: a transit hierarchy with a clique of tier-1s, a
+// middle transit tier, and a large population of edge networks whose
+// type mix follows the paper's PeeringDB breakdown (33% transit, 28%
+// access, 23% content, 8% education/research and other, 8% enterprise).
+type GenConfig struct {
+	// Tier1 is the number of clique tier-1 transit ASes.
+	Tier1 int
+	// Tier2 is the number of mid-tier transit ASes.
+	Tier2 int
+	// Edges is the number of edge ASes.
+	Edges int
+	// PeeringDegree is the mean number of lateral peerings per tier-2.
+	PeeringDegree int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultGenConfig is a laptop-scale Internet: large enough to exercise
+// cone and propagation behavior, small enough for tests.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{Tier1: 12, Tier2: 80, Edges: 900, PeeringDegree: 6, Seed: 47065}
+}
+
+// edgeTypeMix reproduces the paper's peer-type proportions (§4.2).
+var edgeTypeMix = []struct {
+	typ  string
+	frac float64
+}{
+	{"transit", 0.33},
+	{"access", 0.28},
+	{"content", 0.23},
+	{"education", 0.08},
+	{"enterprise", 0.08},
+}
+
+// Generate builds a synthetic Internet. ASNs are assigned
+// deterministically: tier-1s from 100, tier-2s from 1000, edges from
+// 10000. Every AS originates one /24 carved from 96.0.0.0/6-ish space
+// derived from its ASN.
+func Generate(cfg GenConfig) *Topology {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := NewTopology()
+
+	var tier1s, tier2s, edges []uint32
+	for i := 0; i < cfg.Tier1; i++ {
+		asn := uint32(100 + i)
+		t.AddAS(asn, "tier1")
+		tier1s = append(tier1s, asn)
+	}
+	// Tier-1 clique.
+	for i, a := range tier1s {
+		for _, b := range tier1s[i+1:] {
+			if err := t.AddPeering(a, b); err != nil {
+				panic(err)
+			}
+		}
+	}
+	for i := 0; i < cfg.Tier2; i++ {
+		asn := uint32(1000 + i)
+		t.AddAS(asn, "transit")
+		tier2s = append(tier2s, asn)
+		// Two providers from tier-1.
+		p1 := tier1s[rng.Intn(len(tier1s))]
+		p2 := tier1s[rng.Intn(len(tier1s))]
+		mustLink(t.AddTransit(asn, p1))
+		if p2 != p1 {
+			mustLink(t.AddTransit(asn, p2))
+		}
+	}
+	// Lateral tier-2 peering.
+	for _, a := range tier2s {
+		for k := 0; k < cfg.PeeringDegree/2; k++ {
+			b := tier2s[rng.Intn(len(tier2s))]
+			if a != b {
+				mustLink(t.AddPeering(a, b))
+			}
+		}
+	}
+	// Edge networks with the §4.2 type mix.
+	for i := 0; i < cfg.Edges; i++ {
+		asn := uint32(10000 + i)
+		t.AddAS(asn, pickType(rng))
+		edges = append(edges, asn)
+		// One or two providers from tier-2.
+		p1 := tier2s[rng.Intn(len(tier2s))]
+		mustLink(t.AddTransit(asn, p1))
+		if rng.Float64() < 0.4 {
+			p2 := tier2s[rng.Intn(len(tier2s))]
+			if p2 != p1 {
+				mustLink(t.AddTransit(asn, p2))
+			}
+		}
+	}
+	// Content networks peer laterally with access networks (flattening).
+	for _, asn := range edges {
+		a := t.AS(asn)
+		if a.Type != "content" {
+			continue
+		}
+		for k := 0; k < 3; k++ {
+			b := edges[rng.Intn(len(edges))]
+			if b != asn {
+				mustLink(t.AddPeering(asn, b))
+			}
+		}
+	}
+	// Originations: one /24 per AS.
+	for _, asn := range t.ASNs() {
+		if err := t.Originate(asn, PrefixForASN(asn)); err != nil {
+			panic(err)
+		}
+	}
+	return t
+}
+
+func pickType(rng *rand.Rand) string {
+	x := rng.Float64()
+	acc := 0.0
+	for _, m := range edgeTypeMix {
+		acc += m.frac
+		if x < acc {
+			return m.typ
+		}
+	}
+	return edgeTypeMix[len(edgeTypeMix)-1].typ
+}
+
+func mustLink(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// PrefixForASN derives the /24 an AS originates in generated topologies.
+func PrefixForASN(asn uint32) netip.Prefix {
+	return netip.PrefixFrom(netip.AddrFrom4([4]byte{
+		byte(96 + (asn>>16)&0x03), byte(asn >> 8), byte(asn), 0,
+	}), 24)
+}
+
+// Validate sanity-checks a generated topology: every AS must reach a
+// tier-1-originated probe prefix (full reachability via providers).
+func Validate(t *Topology) error {
+	probe := PrefixForASN(100)
+	for _, asn := range t.ASNs() {
+		if !t.Reachable(asn, probe) {
+			return fmt.Errorf("inet: AS%d cannot reach tier-1 prefix %s", asn, probe)
+		}
+	}
+	return nil
+}

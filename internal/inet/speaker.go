@@ -1,0 +1,86 @@
+package inet
+
+import (
+	"net"
+	"net/netip"
+
+	"repro/internal/bgp"
+)
+
+// Speaker bridges a topology AS onto a live BGP session with a vBGP
+// router: it announces the AS's routes over the session (what a real
+// transit provider or IXP peer would send Peering) and injects
+// announcements received from the platform into the topology so they
+// propagate through the synthetic Internet.
+type Speaker struct {
+	topo *Topology
+	asn  uint32
+	addr netip.Addr
+	rel  Rel // how this AS classifies the platform
+	// maxRoutes bounds the number of routes announced on session
+	// establishment (0 = all). Scale knob for tests and benches.
+	maxRoutes int
+
+	sess *bgp.Session
+}
+
+// NewSpeaker creates a speaker for AS asn peering with the platform over
+// conn. rel is the relationship the AS assigns to the platform (most of
+// Peering's sessions are settlement-free peerings; transit providers use
+// RelCustomer).
+// maxRoutes bounds the table announced at establishment (0 = all).
+func NewSpeaker(topo *Topology, asn uint32, addr netip.Addr, rel Rel, platformASN uint32, maxRoutes int, conn net.Conn) *Speaker {
+	s := &Speaker{topo: topo, asn: asn, addr: addr, rel: rel, maxRoutes: maxRoutes}
+	s.sess = bgp.NewSession(conn, bgp.Config{
+		LocalASN:      asn,
+		RemoteASN:     platformASN,
+		LocalID:       addr,
+		Families:      []bgp.AFISAFI{bgp.IPv4Unicast, bgp.IPv6Unicast},
+		OnEstablished: func() { s.announceAll() },
+		OnUpdate:      func(u *bgp.Update) { s.handleUpdate(u) },
+	})
+	go s.sess.Run()
+	return s
+}
+
+// Session exposes the underlying BGP session.
+func (s *Speaker) Session() *bgp.Session { return s.sess }
+
+// Close shuts the session down.
+func (s *Speaker) Close() { s.sess.Close() }
+
+// announceAll sends the AS's routes to the platform.
+func (s *Speaker) announceAll() {
+	routes := s.topo.RoutesAt(s.asn)
+	for i, rt := range routes {
+		if s.maxRoutes > 0 && i >= s.maxRoutes {
+			return
+		}
+		if err := s.AnnounceRoute(rt); err != nil {
+			return
+		}
+	}
+}
+
+// AnnounceRoute sends one topology route on the session.
+func (s *Speaker) AnnounceRoute(rt *Route) error {
+	attrs := &bgp.PathAttrs{
+		Origin: bgp.OriginIGP, HasOrigin: true,
+		ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: rt.Path}},
+		NextHop: s.addr,
+	}
+	return s.sess.Send(&bgp.Update{Attrs: attrs, NLRI: []bgp.NLRI{{Prefix: rt.Prefix}}})
+}
+
+// handleUpdate injects the platform's announcements into the topology.
+func (s *Speaker) handleUpdate(u *bgp.Update) {
+	for _, w := range u.Withdrawn {
+		_ = s.topo.RemoveExternal(s.asn, w.Prefix)
+	}
+	if u.Attrs == nil {
+		return
+	}
+	for _, nlri := range u.NLRI {
+		_ = s.topo.InjectExternal(s.asn, nlri.Prefix, u.Attrs.ASPathFlat(), s.rel)
+	}
+}

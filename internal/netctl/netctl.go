@@ -1,0 +1,227 @@
+// Package netctl implements Peering's network controller (§5): it
+// reconciles a vBGP server's actual network configuration with the
+// intended state from the central configuration model, applying the
+// minimum set of changes with transactional semantics.
+//
+// The controller never resets-and-rebuilds: configuration compatible
+// with the intent is kept (so BGP sessions and tunnels survive config
+// pushes), incompatible configuration is removed, and missing
+// configuration is added. If any step fails, every applied step is
+// rolled back so the node is never left in an inconsistent state.
+//
+// One Linux-specific quirk is modeled faithfully: an interface's primary
+// address is whichever was added first and cannot be changed in place,
+// yet Peering must control it because it sources ICMP errors. When the
+// primary is wrong the controller removes and re-adds the interface's
+// addresses in the intended order.
+package netctl
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"repro/internal/ethernet"
+	"repro/internal/netsim"
+)
+
+// IfaceIntent is the desired state of one interface.
+type IfaceIntent struct {
+	// Addrs in order; Addrs[0] is the intended primary address.
+	Addrs []netip.Addr
+	// ExtraMACs the interface must accept (vBGP's per-neighbor MACs).
+	ExtraMACs []ethernet.MAC
+}
+
+// Intent is the desired network state of one node.
+type Intent struct {
+	// Ifaces maps interface name to desired state. Interfaces present
+	// on the node but absent from the intent are left untouched (they
+	// belong to other subsystems).
+	Ifaces map[string]IfaceIntent
+}
+
+// Op is one reversible configuration change.
+type Op struct {
+	// Desc describes the op for logs and dry runs.
+	Desc string
+
+	apply  func() error
+	revert func() error
+}
+
+// Controller reconciles intents against live interfaces.
+type Controller struct {
+	// Ifaces is the node's interface table.
+	Ifaces map[string]*netsim.Interface
+	// OnOp, when set, intercepts each op before it applies; returning an
+	// error aborts the transaction (test hook for failure injection).
+	OnOp func(op Op) error
+	// Logf, when set, receives a line per applied op.
+	Logf func(format string, args ...any)
+
+	// Applied counts ops applied over the controller's lifetime; a
+	// reconcile of an already-compliant node applies zero.
+	Applied int
+	// RolledBack counts transactions that failed and were reverted.
+	RolledBack int
+}
+
+// NewController creates a controller over the node's interfaces.
+func NewController(ifaces map[string]*netsim.Interface) *Controller {
+	return &Controller{Ifaces: ifaces}
+}
+
+// Plan computes the minimal op list taking the node from its actual
+// state to the intent. A nil error with an empty plan means the node is
+// compliant.
+func (c *Controller) Plan(intent Intent) ([]Op, error) {
+	var ops []Op
+	names := make([]string, 0, len(intent.Ifaces))
+	for name := range intent.Ifaces {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := intent.Ifaces[name]
+		ifc := c.Ifaces[name]
+		if ifc == nil {
+			return nil, fmt.Errorf("netctl: intent references unknown interface %q", name)
+		}
+		ops = append(ops, c.planAddrs(ifc, want.Addrs)...)
+		ops = append(ops, c.planMACs(ifc, want.ExtraMACs)...)
+	}
+	return ops, nil
+}
+
+// planAddrs diffs one interface's address list.
+func (c *Controller) planAddrs(ifc *netsim.Interface, want []netip.Addr) []Op {
+	have := ifc.Addrs()
+	wantSet := make(map[netip.Addr]bool, len(want))
+	for _, a := range want {
+		wantSet[a] = true
+	}
+	haveSet := make(map[netip.Addr]bool, len(have))
+	for _, a := range have {
+		haveSet[a] = true
+	}
+
+	// Wrong primary: the kernel cannot change it in place, so reset the
+	// whole address list in intended order (§5).
+	if len(want) > 0 && len(have) > 0 && have[0] != want[0] {
+		haveCopy := append([]netip.Addr(nil), have...)
+		wantCopy := append([]netip.Addr(nil), want...)
+		return []Op{{
+			Desc: fmt.Sprintf("%s: reset addresses to fix primary (%s -> %s)", ifc.Name, have[0], want[0]),
+			apply: func() error {
+				ifc.SetAddrs(wantCopy)
+				return nil
+			},
+			revert: func() error {
+				ifc.SetAddrs(haveCopy)
+				return nil
+			},
+		}}
+	}
+
+	var ops []Op
+	for _, a := range have {
+		if !wantSet[a] {
+			addr := a
+			ops = append(ops, Op{
+				Desc:   fmt.Sprintf("%s: remove address %s", ifc.Name, addr),
+				apply:  func() error { ifc.RemoveAddr(addr); return nil },
+				revert: func() error { ifc.AddAddr(addr); return nil },
+			})
+		}
+	}
+	for _, a := range want {
+		if !haveSet[a] {
+			addr := a
+			ops = append(ops, Op{
+				Desc:   fmt.Sprintf("%s: add address %s", ifc.Name, addr),
+				apply:  func() error { ifc.AddAddr(addr); return nil },
+				revert: func() error { ifc.RemoveAddr(addr); return nil },
+			})
+		}
+	}
+	return ops
+}
+
+// planMACs diffs the accepted-MAC set against the intent.
+func (c *Controller) planMACs(ifc *netsim.Interface, want []ethernet.MAC) []Op {
+	wantSet := make(map[ethernet.MAC]bool, len(want))
+	for _, m := range want {
+		wantSet[m] = true
+	}
+	var ops []Op
+	have := ifc.ExtraMACs()
+	sort.Slice(have, func(i, j int) bool { return have[i].String() < have[j].String() })
+	for _, m := range have {
+		if !wantSet[m] {
+			mac := m
+			ops = append(ops, Op{
+				Desc:   fmt.Sprintf("%s: stop accepting MAC %s", ifc.Name, mac),
+				apply:  func() error { ifc.RemoveMAC(mac); return nil },
+				revert: func() error { ifc.AddMAC(mac); return nil },
+			})
+		}
+	}
+	for _, m := range want {
+		if !ifc.HasMAC(m) {
+			mac := m
+			ops = append(ops, Op{
+				Desc:   fmt.Sprintf("%s: accept MAC %s", ifc.Name, mac),
+				apply:  func() error { ifc.AddMAC(mac); return nil },
+				revert: func() error { ifc.RemoveMAC(mac); return nil },
+			})
+		}
+	}
+	return ops
+}
+
+// Apply executes a plan transactionally: on any failure every applied op
+// is reverted in reverse order and the error is returned.
+func (c *Controller) Apply(ops []Op) error {
+	applied := make([]Op, 0, len(ops))
+	for _, op := range ops {
+		if c.OnOp != nil {
+			if err := c.OnOp(op); err != nil {
+				c.rollback(applied)
+				return fmt.Errorf("netctl: %s: %w (rolled back %d ops)", op.Desc, err, len(applied))
+			}
+		}
+		if err := op.apply(); err != nil {
+			c.rollback(applied)
+			return fmt.Errorf("netctl: %s: %w (rolled back %d ops)", op.Desc, err, len(applied))
+		}
+		if c.Logf != nil {
+			c.Logf("netctl: %s", op.Desc)
+		}
+		applied = append(applied, op)
+		c.Applied++
+	}
+	return nil
+}
+
+func (c *Controller) rollback(applied []Op) {
+	c.RolledBack++
+	for i := len(applied) - 1; i >= 0; i-- {
+		if err := applied[i].revert(); err != nil && c.Logf != nil {
+			c.Logf("netctl: revert %s failed: %v", applied[i].Desc, err)
+		}
+	}
+}
+
+// Reconcile plans and applies in one step, returning the number of ops
+// applied.
+func (c *Controller) Reconcile(intent Intent) (int, error) {
+	ops, err := c.Plan(intent)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.Apply(ops); err != nil {
+		return 0, err
+	}
+	return len(ops), nil
+}

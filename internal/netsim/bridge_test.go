@@ -1,0 +1,85 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ethernet"
+)
+
+func TestBridgeConnectsSegments(t *testing.T) {
+	seg1, seg2 := NewSegment("s1"), NewSegment("s2")
+	br := NewBridge("br0")
+	br.AttachSegment(seg1)
+	br.AttachSegment(seg2)
+
+	h1 := NewHost("h1")
+	h1.AddInterface("eth0", mac(1), p("10.0.0.1/24"), seg1)
+	h2 := NewHost("h2")
+	h2.AddInterface("eth0", mac(2), p("10.0.0.2/24"), seg2)
+
+	// ARP (broadcast) floods through the bridge; the ping round-trips.
+	if _, err := h1.Ping(a("10.0.0.2"), 9, 1, time.Second); err != nil {
+		t.Fatalf("ping across bridge: %v", err)
+	}
+	// Both MACs are now learned.
+	if seg, ok := br.Lookup(mac(1)); !ok || seg != seg1 {
+		t.Error("h1 not learned on s1")
+	}
+	if seg, ok := br.Lookup(mac(2)); !ok || seg != seg2 {
+		t.Error("h2 not learned on s2")
+	}
+}
+
+func TestBridgeUnicastDoesNotFloodAfterLearning(t *testing.T) {
+	seg1, seg2, seg3 := NewSegment("s1"), NewSegment("s2"), NewSegment("s3")
+	br := NewBridge("br0")
+	br.AttachSegment(seg1)
+	br.AttachSegment(seg2)
+	br.AttachSegment(seg3)
+
+	h1 := NewHost("h1")
+	h1.AddInterface("eth0", mac(1), p("10.0.0.1/24"), seg1)
+	h2 := NewHost("h2")
+	h2.AddInterface("eth0", mac(2), p("10.0.0.2/24"), seg2)
+
+	// Sniffer on the third segment counts leaked unicast.
+	var leaked int
+	sniff := NewInterface("sniff", mac(9))
+	sniff.SetPromiscuous(true)
+	sniff.SetHandler(func(_ *Interface, fr *ethernet.Frame) {
+		if fr.Type == ethernet.TypeIPv4 && !fr.Dst.IsMulticast() {
+			leaked++
+		}
+	})
+	sniff.Attach(seg3)
+
+	if _, err := h1.Ping(a("10.0.0.2"), 9, 1, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Learned: further unicast between h1 and h2 must not reach seg3.
+	before := leaked
+	if _, err := h1.Ping(a("10.0.0.2"), 9, 2, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if leaked != before {
+		t.Errorf("unicast flooded to unrelated segment after learning (%d new frames)", leaked-before)
+	}
+	if br.Forwarded.Load() == 0 {
+		t.Error("no learned-path forwards recorded")
+	}
+}
+
+func TestBridgeLookupMiss(t *testing.T) {
+	br := NewBridge("br0")
+	if _, ok := br.Lookup(mac(42)); ok {
+		t.Error("empty FDB hit")
+	}
+	// Attaching the same segment twice is a no-op.
+	seg := NewSegment("s1")
+	br.AttachSegment(seg)
+	br.AttachSegment(seg)
+	if len(seg.Ports()) != 1 {
+		t.Errorf("duplicate attach created %d ports", len(seg.Ports()))
+	}
+}

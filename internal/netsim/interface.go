@@ -1,0 +1,398 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ethernet"
+)
+
+// Handler receives a decoded frame from an interface. The frame's payload
+// aliases a buffer owned by the caller; handlers that retain it must use
+// Frame.Clone.
+type Handler func(ifc *Interface, frame *ethernet.Frame)
+
+// ARPResponder decides whether the interface answers an ARP request for
+// target, and with which MAC. vBGP installs a responder that answers for
+// every per-neighbor next-hop IP it allocated (paper §3.2.2).
+type ARPResponder func(target netip.Addr) (ethernet.MAC, bool)
+
+// Interface is a network interface attached to at most one segment. It
+// owns a primary MAC, optionally additional MACs (vBGP accepts frames
+// addressed to any MAC it assigned to a neighbor), and a set of IP
+// addresses of which the first is primary.
+//
+// The primary address matters: Linux uses it as the source of ICMP errors
+// (paper §5), and the netctl reconciler enforces its ordering.
+type Interface struct {
+	// Name identifies the interface, e.g. "amsix0" or "exp1-tap".
+	Name string
+
+	mac ethernet.MAC
+
+	mu        sync.RWMutex
+	seg       *Segment
+	addrs     []netip.Addr // addrs[0] is the primary address
+	extraMACs map[ethernet.MAC]bool
+	handler   Handler
+	responder ARPResponder
+	ingress   []Filter
+	egress    []Filter
+	promisc   bool
+
+	arpMu    sync.Mutex
+	arpCache map[netip.Addr]ethernet.MAC
+	arpWait  map[netip.Addr][]chan ethernet.MAC
+
+	// RxFrames/TxFrames/RxDrops count traffic through the interface.
+	// RxDrops counts frames discarded by ingress filters.
+	RxFrames atomic.Uint64
+	TxFrames atomic.Uint64
+	RxDrops  atomic.Uint64
+	TxDrops  atomic.Uint64
+}
+
+// NewInterface creates a detached interface with the given MAC.
+func NewInterface(name string, mac ethernet.MAC) *Interface {
+	return &Interface{
+		Name: name, mac: mac,
+		extraMACs: make(map[ethernet.MAC]bool),
+		arpCache:  make(map[netip.Addr]ethernet.MAC),
+		arpWait:   make(map[netip.Addr][]chan ethernet.MAC),
+	}
+}
+
+// MAC returns the interface's primary MAC address.
+func (ifc *Interface) MAC() ethernet.MAC { return ifc.mac }
+
+// Attach connects the interface to a segment, detaching it from any
+// previous segment.
+func (ifc *Interface) Attach(seg *Segment) {
+	ifc.mu.Lock()
+	old := ifc.seg
+	ifc.seg = seg
+	ifc.mu.Unlock()
+	if old != nil {
+		old.detach(ifc)
+	}
+	if seg != nil {
+		seg.attach(ifc)
+	}
+}
+
+// Segment returns the segment the interface is attached to, or nil.
+func (ifc *Interface) Segment() *Segment {
+	ifc.mu.RLock()
+	defer ifc.mu.RUnlock()
+	return ifc.seg
+}
+
+// SetHandler installs the receive handler.
+func (ifc *Interface) SetHandler(h Handler) {
+	ifc.mu.Lock()
+	defer ifc.mu.Unlock()
+	ifc.handler = h
+}
+
+// SetARPResponder installs a proxy-ARP responder consulted for requests
+// whose target is not one of the interface's own addresses.
+func (ifc *Interface) SetARPResponder(r ARPResponder) {
+	ifc.mu.Lock()
+	defer ifc.mu.Unlock()
+	ifc.responder = r
+}
+
+// SetPromiscuous makes the interface accept unicast frames regardless of
+// destination MAC.
+func (ifc *Interface) SetPromiscuous(on bool) {
+	ifc.mu.Lock()
+	defer ifc.mu.Unlock()
+	ifc.promisc = on
+}
+
+// AddIngressFilter appends a filter run on every received frame before the
+// handler. If any filter returns VerdictDrop the frame is discarded, as
+// with an XDP program returning XDP_DROP.
+func (ifc *Interface) AddIngressFilter(f Filter) {
+	ifc.mu.Lock()
+	defer ifc.mu.Unlock()
+	ifc.ingress = append(ifc.ingress, f)
+}
+
+// AddEgressFilter appends a filter run on every transmitted frame.
+func (ifc *Interface) AddEgressFilter(f Filter) {
+	ifc.mu.Lock()
+	defer ifc.mu.Unlock()
+	ifc.egress = append(ifc.egress, f)
+}
+
+// ClearFilters removes all ingress and egress filters.
+func (ifc *Interface) ClearFilters() {
+	ifc.mu.Lock()
+	defer ifc.mu.Unlock()
+	ifc.ingress, ifc.egress = nil, nil
+}
+
+// AddMAC makes the interface additionally accept frames destined to mac.
+func (ifc *Interface) AddMAC(mac ethernet.MAC) {
+	ifc.mu.Lock()
+	defer ifc.mu.Unlock()
+	ifc.extraMACs[mac] = true
+}
+
+// HasMAC reports whether the interface accepts frames destined to mac
+// beyond its primary MAC.
+func (ifc *Interface) HasMAC(mac ethernet.MAC) bool {
+	ifc.mu.RLock()
+	defer ifc.mu.RUnlock()
+	return ifc.extraMACs[mac]
+}
+
+// ExtraMACs returns the additional MACs the interface accepts.
+func (ifc *Interface) ExtraMACs() []ethernet.MAC {
+	ifc.mu.RLock()
+	defer ifc.mu.RUnlock()
+	out := make([]ethernet.MAC, 0, len(ifc.extraMACs))
+	for m := range ifc.extraMACs {
+		out = append(out, m)
+	}
+	return out
+}
+
+// RemoveMAC stops accepting frames destined to mac.
+func (ifc *Interface) RemoveMAC(mac ethernet.MAC) {
+	ifc.mu.Lock()
+	defer ifc.mu.Unlock()
+	delete(ifc.extraMACs, mac)
+}
+
+func (ifc *Interface) ownsMAC(mac ethernet.MAC) bool {
+	if mac == ifc.mac {
+		return true
+	}
+	ifc.mu.RLock()
+	defer ifc.mu.RUnlock()
+	return ifc.promisc || ifc.extraMACs[mac]
+}
+
+// AddAddr adds an IP address to the interface. The first address added is
+// the primary address.
+func (ifc *Interface) AddAddr(a netip.Addr) {
+	ifc.mu.Lock()
+	defer ifc.mu.Unlock()
+	for _, have := range ifc.addrs {
+		if have == a {
+			return
+		}
+	}
+	ifc.addrs = append(ifc.addrs, a)
+}
+
+// RemoveAddr removes an IP address from the interface.
+func (ifc *Interface) RemoveAddr(a netip.Addr) {
+	ifc.mu.Lock()
+	defer ifc.mu.Unlock()
+	for i, have := range ifc.addrs {
+		if have == a {
+			ifc.addrs = append(ifc.addrs[:i], ifc.addrs[i+1:]...)
+			return
+		}
+	}
+}
+
+// SetAddrs replaces the interface's addresses; addrs[0] becomes primary.
+func (ifc *Interface) SetAddrs(addrs []netip.Addr) {
+	ifc.mu.Lock()
+	defer ifc.mu.Unlock()
+	ifc.addrs = append([]netip.Addr(nil), addrs...)
+}
+
+// Addrs returns the interface's addresses in order; index 0 is primary.
+func (ifc *Interface) Addrs() []netip.Addr {
+	ifc.mu.RLock()
+	defer ifc.mu.RUnlock()
+	return append([]netip.Addr(nil), ifc.addrs...)
+}
+
+// PrimaryAddr returns the primary address, or the zero Addr if none.
+func (ifc *Interface) PrimaryAddr() netip.Addr {
+	ifc.mu.RLock()
+	defer ifc.mu.RUnlock()
+	if len(ifc.addrs) == 0 {
+		return netip.Addr{}
+	}
+	return ifc.addrs[0]
+}
+
+// HasAddr reports whether a is one of the interface's addresses.
+func (ifc *Interface) HasAddr(a netip.Addr) bool {
+	ifc.mu.RLock()
+	defer ifc.mu.RUnlock()
+	for _, have := range ifc.addrs {
+		if have == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Send serializes the frame, stamps the interface MAC as source if the
+// frame has a zero source, runs egress filters, and transmits it on the
+// attached segment. It is a no-op if the interface is detached.
+func (ifc *Interface) Send(frame *ethernet.Frame) {
+	if frame.Src.IsZero() {
+		frame.Src = ifc.mac
+	}
+	ifc.mu.RLock()
+	seg := ifc.seg
+	egress := ifc.egress
+	ifc.mu.RUnlock()
+	if seg == nil {
+		return
+	}
+	data := frame.Marshal()
+	for _, f := range egress {
+		if f.Process(data) == VerdictDrop {
+			ifc.TxDrops.Add(1)
+			return
+		}
+	}
+	ifc.TxFrames.Add(1)
+	seg.transmit(ifc, frame.Dst, data)
+}
+
+// deliver is called by the segment with a serialized frame addressed to
+// this interface (or broadcast). It runs ingress filters, answers ARP
+// requests, and hands other frames to the handler.
+func (ifc *Interface) deliver(data []byte) {
+	ifc.mu.RLock()
+	ingress := ifc.ingress
+	handler := ifc.handler
+	ifc.mu.RUnlock()
+
+	for _, f := range ingress {
+		if f.Process(data) == VerdictDrop {
+			ifc.RxDrops.Add(1)
+			return
+		}
+	}
+	ifc.RxFrames.Add(1)
+
+	var frame ethernet.Frame
+	if err := frame.DecodeFromBytes(data); err != nil {
+		return
+	}
+	if frame.Type == ethernet.TypeARP && ifc.handleARP(&frame) {
+		return
+	}
+	if handler != nil {
+		handler(ifc, &frame)
+	}
+}
+
+// Resolve returns the MAC for the on-link address target, consulting the
+// interface ARP cache and, on a miss, sending an ARP request and waiting
+// up to timeout for a reply. senderIP is the source protocol address to
+// put in the request (typically the interface's primary address).
+func (ifc *Interface) Resolve(senderIP, target netip.Addr, timeout time.Duration) (ethernet.MAC, error) {
+	ifc.arpMu.Lock()
+	if mac, ok := ifc.arpCache[target]; ok {
+		ifc.arpMu.Unlock()
+		return mac, nil
+	}
+	ch := make(chan ethernet.MAC, 1)
+	ifc.arpWait[target] = append(ifc.arpWait[target], ch)
+	ifc.arpMu.Unlock()
+
+	req := ethernet.NewARPRequest(ifc.mac, senderIP, target)
+	fr := req.Frame(ifc.mac)
+	ifc.Send(&fr)
+
+	select {
+	case mac := <-ch:
+		return mac, nil
+	case <-time.After(timeout):
+		return ethernet.MAC{}, fmt.Errorf("netsim: ARP for %s on %s timed out", target, ifc.Name)
+	}
+}
+
+// learnARP records a sender's binding and wakes Resolve waiters.
+func (ifc *Interface) learnARP(addr netip.Addr, mac ethernet.MAC) {
+	ifc.arpMu.Lock()
+	ifc.arpCache[addr] = mac
+	waiters := ifc.arpWait[addr]
+	delete(ifc.arpWait, addr)
+	ifc.arpMu.Unlock()
+	for _, ch := range waiters {
+		ch <- mac
+	}
+}
+
+// FlushARP drops the interface's ARP cache.
+func (ifc *Interface) FlushARP() {
+	ifc.arpMu.Lock()
+	defer ifc.arpMu.Unlock()
+	ifc.arpCache = make(map[netip.Addr]ethernet.MAC)
+}
+
+// handleARP answers ARP requests for the interface's own addresses and for
+// any address its ARPResponder claims, and learns bindings from replies.
+// It returns true if the frame was consumed.
+func (ifc *Interface) handleARP(frame *ethernet.Frame) bool {
+	var req ethernet.ARP
+	if err := req.DecodeFromBytes(frame.Payload); err != nil {
+		return true // malformed ARP: consume silently
+	}
+	if req.Op == ethernet.ARPReply {
+		ifc.learnARP(req.SenderIP, req.SenderMAC)
+		return false // also surface replies to the handler
+	}
+	if req.Op != ethernet.ARPRequest {
+		return false
+	}
+	answer, ok := ifc.arpAnswer(req.TargetIP)
+	if !ok {
+		// Not ours: surface to the handler so bridges can relay the
+		// request toward whoever owns the address.
+		return false
+	}
+	rep := req.Reply(answer)
+	fr := rep.Frame(ifc.mac)
+	ifc.Send(&fr)
+	return true
+}
+
+func (ifc *Interface) arpAnswer(target netip.Addr) (ethernet.MAC, bool) {
+	ifc.mu.RLock()
+	responder := ifc.responder
+	owns := false
+	for _, a := range ifc.addrs {
+		if a == target {
+			owns = true
+			break
+		}
+	}
+	ifc.mu.RUnlock()
+	if owns {
+		return ifc.mac, true
+	}
+	if responder != nil {
+		return responder(target)
+	}
+	return ethernet.MAC{}, false
+}
+
+// String implements fmt.Stringer.
+func (ifc *Interface) String() string {
+	addrs := ifc.Addrs()
+	strs := make([]string, len(addrs))
+	for i, a := range addrs {
+		strs[i] = a.String()
+	}
+	sort.Strings(strs[1:]) // keep primary first, order the rest for stability
+	return fmt.Sprintf("%s(%s %v)", ifc.Name, ifc.mac, strs)
+}

@@ -1,0 +1,134 @@
+// Package netsim provides an in-memory layer-2 network simulator: broadcast
+// segments (links and IXP-style switch fabrics), interfaces with MAC and IP
+// addressing, ARP resolution, and attachment points for ingress/egress
+// packet filters.
+//
+// Frames are delivered synchronously: Interface.Send serializes the frame
+// and invokes the receivers' handlers on the calling goroutine. This keeps
+// forwarding deterministic and easy to test; components guard their own
+// state with locks, so segments may be driven from multiple goroutines.
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ethernet"
+)
+
+// Verdict is the result of an attached packet filter, mirroring XDP-style
+// return codes: a frame is either passed up the stack or dropped early.
+type Verdict int
+
+// Filter verdicts.
+const (
+	VerdictPass Verdict = iota
+	VerdictDrop
+)
+
+// Filter inspects a raw frame at an interface hook point. Filters must not
+// retain data.
+type Filter interface {
+	Process(data []byte) Verdict
+}
+
+// FilterFunc adapts a function to the Filter interface.
+type FilterFunc func(data []byte) Verdict
+
+// Process implements Filter.
+func (f FilterFunc) Process(data []byte) Verdict { return f(data) }
+
+// Segment is a broadcast domain: a point-to-point link when it has two
+// ports, or a switch fabric (e.g. an IXP LAN) when it has more. Delivery
+// is by destination MAC: unicast frames go to ports owning the MAC,
+// broadcast/multicast frames flood to all other ports.
+type Segment struct {
+	// Name identifies the segment in logs and errors.
+	Name string
+
+	// CapacityBps is the provisioned capacity of the segment in bits per
+	// second. Zero means unconstrained. Delivery is not throttled; the
+	// value is metadata consumed by the traffic package's fluid-flow
+	// model (used for the backbone throughput experiment, paper §6).
+	CapacityBps float64
+
+	// Latency is the one-way propagation delay of the segment, also
+	// consumed by the traffic model.
+	Latency time.Duration
+
+	mu    sync.RWMutex
+	ports []*Interface
+
+	// Frames and Bytes count total deliveries across the segment.
+	Frames atomic.Uint64
+	Bytes  atomic.Uint64
+}
+
+// NewSegment creates a named, unconstrained segment.
+func NewSegment(name string) *Segment {
+	return &Segment{Name: name}
+}
+
+// NewLink creates a segment with the given capacity and latency, intended
+// for point-to-point backbone links.
+func NewLink(name string, capacityBps float64, latency time.Duration) *Segment {
+	return &Segment{Name: name, CapacityBps: capacityBps, Latency: latency}
+}
+
+// attach registers an interface on the segment.
+func (s *Segment) attach(ifc *Interface) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ports = append(s.ports, ifc)
+}
+
+// detach removes an interface from the segment.
+func (s *Segment) detach(ifc *Interface) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, p := range s.ports {
+		if p == ifc {
+			s.ports = append(s.ports[:i], s.ports[i+1:]...)
+			return
+		}
+	}
+}
+
+// Ports returns a snapshot of the interfaces attached to the segment.
+func (s *Segment) Ports() []*Interface {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*Interface(nil), s.ports...)
+}
+
+// transmit delivers a serialized frame originating at src to the other
+// ports on the segment according to the destination MAC.
+func (s *Segment) transmit(src *Interface, dst ethernet.MAC, data []byte) {
+	s.mu.RLock()
+	ports := s.ports
+	var targets []*Interface
+	if dst.IsMulticast() {
+		targets = append(targets, ports...)
+	} else {
+		for _, p := range ports {
+			if p != src && p.ownsMAC(dst) {
+				targets = append(targets, p)
+			}
+		}
+	}
+	s.mu.RUnlock()
+
+	for _, p := range targets {
+		if p == src {
+			continue
+		}
+		s.Frames.Add(1)
+		s.Bytes.Add(uint64(len(data)))
+		p.deliver(data)
+	}
+}
+
+// String implements fmt.Stringer.
+func (s *Segment) String() string { return fmt.Sprintf("segment(%s)", s.Name) }

@@ -1,0 +1,56 @@
+package netsim
+
+import (
+	"sync"
+	"time"
+)
+
+// TokenBucketFilter polices traffic to a byte rate with a token bucket:
+// frames that exceed the bucket are dropped. Peering shapes experiment
+// traffic at its two bandwidth-constrained sites to the rates agreed
+// with the site operators (paper §4.7, "policing rate").
+type TokenBucketFilter struct {
+	rate  float64 // bytes per second
+	burst float64 // bucket depth in bytes
+	// Now is the clock, injectable for deterministic tests.
+	Now func() time.Time
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// NewTokenBucketFilter creates a policer admitting rateBps bits per
+// second with a burst allowance of burstBytes (defaults to one second's
+// worth when zero).
+func NewTokenBucketFilter(rateBps float64, burstBytes float64) *TokenBucketFilter {
+	if burstBytes <= 0 {
+		burstBytes = rateBps / 8
+	}
+	return &TokenBucketFilter{
+		rate:   rateBps / 8,
+		burst:  burstBytes,
+		Now:    time.Now,
+		tokens: burstBytes,
+	}
+}
+
+// Process implements Filter.
+func (f *TokenBucketFilter) Process(data []byte) Verdict {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	now := f.Now()
+	if !f.last.IsZero() {
+		f.tokens += now.Sub(f.last).Seconds() * f.rate
+		if f.tokens > f.burst {
+			f.tokens = f.burst
+		}
+	}
+	f.last = now
+	need := float64(len(data))
+	if f.tokens < need {
+		return VerdictDrop
+	}
+	f.tokens -= need
+	return VerdictPass
+}

@@ -1,0 +1,127 @@
+// Package pipe provides an in-memory, buffered, full-duplex connection
+// pair implementing net.Conn. Unlike net.Pipe, writes complete without a
+// matching read, which lets two BGP speakers exchange OPEN messages
+// simultaneously without deadlocking — the behavior a kernel TCP socket
+// pair would give.
+package pipe
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Buffer is an unbounded byte queue usable as one direction of a
+// stream: writes never block, reads block until data or close. The
+// tunnel package uses it for its control channel so a slow (or not yet
+// attached) BGP reader cannot stall data-plane frames.
+type Buffer = buffer
+
+// NewBuffer creates an empty Buffer.
+func NewBuffer() *Buffer { return newBuffer() }
+
+// Read implements io.Reader.
+func (b *buffer) Read(p []byte) (int, error) { return b.read(p) }
+
+// Write implements io.Writer.
+func (b *buffer) Write(p []byte) (int, error) { return b.write(p) }
+
+// Close marks the buffer closed; reads drain then return EOF.
+func (b *buffer) Close() error { b.close(); return nil }
+
+// buffer is one direction of the pipe: an unbounded byte queue.
+type buffer struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	data   []byte
+	closed bool
+}
+
+func newBuffer() *buffer {
+	b := &buffer{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *buffer) write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0, io.ErrClosedPipe
+	}
+	b.data = append(b.data, p...)
+	b.cond.Broadcast()
+	return len(p), nil
+}
+
+func (b *buffer) read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.data) == 0 && !b.closed {
+		b.cond.Wait()
+	}
+	if len(b.data) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, b.data)
+	b.data = b.data[n:]
+	return n, nil
+}
+
+func (b *buffer) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// Conn is one endpoint of the pair.
+type Conn struct {
+	name      string
+	rd, wr    *buffer
+	closeOnce sync.Once
+}
+
+// New returns the two ends of a connected, buffered duplex stream.
+func New() (*Conn, *Conn) {
+	ab, ba := newBuffer(), newBuffer()
+	return &Conn{name: "pipe-a", rd: ba, wr: ab}, &Conn{name: "pipe-b", rd: ab, wr: ba}
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) { return c.rd.read(p) }
+
+// Write implements net.Conn.
+func (c *Conn) Write(p []byte) (int, error) { return c.wr.write(p) }
+
+// Close closes both directions; pending and future reads on the peer see
+// EOF after draining buffered data.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.wr.close()
+		c.rd.close()
+	})
+	return nil
+}
+
+// addr is a trivial net.Addr.
+type addr string
+
+func (a addr) Network() string { return "pipe" }
+func (a addr) String() string  { return string(a) }
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return addr(c.name) }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return addr(c.name + "-peer") }
+
+// SetDeadline is a no-op; the simulator does not use I/O deadlines.
+func (c *Conn) SetDeadline(time.Time) error { return nil }
+
+// SetReadDeadline is a no-op.
+func (c *Conn) SetReadDeadline(time.Time) error { return nil }
+
+// SetWriteDeadline is a no-op.
+func (c *Conn) SetWriteDeadline(time.Time) error { return nil }

@@ -1,0 +1,235 @@
+package rib
+
+import (
+	"net/netip"
+	"sync"
+
+	"repro/internal/bgp"
+)
+
+// Table is a routing information base holding, per prefix, every path
+// currently known. It serves as an Adj-RIB-In (holding one peer's paths),
+// an Adj-RIB-Out, or a Loc-RIB (holding all peers' paths), depending on
+// what the caller feeds it. Paths are keyed by (Peer, ID) within a
+// prefix: adding a path with the same key replaces the previous one, the
+// implicit-withdraw rule of RFC 4271 §3.1.
+//
+// Table is safe for concurrent use.
+type Table struct {
+	// Name labels the table in logs ("loc-rib", "adj-in:AMS-IX-RS1", ...).
+	Name string
+
+	mu    sync.RWMutex
+	trie  *DualTrie[[]*Path]
+	paths int
+
+	// Adds and Withdraws count mutations, for churn accounting in the
+	// update-rate experiments (paper Fig. 6b).
+	Adds      uint64
+	Withdraws uint64
+}
+
+// NewTable creates an empty table.
+func NewTable(name string) *Table {
+	return &Table{Name: name, trie: NewDualTrie[[]*Path]()}
+}
+
+// Add inserts or replaces the path identified by (p.Peer, p.ID) for
+// p.Prefix. It returns the path it replaced, if any.
+func (t *Table) Add(p *Path) *Path {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Adds++
+	existing, _ := t.trie.Get(p.Prefix)
+	for i, e := range existing {
+		if e.Peer == p.Peer && e.ID == p.ID {
+			out := make([]*Path, len(existing))
+			copy(out, existing)
+			out[i] = p
+			t.trie.Insert(p.Prefix, out)
+			return e
+		}
+	}
+	t.paths++
+	t.trie.Insert(p.Prefix, append(append([]*Path(nil), existing...), p))
+	return nil
+}
+
+// Withdraw removes the path identified by (peer, id) for prefix,
+// returning the removed path or nil.
+func (t *Table) Withdraw(prefix netip.Prefix, peer string, id bgp.PathID) *Path {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Withdraws++
+	existing, ok := t.trie.Get(prefix)
+	if !ok {
+		return nil
+	}
+	for i, e := range existing {
+		if e.Peer == peer && e.ID == id {
+			out := append(append([]*Path(nil), existing[:i]...), existing[i+1:]...)
+			t.paths--
+			if len(out) == 0 {
+				t.trie.Remove(prefix)
+			} else {
+				t.trie.Insert(prefix, out)
+			}
+			return e
+		}
+	}
+	return nil
+}
+
+// WithdrawPeer removes every path learned from peer, returning the
+// removed paths. Used when a session goes down.
+func (t *Table) WithdrawPeer(peer string) []*Path {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var removed []*Path
+	var updates []struct {
+		p    netip.Prefix
+		left []*Path
+	}
+	t.trie.Walk(func(p netip.Prefix, paths []*Path) bool {
+		var left []*Path
+		for _, e := range paths {
+			if e.Peer == peer {
+				removed = append(removed, e)
+			} else {
+				left = append(left, e)
+			}
+		}
+		if len(left) != len(paths) {
+			updates = append(updates, struct {
+				p    netip.Prefix
+				left []*Path
+			}{p, left})
+		}
+		return true
+	})
+	for _, u := range updates {
+		if len(u.left) == 0 {
+			t.trie.Remove(u.p)
+		} else {
+			t.trie.Insert(u.p, u.left)
+		}
+	}
+	t.paths -= len(removed)
+	t.Withdraws += uint64(len(removed))
+	return removed
+}
+
+// Paths returns the paths known for prefix (shared slice: do not modify).
+func (t *Table) Paths(prefix netip.Prefix) []*Path {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	paths, _ := t.trie.Get(prefix)
+	return paths
+}
+
+// Best returns the decision-process winner for prefix, or nil.
+func (t *Table) Best(prefix netip.Prefix) *Path {
+	return Best(t.Paths(prefix))
+}
+
+// Lookup returns the best path for the longest prefix containing addr.
+func (t *Table) Lookup(addr netip.Addr) *Path {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, paths, ok := t.trie.Lookup(addr)
+	if !ok {
+		return nil
+	}
+	return Best(paths)
+}
+
+// Walk visits every prefix and its paths. The callback must not retain or
+// modify the slice.
+func (t *Table) Walk(fn func(prefix netip.Prefix, paths []*Path) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.trie.Walk(fn)
+}
+
+// WalkBest visits every prefix with its decision-process winner.
+func (t *Table) WalkBest(fn func(prefix netip.Prefix, best *Path) bool) {
+	t.Walk(func(p netip.Prefix, paths []*Path) bool {
+		if b := Best(paths); b != nil {
+			return fn(p, b)
+		}
+		return true
+	})
+}
+
+// Prefixes returns the number of distinct prefixes in the table.
+func (t *Table) Prefixes() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.trie.Len()
+}
+
+// PathCount returns the total number of paths across all prefixes.
+func (t *Table) PathCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.paths
+}
+
+// FIBEntry is a forwarding table entry: the resolved next hop for a
+// prefix and the logical output port.
+type FIBEntry struct {
+	NextHop netip.Addr
+	// Out names the egress: a vBGP neighbor name or backbone peer.
+	Out string
+}
+
+// FIB is a forwarding information base with longest-prefix-match lookup.
+// vBGP maintains one FIB per BGP neighbor so that the destination MAC of
+// each experiment frame selects the neighbor's table (paper §3.2.2).
+type FIB struct {
+	Name string
+
+	mu   sync.RWMutex
+	trie *DualTrie[FIBEntry]
+}
+
+// NewFIB creates an empty forwarding table.
+func NewFIB(name string) *FIB {
+	return &FIB{Name: name, trie: NewDualTrie[FIBEntry]()}
+}
+
+// Set installs or replaces the entry for prefix.
+func (f *FIB) Set(prefix netip.Prefix, e FIBEntry) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.trie.Insert(prefix, e)
+}
+
+// Delete removes the entry for prefix.
+func (f *FIB) Delete(prefix netip.Prefix) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.trie.Remove(prefix)
+}
+
+// Lookup returns the longest-prefix-match entry for addr.
+func (f *FIB) Lookup(addr netip.Addr) (FIBEntry, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	_, e, ok := f.trie.Lookup(addr)
+	return e, ok
+}
+
+// Len returns the number of entries.
+func (f *FIB) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.trie.Len()
+}
+
+// Walk visits every entry.
+func (f *FIB) Walk(fn func(prefix netip.Prefix, e FIBEntry) bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	f.trie.Walk(fn)
+}

@@ -1,0 +1,270 @@
+// Package rib implements the routing information bases a BGP router
+// maintains: a binary radix (Patricia) trie keyed by prefix, per-peer
+// Adj-RIBs, a Loc-RIB with the RFC 4271 §9.1 decision process, and
+// forwarding tables with longest-prefix-match lookup. vBGP keeps one
+// forwarding table per BGP neighbor (paper §3.2.2).
+package rib
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// trieNode is a node in a binary radix trie. Nodes with value==nil are
+// internal branching points.
+type trieNode[V any] struct {
+	prefix   netip.Prefix
+	value    *V
+	children [2]*trieNode[V]
+}
+
+// Trie maps prefixes of one address family to values, supporting exact
+// match, longest-prefix match, and ordered traversal. The zero Trie is
+// empty but family-less; use NewTrie.
+type Trie[V any] struct {
+	root *trieNode[V]
+	v6   bool
+	size int
+}
+
+// NewTrie creates a trie for IPv4 (v6=false) or IPv6 (v6=true) prefixes.
+func NewTrie[V any](v6 bool) *Trie[V] {
+	bits := 0
+	var addr netip.Addr
+	if v6 {
+		addr = netip.IPv6Unspecified()
+	} else {
+		addr = netip.IPv4Unspecified()
+	}
+	return &Trie[V]{root: &trieNode[V]{prefix: netip.PrefixFrom(addr, bits)}, v6: v6}
+}
+
+// Len returns the number of prefixes with values in the trie.
+func (t *Trie[V]) Len() int { return t.size }
+
+// bitAt returns bit i (0 = most significant) of the address.
+func bitAt(a netip.Addr, i int) int {
+	raw := a.AsSlice()
+	return int(raw[i/8]>>(7-i%8)) & 1
+}
+
+// commonBits returns the length of the longest common prefix of a and b,
+// capped at max.
+func commonBits(a, b netip.Addr, max int) int {
+	ra, rb := a.AsSlice(), b.AsSlice()
+	n := 0
+	for i := 0; i < len(ra) && n < max; i++ {
+		x := ra[i] ^ rb[i]
+		if x == 0 {
+			n += 8
+			continue
+		}
+		for m := byte(0x80); m != 0 && n < max; m >>= 1 {
+			if x&m != 0 {
+				return n
+			}
+			n++
+		}
+	}
+	if n > max {
+		n = max
+	}
+	return n
+}
+
+func (t *Trie[V]) check(p netip.Prefix) netip.Prefix {
+	if p.Addr().Is6() != t.v6 {
+		panic(fmt.Sprintf("rib: %s in %s trie", p, map[bool]string{true: "IPv6", false: "IPv4"}[t.v6]))
+	}
+	return p.Masked()
+}
+
+// Insert sets the value for prefix p, replacing any existing value.
+func (t *Trie[V]) Insert(p netip.Prefix, v V) {
+	p = t.check(p)
+	n := t.root
+	for {
+		if n.prefix == p {
+			if n.value == nil {
+				t.size++
+			}
+			n.value = &v
+			return
+		}
+		b := bitAt(p.Addr(), n.prefix.Bits())
+		child := n.children[b]
+		if child == nil {
+			t.size++
+			n.children[b] = &trieNode[V]{prefix: p, value: &v}
+			return
+		}
+		cb := commonBits(p.Addr(), child.prefix.Addr(), min(p.Bits(), child.prefix.Bits()))
+		if cb >= child.prefix.Bits() {
+			// child's prefix contains p: descend.
+			n = child
+			continue
+		}
+		// Split: insert a branching node covering the common bits.
+		branch := &trieNode[V]{prefix: netip.PrefixFrom(child.prefix.Addr(), cb).Masked()}
+		n.children[b] = branch
+		branch.children[bitAt(child.prefix.Addr(), cb)] = child
+		if branch.prefix == p {
+			t.size++
+			branch.value = &v
+			return
+		}
+		t.size++
+		branch.children[bitAt(p.Addr(), cb)] = &trieNode[V]{prefix: p, value: &v}
+		return
+	}
+}
+
+// Remove deletes the value for prefix p, reporting whether it was present.
+// Structural cleanup is conservative: empty leaves are pruned, pass-through
+// branch nodes are collapsed.
+func (t *Trie[V]) Remove(p netip.Prefix) bool {
+	p = t.check(p)
+	var parent *trieNode[V]
+	var parentIdx int
+	n := t.root
+	for n != nil {
+		if n.prefix == p {
+			if n.value == nil {
+				return false
+			}
+			n.value = nil
+			t.size--
+			t.prune(parent, parentIdx, n)
+			return true
+		}
+		if n.prefix.Bits() >= p.Bits() || !n.prefix.Contains(p.Addr()) {
+			return false
+		}
+		parent, parentIdx = n, bitAt(p.Addr(), n.prefix.Bits())
+		n = n.children[parentIdx]
+	}
+	return false
+}
+
+// prune removes or collapses a now-valueless node.
+func (t *Trie[V]) prune(parent *trieNode[V], idx int, n *trieNode[V]) {
+	if parent == nil || n.value != nil {
+		return
+	}
+	switch {
+	case n.children[0] == nil && n.children[1] == nil:
+		parent.children[idx] = nil
+	case n.children[0] == nil:
+		parent.children[idx] = n.children[1]
+	case n.children[1] == nil:
+		parent.children[idx] = n.children[0]
+	}
+}
+
+// Get returns the value stored for exactly prefix p.
+func (t *Trie[V]) Get(p netip.Prefix) (V, bool) {
+	p = t.check(p)
+	n := t.root
+	for n != nil {
+		if n.prefix == p {
+			if n.value != nil {
+				return *n.value, true
+			}
+			var zero V
+			return zero, false
+		}
+		if n.prefix.Bits() >= p.Bits() || !n.prefix.Contains(p.Addr()) {
+			break
+		}
+		n = n.children[bitAt(p.Addr(), n.prefix.Bits())]
+	}
+	var zero V
+	return zero, false
+}
+
+// Lookup returns the value of the longest prefix containing addr.
+func (t *Trie[V]) Lookup(addr netip.Addr) (netip.Prefix, V, bool) {
+	var bestP netip.Prefix
+	var bestV *V
+	n := t.root
+	for n != nil && n.prefix.Contains(addr) {
+		if n.value != nil {
+			bestP, bestV = n.prefix, n.value
+		}
+		if n.prefix.Bits() == addr.BitLen() {
+			break
+		}
+		n = n.children[bitAt(addr, n.prefix.Bits())]
+	}
+	if bestV == nil {
+		var zero V
+		return netip.Prefix{}, zero, false
+	}
+	return bestP, *bestV, true
+}
+
+// Walk visits every stored prefix/value pair in depth-first order; the
+// traversal stops if fn returns false.
+func (t *Trie[V]) Walk(fn func(p netip.Prefix, v V) bool) {
+	var rec func(n *trieNode[V]) bool
+	rec = func(n *trieNode[V]) bool {
+		if n == nil {
+			return true
+		}
+		if n.value != nil && !fn(n.prefix, *n.value) {
+			return false
+		}
+		return rec(n.children[0]) && rec(n.children[1])
+	}
+	rec(t.root)
+}
+
+// DualTrie pairs an IPv4 and an IPv6 trie behind one interface.
+type DualTrie[V any] struct {
+	v4, v6 *Trie[V]
+}
+
+// NewDualTrie creates an empty dual-family trie.
+func NewDualTrie[V any]() *DualTrie[V] {
+	return &DualTrie[V]{v4: NewTrie[V](false), v6: NewTrie[V](true)}
+}
+
+func (d *DualTrie[V]) pick(is6 bool) *Trie[V] {
+	if is6 {
+		return d.v6
+	}
+	return d.v4
+}
+
+// Insert sets the value for p.
+func (d *DualTrie[V]) Insert(p netip.Prefix, v V) { d.pick(p.Addr().Is6()).Insert(p, v) }
+
+// Remove deletes p, reporting whether it was present.
+func (d *DualTrie[V]) Remove(p netip.Prefix) bool { return d.pick(p.Addr().Is6()).Remove(p) }
+
+// Get returns the value stored for exactly p.
+func (d *DualTrie[V]) Get(p netip.Prefix) (V, bool) { return d.pick(p.Addr().Is6()).Get(p) }
+
+// Lookup returns the longest-prefix match for addr.
+func (d *DualTrie[V]) Lookup(a netip.Addr) (netip.Prefix, V, bool) {
+	return d.pick(a.Is6()).Lookup(a)
+}
+
+// Len returns the number of stored prefixes across both families.
+func (d *DualTrie[V]) Len() int { return d.v4.Len() + d.v6.Len() }
+
+// Walk visits IPv4 entries then IPv6 entries.
+func (d *DualTrie[V]) Walk(fn func(p netip.Prefix, v V) bool) {
+	stop := false
+	d.v4.Walk(func(p netip.Prefix, v V) bool {
+		if !fn(p, v) {
+			stop = true
+			return false
+		}
+		return true
+	})
+	if stop {
+		return
+	}
+	d.v6.Walk(fn)
+}

@@ -1,0 +1,283 @@
+package rib
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+func ip(s string) netip.Addr    { return netip.MustParseAddr(s) }
+
+func TestTrieInsertGet(t *testing.T) {
+	tr := NewTrie[int](false)
+	tr.Insert(pfx("10.0.0.0/8"), 1)
+	tr.Insert(pfx("10.1.0.0/16"), 2)
+	tr.Insert(pfx("10.1.1.0/24"), 3)
+	tr.Insert(pfx("192.168.0.0/16"), 4)
+	tr.Insert(pfx("0.0.0.0/0"), 5)
+
+	cases := []struct {
+		p    string
+		want int
+		ok   bool
+	}{
+		{"10.0.0.0/8", 1, true},
+		{"10.1.0.0/16", 2, true},
+		{"10.1.1.0/24", 3, true},
+		{"192.168.0.0/16", 4, true},
+		{"0.0.0.0/0", 5, true},
+		{"10.1.2.0/24", 0, false},
+		{"10.0.0.0/9", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := tr.Get(pfx(c.p))
+		if ok != c.ok || got != c.want {
+			t.Errorf("Get(%s) = %d,%v want %d,%v", c.p, got, ok, c.want, c.ok)
+		}
+	}
+	if tr.Len() != 5 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestTrieReplace(t *testing.T) {
+	tr := NewTrie[int](false)
+	tr.Insert(pfx("10.0.0.0/24"), 1)
+	tr.Insert(pfx("10.0.0.0/24"), 2)
+	if got, _ := tr.Get(pfx("10.0.0.0/24")); got != 2 {
+		t.Errorf("replace: got %d", got)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d after replace", tr.Len())
+	}
+}
+
+func TestTrieLPM(t *testing.T) {
+	tr := NewTrie[string](false)
+	tr.Insert(pfx("0.0.0.0/0"), "default")
+	tr.Insert(pfx("10.0.0.0/8"), "ten")
+	tr.Insert(pfx("10.1.0.0/16"), "ten-one")
+	tr.Insert(pfx("10.1.128.0/17"), "ten-one-high")
+
+	cases := []struct {
+		addr string
+		want string
+	}{
+		{"10.1.128.1", "ten-one-high"},
+		{"10.1.0.1", "ten-one"},
+		{"10.2.0.1", "ten"},
+		{"11.0.0.1", "default"},
+	}
+	for _, c := range cases {
+		_, got, ok := tr.Lookup(ip(c.addr))
+		if !ok || got != c.want {
+			t.Errorf("Lookup(%s) = %q,%v want %q", c.addr, got, ok, c.want)
+		}
+	}
+}
+
+func TestTrieLPMNoDefault(t *testing.T) {
+	tr := NewTrie[string](false)
+	tr.Insert(pfx("10.0.0.0/8"), "ten")
+	if _, _, ok := tr.Lookup(ip("11.0.0.1")); ok {
+		t.Error("lookup outside coverage should miss")
+	}
+}
+
+func TestTrieRemove(t *testing.T) {
+	tr := NewTrie[int](false)
+	tr.Insert(pfx("10.0.0.0/8"), 1)
+	tr.Insert(pfx("10.1.0.0/16"), 2)
+	if !tr.Remove(pfx("10.1.0.0/16")) {
+		t.Fatal("remove existing failed")
+	}
+	if tr.Remove(pfx("10.1.0.0/16")) {
+		t.Fatal("double remove succeeded")
+	}
+	if tr.Remove(pfx("10.9.0.0/16")) {
+		t.Fatal("remove absent succeeded")
+	}
+	if _, ok := tr.Get(pfx("10.1.0.0/16")); ok {
+		t.Error("removed prefix still present")
+	}
+	if got, _ := tr.Get(pfx("10.0.0.0/8")); got != 1 {
+		t.Error("sibling prefix lost")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	// LPM no longer matches the removed, more-specific entry.
+	_, v, ok := tr.Lookup(ip("10.1.0.1"))
+	if !ok || v != 1 {
+		t.Errorf("LPM after remove = %d,%v", v, ok)
+	}
+}
+
+func TestTrieHostRoutes(t *testing.T) {
+	tr := NewTrie[int](false)
+	tr.Insert(pfx("10.0.0.1/32"), 1)
+	tr.Insert(pfx("10.0.0.2/32"), 2)
+	_, v, ok := tr.Lookup(ip("10.0.0.2"))
+	if !ok || v != 2 {
+		t.Errorf("host route lookup = %d,%v", v, ok)
+	}
+	if _, _, ok := tr.Lookup(ip("10.0.0.3")); ok {
+		t.Error("host route should not cover neighbors")
+	}
+}
+
+func TestTrieIPv6(t *testing.T) {
+	tr := NewTrie[int](true)
+	tr.Insert(pfx("2001:db8::/32"), 1)
+	tr.Insert(pfx("2001:db8:1::/48"), 2)
+	_, v, ok := tr.Lookup(ip("2001:db8:1::9"))
+	if !ok || v != 2 {
+		t.Errorf("v6 LPM = %d,%v", v, ok)
+	}
+	_, v, ok = tr.Lookup(ip("2001:db8:2::9"))
+	if !ok || v != 1 {
+		t.Errorf("v6 LPM fallback = %d,%v", v, ok)
+	}
+}
+
+func TestTrieFamilyMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("inserting v6 prefix into v4 trie should panic")
+		}
+	}()
+	NewTrie[int](false).Insert(pfx("2001:db8::/32"), 1)
+}
+
+func TestTrieWalkOrderAndStop(t *testing.T) {
+	tr := NewTrie[int](false)
+	for i, p := range []string{"10.0.0.0/8", "10.1.0.0/16", "172.16.0.0/12"} {
+		tr.Insert(pfx(p), i)
+	}
+	var seen []netip.Prefix
+	tr.Walk(func(p netip.Prefix, v int) bool {
+		seen = append(seen, p)
+		return true
+	})
+	if len(seen) != 3 {
+		t.Errorf("walk visited %v", seen)
+	}
+	count := 0
+	tr.Walk(func(netip.Prefix, int) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("early-stop walk visited %d", count)
+	}
+}
+
+// TestTrieAgainstMap drives the trie with random operations and checks
+// every behavior against a reference map implementation.
+func TestTrieAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := NewTrie[int](false)
+	ref := make(map[netip.Prefix]int)
+
+	randPrefix := func() netip.Prefix {
+		bits := rng.Intn(25) + 8
+		addr := netip.AddrFrom4([4]byte{10, byte(rng.Intn(16)), byte(rng.Intn(16)), 0})
+		return netip.PrefixFrom(addr, bits).Masked()
+	}
+	for i := 0; i < 5000; i++ {
+		p := randPrefix()
+		switch rng.Intn(3) {
+		case 0:
+			tr.Insert(p, i)
+			ref[p] = i
+		case 1:
+			got := tr.Remove(p)
+			_, want := ref[p]
+			if got != want {
+				t.Fatalf("op %d: Remove(%s) = %v want %v", i, p, got, want)
+			}
+			delete(ref, p)
+		case 2:
+			got, ok := tr.Get(p)
+			want, wok := ref[p]
+			if ok != wok || got != want {
+				t.Fatalf("op %d: Get(%s) = %d,%v want %d,%v", i, p, got, ok, want, wok)
+			}
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d want %d", i, tr.Len(), len(ref))
+		}
+	}
+	// Verify LPM for random addresses against brute force.
+	for i := 0; i < 2000; i++ {
+		addr := netip.AddrFrom4([4]byte{10, byte(rng.Intn(16)), byte(rng.Intn(16)), byte(rng.Intn(256))})
+		var wantP netip.Prefix
+		wantOK := false
+		for p := range ref {
+			if p.Contains(addr) && (!wantOK || p.Bits() > wantP.Bits()) {
+				wantP, wantOK = p, true
+			}
+		}
+		gotP, gotV, gotOK := tr.Lookup(addr)
+		if gotOK != wantOK {
+			t.Fatalf("LPM(%s) ok=%v want %v", addr, gotOK, wantOK)
+		}
+		if wantOK && (gotP != wantP || gotV != ref[wantP]) {
+			t.Fatalf("LPM(%s) = %s,%d want %s,%d", addr, gotP, gotV, wantP, ref[wantP])
+		}
+	}
+}
+
+func TestTrieInsertGetProperty(t *testing.T) {
+	fn := func(raw [][4]byte, bits []uint8) bool {
+		tr := NewTrie[int](false)
+		ref := make(map[netip.Prefix]int)
+		for i := range raw {
+			b := 32
+			if i < len(bits) {
+				b = int(bits[i] % 33)
+			}
+			p := netip.PrefixFrom(netip.AddrFrom4(raw[i]), b).Masked()
+			tr.Insert(p, i)
+			ref[p] = i
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for p, want := range ref {
+			got, ok := tr.Get(p)
+			if !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDualTrie(t *testing.T) {
+	d := NewDualTrie[int]()
+	d.Insert(pfx("10.0.0.0/8"), 4)
+	d.Insert(pfx("2001:db8::/32"), 6)
+	if d.Len() != 2 {
+		t.Errorf("Len = %d", d.Len())
+	}
+	if _, v, ok := d.Lookup(ip("10.1.2.3")); !ok || v != 4 {
+		t.Error("v4 lookup through dual trie")
+	}
+	if _, v, ok := d.Lookup(ip("2001:db8::1")); !ok || v != 6 {
+		t.Error("v6 lookup through dual trie")
+	}
+	if !d.Remove(pfx("10.0.0.0/8")) || d.Len() != 1 {
+		t.Error("dual remove")
+	}
+	visited := 0
+	d.Walk(func(netip.Prefix, int) bool { visited++; return true })
+	if visited != 1 {
+		t.Errorf("walk visited %d", visited)
+	}
+}

@@ -1,0 +1,9 @@
+package traffic
+
+import "repro/internal/netsim"
+
+// AsLink converts a netsim segment's provisioned capacity and latency
+// metadata into a traffic model link.
+func AsLink(s *netsim.Segment) Link {
+	return Link{Name: s.Name, CapacityBps: s.CapacityBps, Latency: s.Latency}
+}

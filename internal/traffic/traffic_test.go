@@ -1,0 +1,113 @@
+package traffic
+
+import (
+	"testing"
+	"time"
+)
+
+func link(name string, mbps float64, lat time.Duration) Link {
+	return Link{Name: name, CapacityBps: mbps * 1e6, Latency: lat}
+}
+
+func TestSingleFlowApproachesCapacity(t *testing.T) {
+	bps, err := MeasureSingleFlow([]Link{link("a", 400, 10*time.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bps < 0.70*400e6 || bps > 400e6*1.01 {
+		t.Errorf("single flow = %.0f Mbps, want ~70-100%% of 400", bps/1e6)
+	}
+}
+
+func TestBottleneckIsMinimumLink(t *testing.T) {
+	path := []Link{
+		link("fast", 1000, 5*time.Millisecond),
+		link("slow", 100, 5*time.Millisecond),
+		link("fast2", 750, 5*time.Millisecond),
+	}
+	bps, err := MeasureSingleFlow(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bps > 100e6*1.01 {
+		t.Errorf("throughput %.0f Mbps exceeds the 100 Mbps bottleneck", bps/1e6)
+	}
+	if bps < 60e6 {
+		t.Errorf("throughput %.0f Mbps too far below bottleneck", bps/1e6)
+	}
+}
+
+func TestTwoFlowsShareFairly(t *testing.T) {
+	s := NewSim()
+	shared := link("shared", 400, 10*time.Millisecond)
+	f1, err := s.AddFlow("f1", []Link{shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := s.AddFlow("f2", []Link{shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(2 * time.Second)
+	d := s.Run(8 * time.Second)
+	b1, b2 := f1.ThroughputBps(d), f2.ThroughputBps(d)
+	if b1+b2 > 400e6*1.01 {
+		t.Errorf("aggregate %.0f Mbps exceeds capacity", (b1+b2)/1e6)
+	}
+	ratio := b1 / b2
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("unfair split: %.0f vs %.0f Mbps", b1/1e6, b2/1e6)
+	}
+}
+
+func TestLongerRTTLowerShare(t *testing.T) {
+	// Classic AIMD RTT bias: the short-RTT flow claims more of the
+	// bottleneck. The model must reproduce the direction of the effect.
+	s := NewSim()
+	shared := link("shared", 400, 0)
+	short := []Link{shared, link("short-tail", 1000, 5*time.Millisecond)}
+	long := []Link{shared, link("long-tail", 1000, 50*time.Millisecond)}
+	f1, _ := s.AddFlow("short", short)
+	f2, _ := s.AddFlow("long", long)
+	s.Run(3 * time.Second)
+	d := s.Run(10 * time.Second)
+	if f1.ThroughputBps(d) <= f2.ThroughputBps(d) {
+		t.Errorf("short RTT flow (%.0f Mbps) should out-compete long RTT flow (%.0f Mbps)",
+			f1.ThroughputBps(d)/1e6, f2.ThroughputBps(d)/1e6)
+	}
+}
+
+func TestPaperBackboneEnvelope(t *testing.T) {
+	// §6: across PoP pairs iperf3 measured min 60, avg ~400, max 750
+	// Mbps. Provisioned capacities in that range must yield throughput
+	// in that range.
+	for _, mbps := range []float64{60, 400, 750} {
+		bps, err := MeasureSingleFlow([]Link{link("bb", mbps, 20*time.Millisecond)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bps < 0.55*mbps*1e6 || bps > mbps*1e6*1.01 {
+			t.Errorf("capacity %.0f: throughput %.0f Mbps out of envelope", mbps, bps/1e6)
+		}
+	}
+}
+
+func TestFlowValidation(t *testing.T) {
+	s := NewSim()
+	if _, err := s.AddFlow("empty", nil); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, err := s.AddFlow("nocap", []Link{{Name: "x"}}); err == nil {
+		t.Error("uncapacitated link accepted")
+	}
+}
+
+func TestZeroLatencyDefaultsSane(t *testing.T) {
+	f := &Flow{Path: []Link{link("l", 100, 0)}}
+	if f.RTT() <= 0 {
+		t.Error("RTT must be positive")
+	}
+	if f.ThroughputBps(0) != 0 {
+		t.Error("zero interval throughput should be 0")
+	}
+}

@@ -1,0 +1,452 @@
+package peering
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/ethernet"
+	"repro/internal/rib"
+	"repro/internal/tunnel"
+)
+
+// Client is the experiment-side toolkit (paper §4.5, Table 1): it opens
+// tunnels to PoPs, runs BGP sessions over them, announces and withdraws
+// prefixes with AS-path and community manipulation, inspects learned
+// routes, and exchanges data-plane traffic with per-packet egress
+// selection.
+type Client struct {
+	// Name and Key are the credentials issued at approval.
+	Name string
+	Key  string
+	// ASN the experiment originates from.
+	ASN uint32
+
+	mu    sync.Mutex
+	conns map[string]*popConn
+}
+
+// popConn is the client's state for one PoP.
+type popConn struct {
+	// popName and platformASN identify the PoP; pop is set only for
+	// in-process connections (nil when the PoP is remote, e.g. over
+	// TCP via OpenTunnelRemote).
+	popName     string
+	platformASN uint32
+	pop         *PoP
+	// tun is the client end; serverTun is the PoP end (the router's BGP
+	// session attaches to its control channel; nil for remote PoPs,
+	// where the server attaches it itself).
+	tun       *tunnel.Tunnel
+	serverTun *tunnel.Tunnel
+	sess      *bgp.Session
+
+	localIP    netip.Addr
+	routerAddr netip.Addr
+
+	table *rib.Table // routes learned at this PoP
+
+	arpMu   sync.Mutex
+	arp     map[netip.Addr]ethernet.MAC
+	arpWait map[netip.Addr][]chan ethernet.MAC
+
+	pktMu    sync.Mutex
+	onPacket func(ip *ethernet.IPv4, fromNeighbor ethernet.MAC)
+
+	echoMu   sync.Mutex
+	echoWait map[[2]uint16]chan probeReply
+
+	estCh chan struct{}
+}
+
+// NewClient creates a toolkit client for an approved experiment.
+func NewClient(name, key string, asn uint32) *Client {
+	return &Client{Name: name, Key: key, ASN: asn, conns: make(map[string]*popConn)}
+}
+
+// OpenTunnel establishes the authenticated tunnel to a PoP (Table 1:
+// "open tunnels").
+func (c *Client) OpenTunnel(pop *PoP) error {
+	c.mu.Lock()
+	if _, dup := c.conns[pop.Name]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("peering: tunnel to %s already open", pop.Name)
+	}
+	c.mu.Unlock()
+
+	serverSide, clientSide := newConnPair()
+	type serveResult struct {
+		tun *tunnel.Tunnel
+		err error
+	}
+	served := make(chan serveResult, 1)
+	go func() {
+		st, err := pop.ServeTunnel(serverSide)
+		served <- serveResult{st, err}
+	}()
+	tun, err := tunnel.Dial(clientSide, c.Name, c.Key)
+	if err != nil {
+		<-served
+		return err
+	}
+	res := <-served
+	if res.err != nil {
+		return res.err
+	}
+
+	pc, err := c.newPopConn(pop.Name, pop.platform.ASN(), tun)
+	if err != nil {
+		return err
+	}
+	pc.pop = pop
+	pc.serverTun = res.tun
+	return nil
+}
+
+// newPopConn builds per-PoP client state around an authenticated tunnel
+// and registers it.
+func (c *Client) newPopConn(popName string, platformASN uint32, tun *tunnel.Tunnel) (*popConn, error) {
+	pc := &popConn{
+		popName: popName, platformASN: platformASN, tun: tun,
+		table:    rib.NewTable(c.Name + "@" + popName),
+		arp:      make(map[netip.Addr]ethernet.MAC),
+		arpWait:  make(map[netip.Addr][]chan ethernet.MAC),
+		echoWait: make(map[[2]uint16]chan probeReply),
+		estCh:    make(chan struct{}),
+	}
+	var bits int
+	var ipStr, rtrStr string
+	if _, err := fmt.Sscanf(string(tun.Payload), "%s %d %s", &ipStr, &bits, &rtrStr); err != nil {
+		tun.Close()
+		return nil, fmt.Errorf("peering: bad tunnel config %q: %v", tun.Payload, err)
+	}
+	pc.localIP = netip.MustParseAddr(ipStr)
+	pc.routerAddr = netip.MustParseAddr(rtrStr)
+	tun.OnFrame(pc.handleFrame)
+
+	c.mu.Lock()
+	c.conns[popName] = pc
+	c.mu.Unlock()
+	return pc, nil
+}
+
+// CloseTunnel tears down the tunnel to a PoP (Table 1: "close tunnels").
+func (c *Client) CloseTunnel(popName string) error {
+	c.mu.Lock()
+	pc := c.conns[popName]
+	delete(c.conns, popName)
+	c.mu.Unlock()
+	if pc == nil {
+		return fmt.Errorf("peering: no tunnel to %s", popName)
+	}
+	if pc.sess != nil {
+		pc.sess.Close()
+	}
+	return pc.tun.Close()
+}
+
+// TunnelStatus reports "up" or "down" (Table 1: "check status").
+func (c *Client) TunnelStatus(popName string) string {
+	c.mu.Lock()
+	pc := c.conns[popName]
+	c.mu.Unlock()
+	if pc == nil {
+		return "down"
+	}
+	select {
+	case <-pc.tun.Done():
+		return "down"
+	default:
+		return "up"
+	}
+}
+
+func (c *Client) conn(popName string) (*popConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pc := c.conns[popName]
+	if pc == nil {
+		return nil, fmt.Errorf("peering: no tunnel to %s (open one first)", popName)
+	}
+	return pc, nil
+}
+
+// StartBGP brings up the experiment's BGP session at a PoP over the
+// tunnel (Table 1: "start BIRD v4 and v6 sessions" — one session carries
+// both families here).
+func (c *Client) StartBGP(popName string) error {
+	pc, err := c.conn(popName)
+	if err != nil {
+		return err
+	}
+	if pc.sess != nil {
+		return fmt.Errorf("peering: BGP already running at %s", popName)
+	}
+	// In-process PoPs attach the router side here; remote PoPs attached
+	// it at tunnel setup (ServeAndAttach).
+	if pc.pop != nil {
+		if err := pc.pop.ConnectExperimentBGP(pc.serverTun, c.ASN); err != nil {
+			return err
+		}
+	}
+	pc.sess = bgp.NewSession(pc.tun.Control(), bgp.Config{
+		LocalASN:  c.ASN,
+		RemoteASN: pc.platformASN,
+		LocalID:   pc.localIP,
+		Families:  []bgp.AFISAFI{bgp.IPv4Unicast, bgp.IPv6Unicast},
+		AddPath: map[bgp.AFISAFI]uint8{
+			bgp.IPv4Unicast: bgp.AddPathSendReceive,
+			bgp.IPv6Unicast: bgp.AddPathSendReceive,
+		},
+		OnUpdate:      func(u *bgp.Update) { pc.handleUpdate(u) },
+		OnEstablished: func() { close(pc.estCh) },
+	})
+	go pc.sess.Run()
+	return nil
+}
+
+// WaitEstablished blocks until the PoP's BGP session establishes.
+func (c *Client) WaitEstablished(popName string, timeout time.Duration) error {
+	pc, err := c.conn(popName)
+	if err != nil {
+		return err
+	}
+	if pc.sess == nil {
+		return fmt.Errorf("peering: BGP not started at %s", popName)
+	}
+	select {
+	case <-pc.estCh:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("peering: BGP at %s did not establish (state %s)", popName, pc.sess.State())
+	}
+}
+
+// StopBGP closes the session (Table 1: "stop sessions").
+func (c *Client) StopBGP(popName string) error {
+	pc, err := c.conn(popName)
+	if err != nil {
+		return err
+	}
+	if pc.sess == nil {
+		return fmt.Errorf("peering: BGP not running at %s", popName)
+	}
+	pc.sess.Close()
+	pc.sess = nil
+	return nil
+}
+
+// BGPStatus returns the session state (Table 1: "status of BGP
+// connections").
+func (c *Client) BGPStatus(popName string) bgp.State {
+	pc, err := c.conn(popName)
+	if err != nil || pc.sess == nil {
+		return bgp.StateIdle
+	}
+	return pc.sess.State()
+}
+
+// handleUpdate maintains the client's per-PoP route table.
+func (pc *popConn) handleUpdate(u *bgp.Update) {
+	for _, w := range append(append([]bgp.NLRI(nil), u.Withdrawn...), u.MPUnreach...) {
+		pc.table.Withdraw(w.Prefix, pc.popName, w.ID)
+	}
+	store := func(nlri bgp.NLRI) {
+		if u.Attrs == nil {
+			return
+		}
+		pc.table.Add(&rib.Path{
+			Prefix: nlri.Prefix, ID: nlri.ID, Peer: pc.popName,
+			Attrs: u.Attrs.Clone(), EBGP: true, Seq: rib.NextSeq(),
+		})
+	}
+	for _, nlri := range u.NLRI {
+		store(nlri)
+	}
+	for _, nlri := range u.MPReach {
+		store(nlri)
+	}
+}
+
+// Routes returns a snapshot of the routes learned at a PoP. Each path's
+// ID is the neighbor the route came through; its next hop is the
+// neighbor's local-pool address.
+func (c *Client) Routes(popName string) []*rib.Path {
+	pc, err := c.conn(popName)
+	if err != nil {
+		return nil
+	}
+	var out []*rib.Path
+	pc.table.Walk(func(_ netip.Prefix, paths []*rib.Path) bool {
+		out = append(out, paths...)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prefix != out[j].Prefix {
+			return out[i].Prefix.String() < out[j].Prefix.String()
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// RoutesFor returns the paths for one prefix at a PoP.
+func (c *Client) RoutesFor(popName string, prefix netip.Prefix) []*rib.Path {
+	pc, err := c.conn(popName)
+	if err != nil {
+		return nil
+	}
+	return pc.table.Paths(prefix)
+}
+
+// AnnounceOption customizes an announcement (Table 1: "manipulate
+// community / AS-path attributes").
+type AnnounceOption func(*announcement)
+
+type announcement struct {
+	version  bgp.PathID
+	prepend  int
+	poison   []uint32
+	comms    []bgp.Community
+	origin   uint32
+	announce []uint32 // whitelist neighbor IDs
+	noExport []uint32 // blacklist neighbor IDs
+}
+
+// WithVersion announces a distinct version of the prefix (its ADD-PATH
+// ID), letting different versions target different neighbors.
+func WithVersion(id uint32) AnnounceOption {
+	return func(a *announcement) { a.version = bgp.PathID(id) }
+}
+
+// WithPrepend prepends the experiment ASN n extra times.
+func WithPrepend(n int) AnnounceOption {
+	return func(a *announcement) { a.prepend = n }
+}
+
+// WithPoison inserts the given ASNs into the path (BGP poisoning;
+// requires the capability).
+func WithPoison(asns ...uint32) AnnounceOption {
+	return func(a *announcement) { a.poison = append(a.poison, asns...) }
+}
+
+// WithCommunities attaches BGP communities (requires the capability).
+func WithCommunities(comms ...bgp.Community) AnnounceOption {
+	return func(a *announcement) { a.comms = append(a.comms, comms...) }
+}
+
+// WithOriginASN originates from a different authorized ASN.
+func WithOriginASN(asn uint32) AnnounceOption {
+	return func(a *announcement) { a.origin = asn }
+}
+
+// ToNeighbors whitelists export to the given neighbor IDs only.
+func ToNeighbors(ids ...uint32) AnnounceOption {
+	return func(a *announcement) { a.announce = append(a.announce, ids...) }
+}
+
+// ExceptNeighbors blacklists export to the given neighbor IDs.
+func ExceptNeighbors(ids ...uint32) AnnounceOption {
+	return func(a *announcement) { a.noExport = append(a.noExport, ids...) }
+}
+
+// Announce sends a prefix announcement at a PoP (Table 1:
+// "announce/withdraw prefix").
+func (c *Client) Announce(popName string, prefix netip.Prefix, opts ...AnnounceOption) error {
+	pc, err := c.conn(popName)
+	if err != nil {
+		return err
+	}
+	if pc.sess == nil {
+		return fmt.Errorf("peering: BGP not running at %s", popName)
+	}
+	a := announcement{origin: c.ASN}
+	for _, o := range opts {
+		o(&a)
+	}
+	platformASN := pc.platformASN
+	// Path shape: experiment ASN, then any poisoned ASNs, then the
+	// origin (repeated experiment ASN when poisoning, so the origin
+	// check still passes).
+	path := []uint32{c.ASN}
+	path = append(path, a.poison...)
+	if a.origin != c.ASN || len(a.poison) > 0 {
+		path = append(path, a.origin)
+	}
+	attrs := &bgp.PathAttrs{
+		Origin: bgp.OriginIGP, HasOrigin: true,
+		ASPath:      []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: path}},
+		NextHop:     pc.localIP,
+		Communities: a.comms,
+	}
+	attrs.PrependAS(c.ASN, a.prepend)
+	for _, id := range a.announce {
+		attrs.AddCommunity(AnnounceTo(platformASN, id))
+	}
+	for _, id := range a.noExport {
+		attrs.AddCommunity(NoExportTo(platformASN, id))
+	}
+	return pc.sess.Send(&bgp.Update{
+		Attrs: attrs,
+		NLRI:  []bgp.NLRI{{Prefix: prefix, ID: a.version}},
+	})
+}
+
+// Withdraw retracts a prefix (a specific version, or version 0).
+func (c *Client) Withdraw(popName string, prefix netip.Prefix, version uint32) error {
+	pc, err := c.conn(popName)
+	if err != nil {
+		return err
+	}
+	if pc.sess == nil {
+		return fmt.Errorf("peering: BGP not running at %s", popName)
+	}
+	return pc.sess.Send(&bgp.Update{
+		Withdrawn: []bgp.NLRI{{Prefix: prefix, ID: bgp.PathID(version)}},
+	})
+}
+
+// CLI evaluates a BIRD-style show command against the client's state
+// (Table 1: "access BIRD CLI").
+func (c *Client) CLI(popName, command string) string {
+	pc, err := c.conn(popName)
+	if err != nil {
+		return err.Error()
+	}
+	fields := strings.Fields(command)
+	switch {
+	case len(fields) == 2 && fields[0] == "show" && fields[1] == "protocols":
+		state := "down"
+		if pc.sess != nil {
+			state = pc.sess.State().String()
+		}
+		return fmt.Sprintf("name     proto  state\n%-8s BGP    %s", popName, state)
+	case len(fields) >= 2 && fields[0] == "show" && fields[1] == "route":
+		var b strings.Builder
+		var filter netip.Prefix
+		if len(fields) == 3 {
+			p, err := netip.ParsePrefix(fields[2])
+			if err != nil {
+				return "syntax error: " + err.Error()
+			}
+			filter = p
+		}
+		for _, p := range c.Routes(popName) {
+			if filter.IsValid() && p.Prefix != filter {
+				continue
+			}
+			fmt.Fprintf(&b, "%-20s via %-12s [id %d] %v\n",
+				p.Prefix, p.NextHop(), p.ID, p.Attrs.ASPathFlat())
+		}
+		if b.Len() == 0 {
+			return "<no routes>"
+		}
+		return strings.TrimRight(b.String(), "\n")
+	default:
+		return "syntax error: supported commands: show protocols, show route [prefix]"
+	}
+}

@@ -1,0 +1,266 @@
+// Package peering is the public API of the platform reproduction: it
+// assembles vBGP routers, the enforcement engine, tunnels, the
+// management workflow, and the experiment toolkit into a turn-key
+// testbed equivalent to the system the paper operates (§4).
+//
+// A Platform owns the pieces shared across PoPs — the AS number, the
+// security enforcement engine, the global neighbor pool, experiment
+// credentials, and the synthetic Internet topology. PoPs are added with
+// AddPoP and interconnected with ConnectBackbone; neighbors attach via
+// the inet and ixp packages or raw BGP transports. Experiments are
+// proposed, reviewed, and approved (§4.6), then drive everything through
+// a Client: tunnels, BGP sessions, announcements with community-steered
+// export, AS-path manipulation, and per-packet egress selection (Table
+// 1 and §3.2).
+package peering
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/inet"
+	"repro/internal/netsim"
+	"repro/internal/policy"
+	"repro/internal/tunnel"
+)
+
+// PlatformConfig configures a platform.
+type PlatformConfig struct {
+	// ASN is the platform's primary AS number (Peering's is 47065).
+	ASN uint32
+	// GlobalPool is the platform-wide neighbor pool; defaults to
+	// 127.127.0.0/16.
+	GlobalPool netip.Prefix
+	// Topology is the synthetic Internet neighbors are drawn from. May
+	// be nil for hand-wired setups.
+	Topology *inet.Topology
+	// Logf receives platform event logs.
+	Logf func(format string, args ...any)
+}
+
+// Platform is a running testbed.
+type Platform struct {
+	cfg    PlatformConfig
+	Engine *policy.Engine
+	Store  *config.Store
+
+	globalPool *core.Pool
+
+	mu             sync.Mutex
+	pops           map[string]*PoP
+	creds          tunnel.Credentials
+	proposals      map[string]*Proposal
+	nextNeighborID uint32
+	keySeq         int
+	backbone       *netsim.Segment
+	bbHosts        int
+	bbLinks        map[[2]string]BackboneLink
+	v6AutoPool     netip.Prefix
+	v6AutoSeq      int
+}
+
+// NewPlatform creates a platform with an empty footprint.
+func NewPlatform(cfg PlatformConfig) *Platform {
+	if !cfg.GlobalPool.IsValid() {
+		cfg.GlobalPool = core.DefaultGlobalPool
+	}
+	return &Platform{
+		cfg:        cfg,
+		Engine:     policy.NewEngine(cfg.ASN),
+		Store:      config.NewStore(),
+		globalPool: core.NewPool(cfg.GlobalPool),
+		pops:       make(map[string]*PoP),
+		creds:      make(tunnel.Credentials),
+		proposals:  make(map[string]*Proposal),
+	}
+}
+
+// ASN returns the platform AS number.
+func (p *Platform) ASN() uint32 { return p.cfg.ASN }
+
+// Topology returns the synthetic Internet, or nil.
+func (p *Platform) Topology() *inet.Topology { return p.cfg.Topology }
+
+// NextNeighborID allocates a platform-wide neighbor ID (the community
+// value experiments use to steer announcements).
+func (p *Platform) NextNeighborID() uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nextNeighborID++
+	return p.nextNeighborID
+}
+
+// PoP returns the named PoP, or nil.
+func (p *Platform) PoP(name string) *PoP {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pops[name]
+}
+
+// PoPs returns all PoP names, sorted.
+func (p *Platform) PoPs() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.pops))
+	for name := range p.pops {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PoPConfig configures one point of presence.
+type PoPConfig struct {
+	// Name of the PoP, e.g. "amsix".
+	Name string
+	// RouterID of its vBGP router.
+	RouterID netip.Addr
+	// LocalPool is the PoP's next-hop pool; must be distinct per PoP.
+	LocalPool netip.Prefix
+	// ExpLAN is the experiment-LAN prefix; the router takes .254.
+	ExpLAN netip.Prefix
+	// MaintainDefaultTable enables the router-managed best-path table
+	// (the Fig. 6a ablation).
+	MaintainDefaultTable bool
+	// BandwidthLimitBps shapes all experiment traffic entering the PoP,
+	// modeling the paper's two bandwidth-constrained sites (§4.7). Zero
+	// means unconstrained.
+	BandwidthLimitBps float64
+}
+
+// AddPoP creates a PoP with its vBGP router and experiment LAN.
+func (p *Platform) AddPoP(cfg PoPConfig) (*PoP, error) {
+	p.mu.Lock()
+	if _, dup := p.pops[cfg.Name]; dup {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("peering: duplicate pop %s", cfg.Name)
+	}
+	p.mu.Unlock()
+
+	router := core.NewRouter(core.Config{
+		Name: cfg.Name, ASN: p.cfg.ASN, RouterID: cfg.RouterID,
+		LocalPool: cfg.LocalPool, GlobalPool: p.globalPool,
+		Enforcer:             p.Engine,
+		MaintainDefaultTable: cfg.MaintainDefaultTable,
+		Logf:                 p.cfg.Logf,
+	})
+	pop := &PoP{
+		Name:     cfg.Name,
+		Router:   router,
+		platform: p,
+		expLAN:   netsim.NewSegment(cfg.Name + "-exp-lan"),
+		expCIDR:  cfg.ExpLAN,
+	}
+	routerAddr := lastUsable(cfg.ExpLAN)
+	expIfc := router.AddInterface("exp0", "experiment", netip.PrefixFrom(routerAddr, cfg.ExpLAN.Bits()), pop.expLAN)
+	if cfg.BandwidthLimitBps > 0 {
+		expIfc.AddIngressFilter(netsim.NewTokenBucketFilter(cfg.BandwidthLimitBps, 0))
+	}
+
+	p.mu.Lock()
+	p.pops[cfg.Name] = pop
+	p.mu.Unlock()
+	return pop, nil
+}
+
+// lastUsable returns the .254-style address of a v4 prefix.
+func lastUsable(p netip.Prefix) netip.Addr {
+	raw := p.Masked().Addr().As4()
+	host := uint32(1)<<(32-p.Bits()) - 2
+	v := uint32(raw[0])<<24 | uint32(raw[1])<<16 | uint32(raw[2])<<8 | uint32(raw[3])
+	v += host
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}
+
+// Backbone returns the platform's shared backbone segment (the AL2S
+// equivalent, §4.3), created on first use.
+func (p *Platform) Backbone() *netsim.Segment {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.backbone == nil {
+		p.backbone = netsim.NewSegment("backbone")
+	}
+	return p.backbone
+}
+
+// ConnectBackbone joins two PoPs over the backbone: both routers attach
+// to the shared segment (once each), a mesh BGP session comes up between
+// them, and the pair's provisioned capacity and latency are recorded for
+// the traffic model (§4.3, §4.4, §6).
+func (p *Platform) ConnectBackbone(a, b *PoP, capacityBps float64, latency time.Duration) error {
+	seg := p.Backbone()
+	addrA := p.backboneAttach(a, seg)
+	addrB := p.backboneAttach(b, seg)
+
+	ca, cb := newConnPair()
+	if err := a.Router.AddBackbonePeer(b.Name, addrB, ca); err != nil {
+		return err
+	}
+	if err := b.Router.AddBackbonePeer(a.Name, addrA, cb); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	if p.bbLinks == nil {
+		p.bbLinks = make(map[[2]string]BackboneLink)
+	}
+	p.bbLinks[linkKey(a.Name, b.Name)] = BackboneLink{
+		A: a.Name, B: b.Name, CapacityBps: capacityBps, Latency: latency,
+	}
+	p.mu.Unlock()
+	return nil
+}
+
+// backboneAttach gives a PoP its backbone interface if missing and
+// returns its backbone address.
+func (p *Platform) backboneAttach(pop *PoP, seg *netsim.Segment) netip.Addr {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if pop.bbAddr.IsValid() {
+		return pop.bbAddr
+	}
+	p.bbHosts++
+	pop.bbAddr = netip.AddrFrom4([4]byte{100, 127, 0, byte(p.bbHosts)})
+	pop.Router.AddInterface("bb0", "backbone", netip.PrefixFrom(pop.bbAddr, 24), seg)
+	return pop.bbAddr
+}
+
+// BackboneLink is the provisioned capacity between a pair of PoPs.
+type BackboneLink struct {
+	A, B        string
+	CapacityBps float64
+	Latency     time.Duration
+}
+
+func linkKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// BackboneLinkBetween returns the provisioned link between two PoPs.
+func (p *Platform) BackboneLinkBetween(a, b string) (BackboneLink, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	l, ok := p.bbLinks[linkKey(a, b)]
+	return l, ok
+}
+
+// BackboneLinks returns every provisioned pair.
+func (p *Platform) BackboneLinks() []BackboneLink {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]BackboneLink, 0, len(p.bbLinks))
+	for _, l := range p.bbLinks {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].A+out[i].B < out[j].A+out[j].B
+	})
+	return out
+}

@@ -1,0 +1,144 @@
+package peering
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"repro/internal/policy"
+)
+
+// ProposalStatus is the review state of an experiment proposal.
+type ProposalStatus int
+
+// Proposal states.
+const (
+	StatusPending ProposalStatus = iota
+	StatusApproved
+	StatusRejected
+)
+
+// String names the status.
+func (s ProposalStatus) String() string {
+	return [...]string{"pending", "approved", "rejected"}[s]
+}
+
+// Proposal is an experiment application, the web-form equivalent of
+// §4.6: goals, resource requirements, and execution plan, reviewed
+// manually before any resources are granted.
+type Proposal struct {
+	// Name of the experiment.
+	Name string
+	// Owner is the responsible researcher.
+	Owner string
+	// Plan describes goals and execution (free text, reviewed by
+	// admins).
+	Plan string
+	// Prefixes requested.
+	Prefixes []netip.Prefix
+	// ASNs requested.
+	ASNs []uint32
+	// Caps requested (granted verbatim or trimmed on approval).
+	Caps policy.Capabilities
+
+	Status ProposalStatus
+	// Reason records why a proposal was rejected.
+	Reason string
+	// VPNKey is the tunnel credential issued on approval.
+	VPNKey string
+}
+
+// Submit files a proposal for review.
+func (p *Platform) Submit(prop Proposal) error {
+	if prop.Name == "" || prop.Owner == "" || prop.Plan == "" {
+		return fmt.Errorf("peering: proposal needs a name, owner, and plan")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.proposals[prop.Name]; dup {
+		return fmt.Errorf("peering: proposal %s already exists", prop.Name)
+	}
+	prop.Status = StatusPending
+	p.proposals[prop.Name] = &prop
+	return nil
+}
+
+// Proposals lists proposals sorted by name.
+func (p *Platform) Proposals() []*Proposal {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Proposal, 0, len(p.proposals))
+	for _, prop := range p.proposals {
+		out = append(out, prop)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Approve grants a pending proposal, optionally overriding the granted
+// capability set (admins trim risky requests, §7.3), registers the
+// experiment with the enforcement engine, and issues tunnel credentials.
+// Running experiments and BGP sessions are not disturbed (§4.6).
+func (p *Platform) Approve(name string, grantedCaps *policy.Capabilities) (vpnKey string, err error) {
+	p.mu.Lock()
+	prop := p.proposals[name]
+	if prop == nil {
+		p.mu.Unlock()
+		return "", fmt.Errorf("peering: no proposal %s", name)
+	}
+	if prop.Status == StatusRejected {
+		p.mu.Unlock()
+		return "", fmt.Errorf("peering: proposal %s was rejected: %s", name, prop.Reason)
+	}
+	if len(prop.Prefixes) == 0 || len(prop.ASNs) == 0 {
+		p.mu.Unlock()
+		return "", fmt.Errorf("peering: proposal %s has no resource request", name)
+	}
+	caps := prop.Caps
+	if grantedCaps != nil {
+		caps = *grantedCaps
+	}
+	prop.Status = StatusApproved
+	p.keySeq++
+	prop.VPNKey = fmt.Sprintf("key-%s-%06d", name, p.keySeq)
+	prop.Caps = caps
+	p.creds[name] = prop.VPNKey
+	p.mu.Unlock()
+
+	p.Engine.Register(&policy.Experiment{
+		Name:     name,
+		Prefixes: prop.Prefixes,
+		ASNs:     prop.ASNs,
+		Caps:     caps,
+	})
+	return prop.VPNKey, nil
+}
+
+// Reject declines a proposal with a reason (the paper rejected an
+// experiment requesting a large number of poisonings and one announcing
+// thousand-AS paths, §7.1).
+func (p *Platform) Reject(name, reason string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	prop := p.proposals[name]
+	if prop == nil {
+		return fmt.Errorf("peering: no proposal %s", name)
+	}
+	prop.Status = StatusRejected
+	prop.Reason = reason
+	delete(p.creds, name)
+	return nil
+}
+
+// Revoke deactivates an approved experiment: credentials are withdrawn
+// and the enforcement engine stops accepting its announcements.
+func (p *Platform) Revoke(name string) {
+	p.mu.Lock()
+	delete(p.creds, name)
+	if prop := p.proposals[name]; prop != nil {
+		prop.Status = StatusRejected
+		prop.Reason = "revoked"
+	}
+	p.mu.Unlock()
+	p.Engine.Unregister(name)
+}

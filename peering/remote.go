@@ -1,0 +1,105 @@
+package peering
+
+import (
+	"fmt"
+	"io"
+	"net"
+
+	"repro/internal/tunnel"
+)
+
+// ServeAndAttach serves an experiment tunnel on carrier and immediately
+// attaches the experiment's BGP session to the PoP router over the
+// tunnel's control channel. This is the entry point for REMOTE clients
+// (e.g. over TCP), where no in-process Client will call
+// ConnectExperimentBGP: the router accepts whatever ASN the experiment
+// opens with (announcement-level origin validation still applies, §4.7).
+func (pop *PoP) ServeAndAttach(carrier net.Conn) (*tunnel.Tunnel, error) {
+	tun, err := pop.ServeTunnel(carrier)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := pop.Router.ConnectExperiment(tun.Name, 0, tun.Control()); err != nil {
+		tun.Close()
+		return nil, err
+	}
+	return tun, nil
+}
+
+// ListenAndServe accepts experiment connections for the platform on a
+// TCP listener. Each connection starts with a one-line PoP selector
+// ("<len><popname>") followed by the ordinary tunnel handshake. It
+// returns when the listener closes.
+func (p *Platform) ListenAndServe(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			popName, err := readLenString(conn)
+			if err != nil {
+				conn.Close()
+				return
+			}
+			pop := p.PoP(popName)
+			if pop == nil {
+				conn.Close()
+				return
+			}
+			if _, err := pop.ServeAndAttach(conn); err != nil && p.cfg.Logf != nil {
+				p.cfg.Logf("remote tunnel: %v", err)
+			}
+		}()
+	}
+}
+
+func readLenString(r io.Reader) (string, error) {
+	var n [1]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return "", err
+	}
+	buf := make([]byte, n[0])
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// OpenTunnelRemote connects the client to a PoP over an arbitrary
+// carrier (a TCP connection to a peeringd with -listen, for example).
+// The server side must run ServeAndAttach; platformASN is the
+// platform's AS number, needed for BGP negotiation and community
+// construction.
+func (c *Client) OpenTunnelRemote(popName string, platformASN uint32, carrier net.Conn) error {
+	c.mu.Lock()
+	if _, dup := c.conns[popName]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("peering: tunnel to %s already open", popName)
+	}
+	c.mu.Unlock()
+
+	tun, err := tunnel.Dial(carrier, c.Name, c.Key)
+	if err != nil {
+		return err
+	}
+	_, err = c.newPopConn(popName, platformASN, tun)
+	return err
+}
+
+// DialTCP opens a remote tunnel to popName at a platform's TCP endpoint.
+func (c *Client) DialTCP(addr, popName string, platformASN uint32) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if len(popName) > 255 {
+		conn.Close()
+		return fmt.Errorf("peering: pop name too long")
+	}
+	if _, err := conn.Write(append([]byte{byte(len(popName))}, popName...)); err != nil {
+		conn.Close()
+		return err
+	}
+	return c.OpenTunnelRemote(popName, platformASN, conn)
+}
