@@ -10,13 +10,20 @@
 //	routes | show route [prefix] | show protocols
 //	ping <addr> [via <id>]
 //	neighbors
+//	metrics [prefix]
 //	help | quit
+//
+// Invoked as `peering-cli metrics [address]` it instead fetches and
+// renders the plain-text exposition served by `peeringd -metrics`
+// (default address localhost:9179) and exits.
 package main
 
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"net/netip"
 	"os"
 	"strconv"
@@ -24,12 +31,23 @@ import (
 	"time"
 
 	"repro/internal/inet"
+	"repro/internal/telemetry"
 	"repro/peering"
 )
 
 const popName = "amsix"
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "metrics" {
+		addr := "localhost:9179"
+		if len(os.Args) > 2 {
+			addr = os.Args[2]
+		}
+		if err := fetchMetrics(os.Stdout, addr); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	cfg := inet.DefaultGenConfig()
 	cfg.Tier2 = 12
 	cfg.Edges = 60
@@ -97,6 +115,7 @@ func execute(c *peering.Client, pop *peering.PoP, platform *peering.Platform, li
 			"show protocols                  BIRD-style session status",
 			"ping <addr> [via <id>]          data-plane probe",
 			"neighbors                       list PoP interconnections",
+			"metrics [prefix]                dump platform metrics (optionally filtered)",
 			"quit",
 		}, "\n")
 	case "tunnel":
@@ -218,6 +237,58 @@ func execute(c *peering.Client, pop *peering.PoP, platform *peering.Platform, li
 			fmt.Fprintf(&b, "id %-3d %-12s AS%-6d routes=%d\n", n.ID, n.Name, n.ASN, n.Table.PathCount())
 		}
 		return strings.TrimRight(b.String(), "\n")
+	case "metrics":
+		prefix := ""
+		if len(f) > 1 {
+			prefix = f[1]
+		}
+		return renderMetrics(telemetry.Default().Text(), prefix)
 	}
 	return "unknown command (try 'help')"
+}
+
+// fetchMetrics pulls the exposition from a running peeringd and renders
+// it to w.
+func fetchMetrics(w io.Writer, addr string) error {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	if !strings.HasSuffix(url, "/metrics") {
+		url = strings.TrimRight(url, "/") + "/metrics"
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("peering-cli: %s returned %s", url, resp.Status)
+	}
+	_, err = fmt.Fprint(w, renderMetrics(string(body), "")+"\n")
+	return err
+}
+
+// renderMetrics filters an exposition down to series whose name starts
+// with prefix (empty keeps everything) and drops comment lines, the
+// operator-facing view of the raw scrape format.
+func renderMetrics(text, prefix string) string {
+	var out []string
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if prefix != "" && !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		out = append(out, line)
+	}
+	if len(out) == 0 {
+		return "no metrics matched"
+	}
+	return strings.Join(out, "\n")
 }

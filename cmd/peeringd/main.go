@@ -2,7 +2,8 @@
 // synthetic Internet, a configurable set of PoPs with IXP and transit
 // interconnections, a backbone mesh, and the management workflow. It
 // prints the §4.2-style footprint summary and, with -watch, periodic
-// status lines.
+// status lines. With -metrics it serves the platform's plain-text
+// metric exposition over HTTP for peering-cli or any scraper.
 package main
 
 import (
@@ -10,12 +11,14 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"net/netip"
 	"os"
 	"time"
 
 	"repro/internal/inet"
 	"repro/internal/ixp"
+	"repro/internal/telemetry"
 	"repro/peering"
 )
 
@@ -27,6 +30,7 @@ func main() {
 	routes := flag.Int("routes-per-neighbor", 25, "routes announced per neighbor")
 	watch := flag.Duration("watch", 0, "keep running and print status at this interval (0 = exit after setup)")
 	listen := flag.String("listen", "", "accept remote experiment tunnels on this TCP address (e.g. :1790)")
+	metrics := flag.String("metrics", "", "serve the plain-text metrics exposition on this HTTP address (e.g. :9179)")
 	flag.Parse()
 
 	cfg := inet.DefaultGenConfig()
@@ -104,6 +108,24 @@ func main() {
 	fmt.Printf("backbone links: %d\n", len(platform.BackboneLinks()))
 	fmt.Println("platform is up; submit experiment proposals via the peering API")
 
+	serving := false
+	if *metrics != "" {
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", serveMetrics)
+		mux.HandleFunc("/", serveMetrics)
+		fmt.Printf("serving metrics on http://%s/metrics (peering-cli metrics %s)\n", ln.Addr(), ln.Addr())
+		go func() {
+			if err := http.Serve(ln, mux); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		serving = true
+	}
+
 	if *listen != "" {
 		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
@@ -121,6 +143,9 @@ func main() {
 	}
 
 	if *watch <= 0 {
+		if serving {
+			select {} // keep the metrics endpoint up
+		}
 		return
 	}
 	tick := time.NewTicker(*watch)
@@ -131,5 +156,14 @@ func main() {
 			fmt.Printf("%s(routes=%d fwd=%d) ", pop.Name, pop.Router.RouteCount(), pop.Router.Forwarded.Load())
 		}
 		fmt.Println()
+	}
+}
+
+// serveMetrics writes the default registry's exposition, the format
+// peering-cli's metrics verb and any Prometheus-style scraper consume.
+func serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := telemetry.Default().WriteText(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	vbgp-bench [-fig all|6a|6b|backbone|amsix|updates|footprint] [-scale N]
+//	vbgp-bench [-fig all|6a|6b|backbone|amsix|updates|footprint|monitor] [-scale N]
 //
 // Absolute numbers differ from the paper (the substrate is an in-memory
 // simulator, not BIRD on a server at AMS-IX); the comparisons check the
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment to run: all, 6a, 6b, backbone, amsix, updates, footprint")
+	fig := flag.String("fig", "all", "which experiment to run: all, 6a, 6b, backbone, amsix, updates, footprint, monitor")
 	scale := flag.Int("scale", 10, "downscale factor for full-footprint experiments")
 	flag.Parse()
 
@@ -41,6 +41,7 @@ func main() {
 	run("amsix", func() error { return amsix(*scale) })
 	run("updates", updates)
 	run("footprint", func() error { return footprint(*scale) })
+	run("monitor", monitor)
 }
 
 func header(title, paper string) {
@@ -71,6 +72,7 @@ func fig6a() error {
 	ok := res.BytesPerRoute("control-plane") < res.BytesPerRoute("per-interconnection-data-plane") &&
 		res.BytesPerRoute("per-interconnection-data-plane") < res.BytesPerRoute("per-interconnection-data-plane-with-default")
 	fmt.Printf("shape check (ordering holds): %v\n", ok)
+	printMetricsSnapshot("rib_")
 	return nil
 }
 
@@ -96,6 +98,7 @@ func fig6b() error {
 	fmt.Printf("shape check (ordering holds): %v\n", ok)
 	fmt.Printf("max sustainable rate (single-router): %.0f updates/s on one core\n",
 		1/res.PerUpdate["single-router-vbgp"].Seconds())
+	printMetricsSnapshot("bgp_fsm_", "policy_", "rib_adds", "rib_withdraws", "core_nexthop_")
 	return nil
 }
 

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"repro/internal/inet"
+	"repro/internal/telemetry"
+	"repro/peering"
+)
+
+// monitor exercises the BMP-style monitoring station (RFC 7854 in
+// spirit): it brings up a one-PoP platform, runs an experiment through
+// announce/withdraw/session-stop churn, requests a stats report from
+// the router, and prints the station's per-peer view plus the event
+// accounting of the bounded queue.
+func monitor() error {
+	header("monitoring station — BMP-style event feed",
+		"PeerUp/PeerDown/RouteMonitoring/StatsReport per neighbor; lossy bounded queue with drop accounting")
+
+	cfg := inet.DefaultGenConfig()
+	cfg.Tier2 = 8
+	cfg.Edges = 40
+	topo := inet.Generate(cfg)
+	platform := peering.NewPlatform(peering.PlatformConfig{ASN: 47065, Topology: topo})
+	pop, err := platform.AddPoP(peering.PoPConfig{
+		Name: "amsix", RouterID: netip.MustParseAddr("198.51.100.1"),
+		LocalPool: netip.MustParsePrefix("127.65.0.0/16"),
+		ExpLAN:    netip.MustParsePrefix("100.65.0.0/24"),
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := pop.ConnectTransit(1000, 20); err != nil {
+		return err
+	}
+	if _, err := pop.ConnectPeer(10000, 20); err != nil {
+		return err
+	}
+	if err := platform.Submit(peering.Proposal{
+		Name: "bench", Owner: "bench", Plan: "monitoring-station exercise",
+		Prefixes: []netip.Prefix{netip.MustParsePrefix("184.164.224.0/23")},
+		ASNs:     []uint32{61574},
+	}); err != nil {
+		return err
+	}
+	key, err := platform.Approve("bench", nil)
+	if err != nil {
+		return err
+	}
+	client := peering.NewClient("bench", key, 61574)
+	if err := client.OpenTunnel(pop); err != nil {
+		return err
+	}
+	if err := client.StartBGP("amsix"); err != nil {
+		return err
+	}
+	if err := client.WaitEstablished("amsix", 5*time.Second); err != nil {
+		return err
+	}
+	if err := client.Announce("amsix", netip.MustParsePrefix("184.164.224.0/24")); err != nil {
+		return err
+	}
+	if err := client.Announce("amsix", netip.MustParsePrefix("184.164.225.0/24")); err != nil {
+		return err
+	}
+	if err := client.Withdraw("amsix", netip.MustParsePrefix("184.164.225.0/24"), 0); err != nil {
+		return err
+	}
+	// Stop the experiment session so the report shows a peer-down too.
+	if err := client.StopBGP("amsix"); err != nil {
+		return err
+	}
+	pop.Router.EmitStatsReport()
+	platform.WaitMonitorDrained(3 * time.Second)
+
+	em, st := platform.Monitor(), platform.Station()
+	fmt.Print(st.Report())
+	fmt.Printf("\nevents: accepted %d, dropped %d, processed %d (queue cap %d)\n",
+		em.Accepted(), em.Dropped(), st.Processed(), telemetry.DefaultQueueSize)
+	printMetricsSnapshot("telemetry_")
+	return nil
+}
+
+// printMetricsSnapshot dumps the default registry's series whose names
+// match any prefix — the post-run counters the benches accumulate.
+func printMetricsSnapshot(prefixes ...string) {
+	matched := false
+	for _, line := range strings.Split(telemetry.Default().Text(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		for _, p := range prefixes {
+			if strings.HasPrefix(line, p) {
+				if !matched {
+					fmt.Println("metrics snapshot:")
+					matched = true
+				}
+				fmt.Printf("  %s\n", line)
+				break
+			}
+		}
+	}
+}

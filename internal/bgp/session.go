@@ -66,6 +66,10 @@ type Config struct {
 	// DisableAS4 advertises no 4-octet-AS capability, forcing 2-octet
 	// AS_PATH encoding (for interop tests).
 	DisableAS4 bool
+	// PeerName labels this session's telemetry series (the platform
+	// neighbor name). Empty is allowed; all unnamed sessions share one
+	// series per metric.
+	PeerName string
 	// MRAI, when positive, enforces BGP's MinRouteAdvertisementInterval
 	// (RFC 4271 §9.2.1.1): successive advertisements of the SAME prefix
 	// are paced, with only the newest version sent when the interval
@@ -122,6 +126,8 @@ type Session struct {
 	closeErr  error
 	done      chan struct{}
 
+	metrics *sessionMetrics
+
 	// Counters for the scalability evaluation (paper §6).
 	UpdatesIn  atomic.Uint64
 	UpdatesOut atomic.Uint64
@@ -140,6 +146,7 @@ func NewSession(conn net.Conn, cfg Config) *Session {
 	}
 	s := &Session{cfg: cfg, conn: conn, done: make(chan struct{})}
 	s.reader = &countingReader{r: conn, n: &s.BytesIn}
+	s.metrics = newSessionMetrics(cfg.PeerName)
 	s.state.Store(int32(StateIdle))
 	return s
 }
@@ -211,11 +218,24 @@ func (s *Session) localCaps() *Capabilities {
 	return c
 }
 
+// setState records an FSM transition, counting flaps when an
+// Established session drops back to Idle.
+func (s *Session) setState(st State) {
+	old := State(s.state.Swap(int32(st)))
+	if old == st {
+		return
+	}
+	fsmTransitions[st].Inc()
+	if st == StateIdle && old == StateEstablished {
+		sessionFlaps.Inc()
+	}
+}
+
 // Run drives the session: it sends our OPEN, completes the handshake,
 // then processes messages until the session ends. It always returns the
 // terminal error (nil only on clean administrative shutdown).
 func (s *Session) Run() error {
-	s.state.Store(int32(StateOpenSent))
+	s.setState(StateOpenSent)
 	openASN := uint16(ASTrans)
 	if s.cfg.LocalASN <= 0xffff {
 		openASN = uint16(s.cfg.LocalASN)
@@ -235,9 +255,15 @@ func (s *Session) Run() error {
 	// Handshake: expect the peer's OPEN.
 	msg, err := readMessage(s.reader, &s.dec)
 	if err != nil {
-		s.shutdown(fmt.Errorf("bgp: waiting for OPEN: %w", err))
+		var ne *NotificationError
+		if errors.As(err, &ne) {
+			s.notifyAndClose(ne)
+		} else {
+			s.shutdown(fmt.Errorf("bgp: waiting for OPEN: %w", err))
+		}
 		return s.closeErr
 	}
+	s.metrics.countIn(msg)
 	peerOpen, ok := msg.(*Open)
 	if !ok {
 		s.notifyAndClose(notif(ErrCodeFSM, 0))
@@ -252,7 +278,7 @@ func (s *Session) Run() error {
 		}
 		return s.closeErr
 	}
-	s.state.Store(int32(StateOpenConfirm))
+	s.setState(StateOpenConfirm)
 	if err := s.write(&Keepalive{}); err != nil {
 		s.shutdown(err)
 		return s.closeErr
@@ -275,6 +301,7 @@ func (s *Session) Run() error {
 			return s.closeErr
 		}
 		s.touch()
+		s.metrics.countIn(msg)
 		if err := s.handleMessage(msg); err != nil {
 			var ne *NotificationError
 			if errors.As(err, &ne) {
@@ -333,7 +360,7 @@ func (s *Session) handleMessage(msg Message) error {
 	switch m := msg.(type) {
 	case *Keepalive:
 		if s.State() == StateOpenConfirm {
-			s.state.Store(int32(StateEstablished))
+			s.setState(StateEstablished)
 			s.logf("established")
 			if s.cfg.OnEstablished != nil {
 				s.cfg.OnEstablished()
@@ -430,6 +457,8 @@ func (s *Session) write(m Message) error {
 	if err != nil {
 		return err
 	}
+	s.metrics.countOut(m)
+	outBytes.Observe(float64(len(b)))
 	s.BytesOut.Add(uint64(len(b)))
 	_, err = s.conn.Write(b)
 	return err
@@ -472,7 +501,7 @@ func (s *Session) keepaliveLoop() {
 func (s *Session) Close() error {
 	s.closeOnce.Do(func() {
 		_ = s.write(&Notification{Code: ErrCodeCease, Subcode: CeaseAdminShutdown})
-		s.state.Store(int32(StateIdle))
+		s.setState(StateIdle)
 		s.closeErr = nil
 		_ = s.conn.Close()
 		close(s.done)
@@ -483,15 +512,20 @@ func (s *Session) Close() error {
 	return nil
 }
 
-// notifyAndClose sends a NOTIFICATION for err and terminates.
+// notifyAndClose sends a NOTIFICATION for err and terminates. Every
+// locally detected decode or FSM error lands here; hold-timer expiry
+// and administrative cease are the only non-error notification causes.
 func (s *Session) notifyAndClose(ne *NotificationError) {
+	if ne.Code != ErrCodeHoldTimer && ne.Code != ErrCodeCease {
+		s.metrics.decodeErrs.Inc()
+	}
 	_ = s.write(&Notification{Code: ne.Code, Subcode: ne.Subcode, Data: ne.Data})
 	s.shutdown(ne)
 }
 
 func (s *Session) shutdown(err error) {
 	s.closeOnce.Do(func() {
-		s.state.Store(int32(StateIdle))
+		s.setState(StateIdle)
 		s.closeErr = err
 		_ = s.conn.Close()
 		close(s.done)

@@ -1,0 +1,68 @@
+package bgp
+
+import "repro/internal/telemetry"
+
+// Package-level metrics, shared by every session in the process.
+var (
+	// fsmTransitions counts entries into each FSM state
+	// (bgp_fsm_transitions_total{to=...}).
+	fsmTransitions [StateEstablished + 1]*telemetry.Counter
+	// sessionFlaps counts Established sessions that dropped back to Idle.
+	sessionFlaps *telemetry.Counter
+	// outBytes is the size distribution of marshalled outbound messages.
+	outBytes *telemetry.Histogram
+)
+
+func init() {
+	reg := telemetry.Default()
+	for st := StateIdle; st <= StateEstablished; st++ {
+		fsmTransitions[st] = reg.Counter("bgp_fsm_transitions_total", telemetry.L("to", st.String()))
+	}
+	sessionFlaps = reg.Counter("bgp_session_flaps_total")
+	outBytes = reg.Histogram("bgp_message_out_bytes", []float64{32, 64, 128, 256, 512, 1024, 2048, 4096})
+}
+
+var msgTypeNames = [MsgRouteRefresh + 1]string{
+	MsgOpen:         "open",
+	MsgUpdate:       "update",
+	MsgNotification: "notification",
+	MsgKeepalive:    "keepalive",
+	MsgRouteRefresh: "route-refresh",
+}
+
+// sessionMetrics holds the per-peer counters a session resolves once at
+// construction so hot paths mutate with a single atomic op.
+type sessionMetrics struct {
+	msgsIn     [MsgRouteRefresh + 1]*telemetry.Counter
+	msgsOut    [MsgRouteRefresh + 1]*telemetry.Counter
+	decodeErrs *telemetry.Counter
+}
+
+func newSessionMetrics(peer string) *sessionMetrics {
+	if peer == "" {
+		peer = "unnamed"
+	}
+	reg := telemetry.Default()
+	m := &sessionMetrics{
+		decodeErrs: reg.Counter("bgp_decode_errors_total", telemetry.L("peer", peer)),
+	}
+	for t := MsgOpen; t <= MsgRouteRefresh; t++ {
+		m.msgsIn[t] = reg.Counter("bgp_messages_in_total",
+			telemetry.L("peer", peer), telemetry.L("type", msgTypeNames[t]))
+		m.msgsOut[t] = reg.Counter("bgp_messages_out_total",
+			telemetry.L("peer", peer), telemetry.L("type", msgTypeNames[t]))
+	}
+	return m
+}
+
+func (m *sessionMetrics) countIn(msg Message) {
+	if t := msg.Type(); t >= MsgOpen && t <= MsgRouteRefresh {
+		m.msgsIn[t].Inc()
+	}
+}
+
+func (m *sessionMetrics) countOut(msg Message) {
+	if t := msg.Type(); t >= MsgOpen && t <= MsgRouteRefresh {
+		m.msgsOut[t].Inc()
+	}
+}

@@ -72,8 +72,11 @@ func (m *HashMap) Lookup(key uint64) (uint64, bool) {
 func (m *HashMap) Update(key, value uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, exists := m.m[key]; !exists && len(m.m) >= m.cap {
-		return
+	if _, exists := m.m[key]; !exists {
+		if len(m.m) >= m.cap {
+			return
+		}
+		hashMapEntries.Add(1)
 	}
 	m.m[key] = value
 }

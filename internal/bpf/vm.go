@@ -17,6 +17,8 @@ type Program struct {
 
 	// Runs, Drops, Aborts count executions for observability.
 	runs, drops, aborts atomic.Uint64
+
+	verdicts verdictCounters
 }
 
 // Load verifies insns and returns a runnable program. maps are the map
@@ -25,7 +27,7 @@ func Load(name string, insns []Insn, maps []Map) (*Program, error) {
 	if err := Verify(insns, len(maps)); err != nil {
 		return nil, fmt.Errorf("bpf: verifier rejected %s: %w", name, err)
 	}
-	return &Program{Name: name, insns: insns, maps: maps, clock: MonotonicClock}, nil
+	return &Program{Name: name, insns: insns, maps: maps, clock: MonotonicClock, verdicts: newVerdictCounters(name)}, nil
 }
 
 // SetClock overrides the timestamp source (tests).
@@ -41,6 +43,12 @@ func (p *Program) Stats() (runs, drops, aborts uint64) {
 // a drop — the fail-closed behavior the paper requires of enforcement
 // (§4.7).
 func (p *Program) Run(pkt []byte) Verdict {
+	v := p.run(pkt)
+	p.verdicts.count(v)
+	return v
+}
+
+func (p *Program) run(pkt []byte) Verdict {
 	p.runs.Add(1)
 	var r [NumRegs]uint64
 	pc := 0

@@ -18,7 +18,21 @@ import (
 
 	"repro/internal/bgp"
 	"repro/internal/rib"
+	"repro/internal/telemetry"
 )
+
+// Recorded-event counters by kind, across every collector in the
+// process.
+var (
+	announcesRecorded *telemetry.Counter
+	withdrawsRecorded *telemetry.Counter
+)
+
+func init() {
+	reg := telemetry.Default()
+	announcesRecorded = reg.Counter("collector_events_total", telemetry.L("kind", "announce"))
+	withdrawsRecorded = reg.Counter("collector_events_total", telemetry.L("kind", "withdraw"))
+}
 
 // EventKind distinguishes recorded events.
 type EventKind uint8
@@ -99,6 +113,7 @@ func (c *Collector) record(u *bgp.Update) {
 		c.events = append(c.events, Event{
 			Time: now, Kind: KindWithdraw, Prefix: w.Prefix, PathID: uint32(w.ID),
 		})
+		withdrawsRecorded.Inc()
 		c.table.Withdraw(w.Prefix, c.Name, w.ID)
 	}
 	store := func(nlri bgp.NLRI) {
@@ -115,6 +130,7 @@ func (c *Collector) record(u *bgp.Update) {
 			e.NextHop = u.Attrs.MPNextHop
 		}
 		c.events = append(c.events, e)
+		announcesRecorded.Inc()
 		c.table.Add(&rib.Path{
 			Prefix: nlri.Prefix, ID: nlri.ID, Peer: c.Name,
 			Attrs: u.Attrs.Clone(), EBGP: true, Seq: rib.NextSeq(),

@@ -9,6 +9,7 @@ import (
 	"repro/internal/bgp"
 	"repro/internal/policy"
 	"repro/internal/rib"
+	"repro/internal/telemetry"
 )
 
 const arpTimeout = 2 * time.Second
@@ -35,10 +36,15 @@ type expRouteKey struct {
 // Fig. 2a), and relays them into the backbone mesh with the neighbor's
 // GlobalIP as next hop (§4.4).
 func (r *Router) handleNeighborUpdate(n *Neighbor, u *bgp.Update) {
+	defer r.syncNeighborRoutesGauge(n)
 	for _, w := range append(append([]bgp.NLRI(nil), u.Withdrawn...), u.MPUnreach...) {
 		if n.Table.Withdraw(w.Prefix, n.Name, w.ID) == nil {
 			continue
 		}
+		r.emit(telemetry.Event{
+			Kind: telemetry.EventRouteMonitoring, Peer: n.Name, PeerASN: n.ASN,
+			Prefix: w.Prefix, PathID: uint32(w.ID), Withdraw: true,
+		})
 		if r.defaultTable != nil {
 			r.defaultTable.Withdraw(w.Prefix, n.Name, w.ID)
 		}
@@ -70,6 +76,11 @@ func (r *Router) handleNeighborUpdate(n *Neighbor, u *bgp.Update) {
 			PeerAddr: n.Addr, PeerRouterID: n.session.RemoteID(),
 		}
 		n.Table.Add(p)
+		r.emit(telemetry.Event{
+			Kind: telemetry.EventRouteMonitoring, Peer: n.Name, PeerASN: n.ASN,
+			Prefix: nlri.Prefix, PathID: uint32(nlri.ID),
+			NextHop: stored.NextHop, ASPath: stored.ASPathFlat(),
+		})
 		if r.defaultTable != nil {
 			dp := *p
 			r.defaultTable.Add(&dp)
@@ -104,7 +115,9 @@ func (r *Router) exportToExperiments(n *Neighbor, prefix netip.Prefix, attrs *bg
 		if s.State() == bgp.StateEstablished {
 			if err := s.Send(u); err != nil {
 				r.logf("export to experiment: %v", err)
+				continue
 			}
+			r.metrics.addPathExports.Inc()
 		}
 	}
 }
@@ -122,6 +135,7 @@ func (r *Router) experimentUpdate(n *Neighbor, prefix netip.Prefix, attrs *bgp.P
 		return &bgp.Update{Withdrawn: []bgp.NLRI{nlri}}
 	}
 	out := attrs.Clone()
+	r.metrics.nexthopRewrites.Inc()
 	if v6 {
 		out.MPNextHop = localIP6(n.GlobalIP)
 		out.NextHop = netip.Addr{}
@@ -184,13 +198,17 @@ func (r *Router) ConnectExperiment(name string, expASN uint32, conn net.Conn) (*
 		LocalASN:  r.cfg.ASN,
 		RemoteASN: expASN,
 		LocalID:   r.cfg.RouterID,
+		PeerName:  r.cfg.Name + ":exp:" + name,
 		Families:  []bgp.AFISAFI{bgp.IPv4Unicast, bgp.IPv6Unicast},
 		AddPath: map[bgp.AFISAFI]uint8{
 			bgp.IPv4Unicast: bgp.AddPathSendReceive,
 			bgp.IPv6Unicast: bgp.AddPathSendReceive,
 		},
-		OnUpdate:       func(u *bgp.Update) { r.handleExperimentUpdate(e, u) },
-		OnEstablished:  func() { r.dumpTablesToExperiment(e) },
+		OnUpdate: func(u *bgp.Update) { r.handleExperimentUpdate(e, u) },
+		OnEstablished: func() {
+			r.emit(telemetry.Event{Kind: telemetry.EventPeerUp, Peer: "exp:" + name, PeerASN: expASN})
+			r.dumpTablesToExperiment(e)
+		},
 		OnRouteRefresh: func(bgp.AFISAFI) { r.dumpTablesToExperiment(e) },
 		OnClose:        func(err error) { r.experimentDown(e, err) },
 		Logf:           r.cfg.Logf,
@@ -238,6 +256,7 @@ func (r *Router) dumpTablesToExperiment(e *expConn) {
 				r.logf("table dump to %s: %v", e.name, err)
 				return
 			}
+			r.metrics.addPathExports.Inc()
 		}
 	}
 }
@@ -248,6 +267,10 @@ func (r *Router) dumpTablesToExperiment(e *expConn) {
 // different announcements for the same prefix to different neighbors.
 func (r *Router) handleExperimentUpdate(e *expConn, u *bgp.Update) {
 	for _, w := range append(append([]bgp.NLRI(nil), u.Withdrawn...), u.MPUnreach...) {
+		r.emit(telemetry.Event{
+			Kind: telemetry.EventRouteMonitoring, Peer: "exp:" + e.name,
+			Prefix: w.Prefix, PathID: uint32(w.ID), Withdraw: true,
+		})
 		r.withdrawExperimentRoute(e.name, w.Prefix, w.ID, true)
 	}
 	process := func(nlri bgp.NLRI, attrs *bgp.PathAttrs) {
@@ -278,6 +301,11 @@ func (r *Router) handleExperimentUpdate(e *expConn, u *bgp.Update) {
 			r.mu.Unlock()
 		}
 
+		r.emit(telemetry.Event{
+			Kind: telemetry.EventRouteMonitoring, Peer: "exp:" + e.name,
+			Prefix: nlri.Prefix, PathID: uint32(nlri.ID),
+			NextHop: cleaned.NextHop, ASPath: cleaned.ASPathFlat(),
+		})
 		r.expRoutes.Add(&rib.Path{
 			Prefix: nlri.Prefix, ID: nlri.ID, Peer: e.name, Attrs: cleaned.Clone(),
 			EBGP: true, Seq: rib.NextSeq(),
@@ -512,6 +540,7 @@ func bbAddr6(v4 netip.Addr) netip.Addr {
 // announced.
 func (r *Router) experimentDown(e *expConn, err error) {
 	r.logf("experiment %s disconnected: %v", e.name, err)
+	r.emit(telemetry.Event{Kind: telemetry.EventPeerDown, Peer: "exp:" + e.name, Reason: closeReason(err)})
 	r.mu.Lock()
 	delete(r.experiments, e.name)
 	r.mu.Unlock()
@@ -537,7 +566,9 @@ func (r *Router) experimentDown(e *expConn, err error) {
 // experiments and the mesh.
 func (r *Router) neighborDown(n *Neighbor, err error) {
 	r.logf("neighbor %s down: %v", n.Name, err)
+	r.emit(telemetry.Event{Kind: telemetry.EventPeerDown, Peer: n.Name, PeerASN: n.ASN, Reason: closeReason(err)})
 	removed := n.Table.WithdrawPeer(n.Name)
+	r.syncNeighborRoutesGauge(n)
 	for _, p := range removed {
 		if r.defaultTable != nil {
 			r.defaultTable.Withdraw(p.Prefix, n.Name, 0)

@@ -32,6 +32,7 @@ func (r *Router) handleFrame(ifc *netsim.Interface, frame *ethernet.Frame) {
 	r.mu.Unlock()
 
 	if n != nil {
+		r.metrics.tableSelections.Inc()
 		r.forwardViaNeighbor(ifc, frame, &ip, n)
 		return
 	}
@@ -76,6 +77,7 @@ func (r *Router) forwardViaNeighbor(in *netsim.Interface, frame *ethernet.Frame,
 			return
 		}
 		r.Forwarded.Add(1)
+		r.metrics.backboneForwards.Inc()
 		bb.Send(&ethernet.Frame{
 			Dst: dstMAC, Src: frame.Src, Type: ethernet.TypeIPv4, Payload: fwd.Marshal(),
 		})
@@ -167,6 +169,7 @@ func (r *Router) forwardInbound(in *netsim.Interface, frame *ethernet.Frame, ip 
 			return
 		}
 		r.Forwarded.Add(1)
+		r.metrics.backboneForwards.Inc()
 		bb.Send(&ethernet.Frame{Dst: dstMAC, Src: srcMAC, Type: ethernet.TypeIPv4, Payload: fwd.Marshal()})
 		return
 	}
@@ -235,6 +238,7 @@ func (r *Router) attributionMAC(src ethernet.MAC) ethernet.MAC {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if n, ok := r.byRealMAC[src]; ok {
+		r.metrics.macRewrites.Inc()
 		return n.LocalMAC
 	}
 	if _, ok := r.byLocalMAC[src]; ok {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bgp"
 	"repro/internal/rib"
+	"repro/internal/telemetry"
 )
 
 // AddBackbonePeer connects this router to another vBGP router over the
@@ -27,15 +28,19 @@ func (r *Router) AddBackbonePeer(name string, remoteAddr netip.Addr, conn net.Co
 		LocalASN:  r.cfg.ASN,
 		RemoteASN: r.cfg.ASN,
 		LocalID:   r.cfg.RouterID,
+		PeerName:  r.cfg.Name + ":mesh:" + name,
 		Families:  []bgp.AFISAFI{bgp.IPv4Unicast, bgp.IPv6Unicast},
 		AddPath: map[bgp.AFISAFI]uint8{
 			bgp.IPv4Unicast: bgp.AddPathSendReceive,
 			bgp.IPv6Unicast: bgp.AddPathSendReceive,
 		},
-		OnUpdate:      func(u *bgp.Update) { r.handleMeshUpdate(p, u) },
-		OnEstablished: func() { r.dumpToMeshPeer(p) },
-		OnClose:       func(err error) { r.meshPeerDown(p, err) },
-		Logf:          r.cfg.Logf,
+		OnUpdate: func(u *bgp.Update) { r.handleMeshUpdate(p, u) },
+		OnEstablished: func() {
+			r.emit(telemetry.Event{Kind: telemetry.EventPeerUp, Peer: "mesh:" + name, PeerASN: r.cfg.ASN})
+			r.dumpToMeshPeer(p)
+		},
+		OnClose: func(err error) { r.meshPeerDown(p, err) },
+		Logf:    r.cfg.Logf,
 	})
 	p.session = sess
 	go sess.Run()
@@ -206,10 +211,12 @@ func (r *Router) handleRemoteNeighborRoute(p *meshPeer, nlri bgp.NLRI, attrs *bg
 	if nlri.Prefix.Addr().Is4() {
 		stored.NextHop = globalIP // forwarding next hop across the backbone
 	}
+	r.metrics.backboneRewrites.Inc()
 	n.Table.Add(&rib.Path{
 		Prefix: nlri.Prefix, Peer: n.Name, Attrs: stored,
 		EBGP: true, Seq: rib.NextSeq(), PeerAddr: globalIP,
 	})
+	r.syncNeighborRoutesGauge(n)
 	if r.defaultTable != nil {
 		r.defaultTable.Add(&rib.Path{
 			Prefix: nlri.Prefix, Peer: n.Name, Attrs: stored.Clone(),
@@ -237,6 +244,8 @@ func (r *Router) remoteNeighbor(globalIP netip.Addr, id uint32, asn uint32) (*Ne
 		LocalIP: localIP, GlobalIP: globalIP, LocalMAC: MACForGlobalIP(globalIP),
 		Table:  rib.NewTable(r.cfg.Name + ":adj-in:" + name),
 		AdjOut: rib.NewTable(r.cfg.Name + ":adj-out:" + name),
+		routesGauge: telemetry.Default().Gauge("core_neighbor_routes",
+			telemetry.L("pop", r.cfg.Name), telemetry.L("neighbor", name)),
 	}
 	r.neighbors[name] = n
 	r.byLocalMAC[n.LocalMAC] = n
@@ -304,6 +313,7 @@ func (r *Router) withdrawMeshRoute(p *meshPeer, w bgp.NLRI) {
 // meshPeerDown drops everything learned from a backbone peer.
 func (r *Router) meshPeerDown(p *meshPeer, err error) {
 	r.logf("backbone peer %s down: %v", p.name, err)
+	r.emit(telemetry.Event{Kind: telemetry.EventPeerDown, Peer: "mesh:" + p.name, PeerASN: r.cfg.ASN, Reason: closeReason(err)})
 	r.mu.Lock()
 	delete(r.meshPeers, p.name)
 	var remotes []*Neighbor

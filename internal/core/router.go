@@ -14,6 +14,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/policy"
 	"repro/internal/rib"
+	"repro/internal/telemetry"
 )
 
 // Config configures a vBGP router (one Peering PoP).
@@ -35,6 +36,10 @@ type Config struct {
 	// experiment announcements. Nil disables enforcement (used only by
 	// the accept-all baseline in the Fig. 6b benchmark).
 	Enforcer *policy.Engine
+	// Monitor, when set, receives BMP-style monitoring events (peer
+	// up/down, route monitoring, stats reports) from this router. The
+	// emit path never blocks: a full queue drops with a counter.
+	Monitor *telemetry.Emitter
 	// MaintainDefaultTable additionally maintains a best-path Loc-RIB,
 	// the overhead a router serving production traffic would pay; vBGP
 	// does not need it because experiments pick their own routes. This
@@ -86,6 +91,9 @@ type Neighbor struct {
 	ifc     *netsim.Interface // attachment of local neighbors
 	session *bgp.Session      // nil for remote neighbors
 	realMAC ethernet.MAC      // local neighbor's resolved MAC
+
+	// routesGauge publishes Table occupancy (core_neighbor_routes).
+	routesGauge *telemetry.Gauge
 }
 
 // expConn is one connected experiment.
@@ -139,6 +147,8 @@ type Router struct {
 	DroppedNoMAC   atomic.Uint64
 	DroppedNoRoute atomic.Uint64
 	TTLExpired     atomic.Uint64
+
+	metrics routerMetrics
 }
 
 // NewRouter creates a vBGP router.
@@ -163,6 +173,7 @@ func NewRouter(cfg Config) *Router {
 		meshPeers:   make(map[string]*meshPeer),
 		tunnelIPs:   make(map[string]netip.Addr),
 		expRoutes:   rib.NewTable(cfg.Name + ":exp-routes"),
+		metrics:     newRouterMetrics(cfg.Name),
 	}
 	if cfg.MaintainDefaultTable {
 		r.defaultTable = rib.NewTable(cfg.Name + ":default")
@@ -330,6 +341,8 @@ func (r *Router) AddNeighbor(cfg NeighborConfig) (*Neighbor, error) {
 		Table:  rib.NewTable(r.cfg.Name + ":adj-in:" + cfg.Name),
 		AdjOut: rib.NewTable(r.cfg.Name + ":adj-out:" + cfg.Name),
 		ifc:    ifc,
+		routesGauge: telemetry.Default().Gauge("core_neighbor_routes",
+			telemetry.L("pop", r.cfg.Name), telemetry.L("neighbor", cfg.Name)),
 	}
 	r.neighbors[cfg.Name] = n
 	r.byLocalMAC[n.LocalMAC] = n
@@ -348,10 +361,12 @@ func (r *Router) AddNeighbor(cfg NeighborConfig) (*Neighbor, error) {
 		LocalASN:  r.cfg.ASN,
 		RemoteASN: cfg.ASN,
 		LocalID:   r.cfg.RouterID,
+		PeerName:  r.cfg.Name + ":" + cfg.Name,
 		Families:  []bgp.AFISAFI{bgp.IPv4Unicast, bgp.IPv6Unicast},
 		OnUpdate:  func(u *bgp.Update) { r.handleNeighborUpdate(n, u) },
 		OnEstablished: func() {
 			r.logf("neighbor %s established", n.Name)
+			r.emit(telemetry.Event{Kind: telemetry.EventPeerUp, Peer: n.Name, PeerASN: n.ASN})
 			r.resolveNeighborMAC(n)
 			r.replayExperimentRoutes(n)
 		},

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/bgp"
+	"repro/internal/telemetry"
 )
 
 // Capabilities is the per-experiment capability set (paper §4.7). The
@@ -200,6 +201,9 @@ func (en *Engine) Experiment(name string) *Experiment {
 func (en *Engine) SetFailed(failed bool) {
 	en.mu.Lock()
 	defer en.mu.Unlock()
+	if failed && !en.failed {
+		failClosedTrips.Inc()
+	}
 	en.failed = failed
 }
 
@@ -234,17 +238,20 @@ func (en *Engine) EvaluateAnnouncement(expName, pop string, prefix netip.Prefix,
 	defer func() {
 		if r := recover(); r != nil {
 			en.SetFailed(true)
+			verdictReject.Inc()
 			res = Result{Action: ActionReject, Reasons: []string{fmt.Sprintf("internal policy error: %v (failing closed)", r)}}
 		}
 	}()
 	en.mu.Lock()
 	defer en.mu.Unlock()
 
-	reject := func(reasons ...string) Result {
+	rejectWith := func(c *telemetry.Counter, reasons ...string) Result {
+		c.Inc()
 		r := Result{Action: ActionReject, Reasons: reasons}
 		en.record(AuditEntry{Time: en.Now(), Experiment: expName, PoP: pop, Prefix: prefix, Action: ActionReject, Reasons: reasons})
 		return r
 	}
+	reject := func(reasons ...string) Result { return rejectWith(verdictReject, reasons...) }
 
 	if en.failed {
 		return reject("enforcement engine unhealthy: failing closed")
@@ -312,12 +319,15 @@ func (en *Engine) EvaluateAnnouncement(expName, pop string, prefix netip.Prefix,
 
 	// Update rate limit (per prefix per PoP).
 	if !en.admitRateLocked(prefix, pop) {
-		return reject(fmt.Sprintf("update rate for %s at %s exceeds %d/day", prefix, pop, en.dailyLimit()))
+		return rejectWith(verdictRateLimited, fmt.Sprintf("update rate for %s at %s exceeds %d/day", prefix, pop, en.dailyLimit()))
 	}
 
 	action := ActionAccept
 	if len(mods) > 0 {
 		action = ActionAcceptModified
+		verdictAcceptModified.Inc()
+	} else {
+		verdictAccept.Inc()
 	}
 	en.record(AuditEntry{Time: en.Now(), Experiment: expName, PoP: pop, Prefix: prefix, Action: action, Reasons: mods})
 	return Result{Action: action, Attrs: out, Reasons: mods}
@@ -329,10 +339,12 @@ func (en *Engine) EvaluateAnnouncement(expName, pop string, prefix netip.Prefix,
 func (en *Engine) EvaluateWithdraw(expName, pop string, prefix netip.Prefix) Result {
 	en.mu.Lock()
 	defer en.mu.Unlock()
-	reject := func(reasons ...string) Result {
+	rejectWith := func(c *telemetry.Counter, reasons ...string) Result {
+		c.Inc()
 		en.record(AuditEntry{Time: en.Now(), Experiment: expName, PoP: pop, Prefix: prefix, Action: ActionReject, Reasons: reasons})
 		return Result{Action: ActionReject, Reasons: reasons}
 	}
+	reject := func(reasons ...string) Result { return rejectWith(verdictReject, reasons...) }
 	if en.failed {
 		return reject("enforcement engine unhealthy: failing closed")
 	}
@@ -344,8 +356,9 @@ func (en *Engine) EvaluateWithdraw(expName, pop string, prefix netip.Prefix) Res
 		return reject(fmt.Sprintf("prefix %s outside allocation", prefix))
 	}
 	if !en.admitRateLocked(prefix, pop) {
-		return reject(fmt.Sprintf("update rate for %s at %s exceeds %d/day", prefix, pop, en.dailyLimit()))
+		return rejectWith(verdictRateLimited, fmt.Sprintf("update rate for %s at %s exceeds %d/day", prefix, pop, en.dailyLimit()))
 	}
+	verdictAccept.Inc()
 	en.record(AuditEntry{Time: en.Now(), Experiment: expName, PoP: pop, Prefix: prefix, Action: ActionAccept})
 	return Result{Action: ActionAccept}
 }

@@ -1,0 +1,24 @@
+package policy
+
+import "repro/internal/telemetry"
+
+// Verdict counters (policy_verdicts_total{action=...}), shared by every
+// engine in the process, plus the fail-closed trip counter. Rate-limit
+// rejections get their own action label so operators can tell a
+// misbehaving experiment from an unauthorized one.
+var (
+	verdictAccept         *telemetry.Counter
+	verdictAcceptModified *telemetry.Counter
+	verdictReject         *telemetry.Counter
+	verdictRateLimited    *telemetry.Counter
+	failClosedTrips       *telemetry.Counter
+)
+
+func init() {
+	reg := telemetry.Default()
+	verdictAccept = reg.Counter("policy_verdicts_total", telemetry.L("action", "accept"))
+	verdictAcceptModified = reg.Counter("policy_verdicts_total", telemetry.L("action", "accept-modified"))
+	verdictReject = reg.Counter("policy_verdicts_total", telemetry.L("action", "reject"))
+	verdictRateLimited = reg.Counter("policy_verdicts_total", telemetry.L("action", "rate-limited"))
+	failClosedTrips = reg.Counter("policy_fail_closed_total")
+}

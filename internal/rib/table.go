@@ -40,6 +40,7 @@ func (t *Table) Add(p *Path) *Path {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.Adds++
+	ribAdds.Inc()
 	existing, _ := t.trie.Get(p.Prefix)
 	for i, e := range existing {
 		if e.Peer == p.Peer && e.ID == p.ID {
@@ -51,6 +52,7 @@ func (t *Table) Add(p *Path) *Path {
 		}
 	}
 	t.paths++
+	ribPaths.Add(1)
 	t.trie.Insert(p.Prefix, append(append([]*Path(nil), existing...), p))
 	return nil
 }
@@ -61,6 +63,7 @@ func (t *Table) Withdraw(prefix netip.Prefix, peer string, id bgp.PathID) *Path 
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.Withdraws++
+	ribWithdraws.Inc()
 	existing, ok := t.trie.Get(prefix)
 	if !ok {
 		return nil
@@ -69,6 +72,7 @@ func (t *Table) Withdraw(prefix netip.Prefix, peer string, id bgp.PathID) *Path 
 		if e.Peer == peer && e.ID == id {
 			out := append(append([]*Path(nil), existing[:i]...), existing[i+1:]...)
 			t.paths--
+			ribPaths.Add(-1)
 			if len(out) == 0 {
 				t.trie.Remove(prefix)
 			} else {
@@ -116,6 +120,8 @@ func (t *Table) WithdrawPeer(peer string) []*Path {
 	}
 	t.paths -= len(removed)
 	t.Withdraws += uint64(len(removed))
+	ribWithdraws.Add(uint64(len(removed)))
+	ribPaths.Add(-int64(len(removed)))
 	return removed
 }
 

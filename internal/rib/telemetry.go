@@ -1,0 +1,21 @@
+package rib
+
+import "repro/internal/telemetry"
+
+// Route-churn counters aggregated across every table in the process
+// (per-table Adds/Withdraws stay on the Table for the Fig. 6b
+// accounting). ribPaths tracks live paths; tables that are dropped
+// wholesale (e.g. a neighbor removed with its Adj-RIBs) leave their
+// residue in the gauge, which is acceptable for an occupancy signal.
+var (
+	ribAdds      *telemetry.Counter
+	ribWithdraws *telemetry.Counter
+	ribPaths     *telemetry.Gauge
+)
+
+func init() {
+	reg := telemetry.Default()
+	ribAdds = reg.Counter("rib_adds_total")
+	ribWithdraws = reg.Counter("rib_withdraws_total")
+	ribPaths = reg.Gauge("rib_paths")
+}

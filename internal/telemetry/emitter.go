@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultQueueSize is the Emitter queue capacity when unspecified.
+const DefaultQueueSize = 4096
+
+// Emitter is the router-side half of the monitoring hook: a bounded
+// event queue with a non-blocking Emit. When the queue is full (or the
+// emitter is closed) the event is dropped and counted, so monitoring
+// can never stall the control plane — the same stance the paper's
+// enforcement takes on failing closed, inverted: observability fails
+// open (drops) rather than applying backpressure to BGP processing.
+type Emitter struct {
+	mu     sync.RWMutex
+	closed bool
+	ch     chan Event
+
+	accepted atomic.Uint64
+	dropped  atomic.Uint64
+
+	// Registry mirrors of the local counters, shared by every emitter
+	// registered against the same registry.
+	acceptedTotal *Counter
+	droppedTotal  *Counter
+}
+
+// NewEmitter creates an emitter with the given queue capacity (<= 0
+// selects DefaultQueueSize) registering its counters against reg (nil
+// selects Default()).
+func NewEmitter(reg *Registry, capacity int) *Emitter {
+	if reg == nil {
+		reg = Default()
+	}
+	if capacity <= 0 {
+		capacity = DefaultQueueSize
+	}
+	return &Emitter{
+		ch:            make(chan Event, capacity),
+		acceptedTotal: reg.Counter("telemetry_events_total"),
+		droppedTotal:  reg.Counter("telemetry_events_dropped_total"),
+	}
+}
+
+// Emit enqueues e without blocking. It reports whether the event was
+// accepted; a full queue or closed emitter drops the event and
+// increments telemetry_events_dropped_total.
+func (em *Emitter) Emit(e Event) bool {
+	em.mu.RLock()
+	defer em.mu.RUnlock()
+	if em.closed {
+		em.dropped.Add(1)
+		em.droppedTotal.Inc()
+		return false
+	}
+	select {
+	case em.ch <- e:
+		em.accepted.Add(1)
+		em.acceptedTotal.Inc()
+		return true
+	default:
+		em.dropped.Add(1)
+		em.droppedTotal.Inc()
+		return false
+	}
+}
+
+// Events returns the consumption side of the queue. The channel is
+// closed by Close after the buffered events drain to the reader.
+func (em *Emitter) Events() <-chan Event { return em.ch }
+
+// Close stops the emitter: subsequent Emits drop, and the Events
+// channel is closed once drained by the consumer.
+func (em *Emitter) Close() {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	if !em.closed {
+		em.closed = true
+		close(em.ch)
+	}
+}
+
+// Accepted returns how many events this emitter enqueued.
+func (em *Emitter) Accepted() uint64 { return em.accepted.Load() }
+
+// Dropped returns how many events this emitter dropped.
+func (em *Emitter) Dropped() uint64 { return em.dropped.Load() }
+
+// QueueLen returns the number of events waiting in the queue.
+func (em *Emitter) QueueLen() int { return len(em.ch) }

@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func randomEvent(rng *rand.Rand) Event {
+	e := Event{
+		Kind:    EventKind(1 + rng.Intn(4)),
+		Time:    time.Unix(0, rng.Int63()),
+		PoP:     randomString(rng, 40),
+		Peer:    randomString(rng, 40),
+		PeerASN: rng.Uint32(),
+		PathID:  rng.Uint32(),
+	}
+	switch e.Kind {
+	case EventPeerDown:
+		e.Reason = randomString(rng, 80)
+	case EventRouteMonitoring:
+		e.Withdraw = rng.Intn(2) == 0
+		if rng.Intn(2) == 0 {
+			var raw [4]byte
+			rng.Read(raw[:])
+			e.Prefix = netip.PrefixFrom(netip.AddrFrom4(raw), rng.Intn(33))
+			if !e.Withdraw {
+				var nh [4]byte
+				rng.Read(nh[:])
+				e.NextHop = netip.AddrFrom4(nh)
+			}
+		} else {
+			var raw [16]byte
+			rng.Read(raw[:])
+			e.Prefix = netip.PrefixFrom(netip.AddrFrom16(raw), rng.Intn(129))
+			if !e.Withdraw {
+				var nh [16]byte
+				rng.Read(nh[:])
+				e.NextHop = netip.AddrFrom16(nh)
+			}
+		}
+		for i := rng.Intn(6); i > 0; i-- {
+			e.ASPath = append(e.ASPath, rng.Uint32())
+		}
+	case EventStatsReport:
+		for i := rng.Intn(6); i > 0; i-- {
+			e.Stats = append(e.Stats, Stat{Type: uint16(rng.Intn(200)), Value: rng.Uint64()})
+		}
+	}
+	return e
+}
+
+func randomString(rng *rand.Rand, max int) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789-.:"
+	n := rng.Intn(max)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(alphabet[rng.Intn(len(alphabet))])
+	}
+	return b.String()
+}
+
+func eventsEqual(a, b Event) bool {
+	if a.Kind != b.Kind || a.Time.UnixNano() != b.Time.UnixNano() ||
+		a.PoP != b.PoP || a.Peer != b.Peer || a.PeerASN != b.PeerASN ||
+		a.PathID != b.PathID || a.Prefix != b.Prefix || a.NextHop != b.NextHop ||
+		a.Withdraw != b.Withdraw || a.Reason != b.Reason {
+		return false
+	}
+	return reflect.DeepEqual(a.ASPath, b.ASPath) && reflect.DeepEqual(a.Stats, b.Stats)
+}
+
+// TestEventRoundTrip is the codec property test: for many random
+// events, decode(encode(e)) == e and the byte count is exact.
+func TestEventRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		e := randomEvent(rng)
+		enc := AppendEncode(nil, e)
+		got, n, err := DecodeEvent(enc)
+		if err != nil {
+			t.Fatalf("event %d: decode: %v\nevent: %+v", i, err, e)
+		}
+		if n != len(enc) {
+			t.Fatalf("event %d: consumed %d of %d bytes", i, n, len(enc))
+		}
+		if !eventsEqual(e, got) {
+			t.Fatalf("event %d round-trip mismatch:\n in: %+v\nout: %+v", i, e, got)
+		}
+	}
+}
+
+func TestEventEncodeTruncatesLongStrings(t *testing.T) {
+	long := strings.Repeat("x", 300)
+	e := Event{Kind: EventPeerDown, Time: time.Unix(0, 1), PoP: long, Peer: "p", Reason: long}
+	enc := AppendEncode(nil, e)
+	got, _, err := DecodeEvent(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got.PoP) != maxEventString || len(got.Reason) != maxEventString {
+		t.Errorf("strings not truncated to %d: pop=%d reason=%d", maxEventString, len(got.PoP), len(got.Reason))
+	}
+	// Truncated output must itself round-trip byte-identically.
+	if re := AppendEncode(nil, got); !bytes.Equal(re, enc) {
+		t.Error("re-encoding the decoded event differs from the original encoding")
+	}
+}
+
+func TestDecodeEventErrors(t *testing.T) {
+	good := AppendEncode(nil, Event{Kind: EventPeerUp, Time: time.Unix(0, 99), PoP: "amsix", Peer: "transit1", PeerASN: 1000})
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"empty", nil},
+		{"bad magic", append([]byte{0xde, 0xad}, good[2:]...)},
+		{"bad kind", func() []byte { b := append([]byte(nil), good...); b[2] = 9; return b }()},
+		{"unknown flags", func() []byte { b := append([]byte(nil), good...); b[3] = 0x80; return b }()},
+		{"truncated", good[:len(good)-3]},
+	}
+	for _, tc := range cases {
+		if _, _, err := DecodeEvent(tc.b); err == nil {
+			t.Errorf("%s: decode succeeded, want error", tc.name)
+		}
+	}
+}
+
+func TestWriteReadEvents(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var events []Event
+	for i := 0; i < 50; i++ {
+		events = append(events, randomEvent(rng))
+	}
+	var buf bytes.Buffer
+	if err := WriteEvents(&buf, events); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if !eventsEqual(events[i], got[i]) {
+			t.Errorf("event %d mismatch", i)
+		}
+	}
+
+	// A truncated stream returns the complete prefix plus an error.
+	var tbuf bytes.Buffer
+	if err := WriteEvents(&tbuf, events[:2]); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	trunc := tbuf.Bytes()[:tbuf.Len()-1]
+	partial, err := ReadEvents(bytes.NewReader(trunc))
+	if err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated read error = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if len(partial) != 1 {
+		t.Errorf("truncated read returned %d events, want 1", len(partial))
+	}
+}

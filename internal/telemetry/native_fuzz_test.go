@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// FuzzEventDecode feeds arbitrary bytes to the event decoder. The
+// decoder must never panic, and any event it accepts must re-encode to
+// exactly the bytes it consumed (canonical-form round-trip).
+func FuzzEventDecode(f *testing.F) {
+	seeds := []Event{
+		{Kind: EventPeerUp, Time: time.Unix(0, 1), PoP: "amsix", Peer: "transit1", PeerASN: 1000},
+		{Kind: EventPeerDown, Time: time.Unix(0, 2), PoP: "amsix", Peer: "peer64", Reason: "hold timer expired"},
+		{
+			Kind: EventRouteMonitoring, Time: time.Unix(0, 3), PoP: "seattle", Peer: "exp:exp1",
+			PeerASN: 61574, PathID: 7,
+			Prefix:  netip.MustParsePrefix("184.164.224.0/23"),
+			NextHop: netip.MustParseAddr("100.65.0.1"),
+			ASPath:  []uint32{61574, 47065},
+		},
+		{
+			Kind: EventRouteMonitoring, Time: time.Unix(0, 4), PoP: "seattle", Peer: "exp:exp1",
+			Prefix: netip.MustParsePrefix("2804:269c::/32"), Withdraw: true,
+		},
+		{
+			Kind: EventStatsReport, Time: time.Unix(0, 5), PoP: "amsix", Peer: "transit1",
+			Stats: []Stat{{Type: StatRoutesAdjIn, Value: 12}, {Type: StatUpdatesIn, Value: 90}},
+		},
+	}
+	for _, e := range seeds {
+		f.Add(AppendEncode(nil, e))
+	}
+	f.Add([]byte{0x42, 0x4d})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, n, err := DecodeEvent(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		re := AppendEncode(nil, e)
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encode mismatch:\n in: %x\nout: %x", data[:n], re)
+		}
+	})
+}

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", L("code", "200"))
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	// Same (name, labels) resolves to the same series regardless of
+	// label order.
+	c2 := r.Counter("multi_total", L("a", "1"), L("b", "2"))
+	c3 := r.Counter("multi_total", L("b", "2"), L("a", "1"))
+	if c2 != c3 {
+		t.Error("label order created distinct series")
+	}
+	// Distinct labels are distinct series.
+	if r.Counter("requests_total", L("code", "500")) == c {
+		t.Error("distinct labels shared a series")
+	}
+
+	g := r.Gauge("depth")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge = %d, want 7", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total")
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 556.5 {
+		t.Errorf("sum = %g, want 556.5", h.Sum())
+	}
+	var sample Sample
+	for _, s := range r.Snapshot() {
+		if s.Name == "latency" {
+			sample = s
+		}
+	}
+	// Cumulative buckets: <=1: 2, <=10: 3, <=100: 4, +Inf: 5.
+	want := []uint64{2, 3, 4, 5}
+	if len(sample.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v", sample.Buckets)
+	}
+	for i, b := range sample.Buckets {
+		if b.Count != want[i] {
+			t.Errorf("bucket %d count = %d, want %d", i, b.Count, want[i])
+		}
+	}
+}
+
+func TestSnapshotSortedAndValue(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Counter("a_total", L("x", "1")).Add(3)
+	r.Counter("a_total", L("x", "2")).Add(4)
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d samples", len(snap))
+	}
+	if snap[0].Name != "a_total" || snap[2].Name != "b_total" {
+		t.Errorf("snapshot not sorted: %v %v %v", snap[0].Name, snap[1].Name, snap[2].Name)
+	}
+	if got := r.Value("a_total"); got != 7 {
+		t.Errorf("Value(a_total) = %g, want 7 (sum over label sets)", got)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("updates_total", L("pop", "amsix")).Add(12)
+	r.Gauge("routes").Set(3)
+	r.Histogram("bytes", []float64{64}).Observe(32)
+	text := r.Text()
+	for _, want := range []string{
+		"# TYPE updates_total counter",
+		`updates_total{pop="amsix"} 12`,
+		"routes 3",
+		`bytes_bucket{le="64"} 1`,
+		`bytes_bucket{le="+Inf"} 1`,
+		"bytes_sum 32",
+		"bytes_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c_total", L("w", "x")).Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", []float64{10}).Observe(float64(j % 20))
+				if j%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total", L("w", "x")).Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", nil).Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStationStatsAndReport(t *testing.T) {
+	reg := NewRegistry()
+	st := NewStation(reg)
+	st.Handle(Event{Kind: EventPeerUp, Time: time.Unix(10, 0), PoP: "amsix", Peer: "transit1", PeerASN: 1000})
+	st.Handle(Event{Kind: EventStatsReport, Time: time.Unix(20, 0), PoP: "amsix", Peer: "transit1",
+		Stats: []Stat{{Type: StatRoutesAdjIn, Value: 7}, {Type: StatUpdatesIn, Value: 42}}})
+	st.Handle(Event{Kind: EventPeerUp, Time: time.Unix(5, 0), PoP: "seattle", Peer: "peer64", PeerASN: 10000})
+
+	p, ok := st.Peer("amsix", "transit1")
+	if !ok {
+		t.Fatal("transit1 not tracked")
+	}
+	if !p.Up || p.Stats[StatRoutesAdjIn] != 7 || p.Stats[StatUpdatesIn] != 42 {
+		t.Errorf("peer state = %+v", p)
+	}
+	if !p.LastSeen.Equal(time.Unix(20, 0)) {
+		t.Errorf("LastSeen = %v, want the stats-report time", p.LastSeen)
+	}
+
+	peers := st.Peers()
+	if len(peers) != 2 || peers[0].PoP != "amsix" || peers[1].PoP != "seattle" {
+		t.Fatalf("Peers() = %+v", peers)
+	}
+
+	report := st.Report()
+	for _, want := range []string{"transit1", "peer64", "1000", "10000", "up", "7"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+
+	if got := reg.Value("telemetry_station_events_total"); got != 3 {
+		t.Errorf("telemetry_station_events_total = %g, want 3", got)
+	}
+	if st.Processed() != 3 {
+		t.Errorf("Processed = %d, want 3", st.Processed())
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/inet"
 	"repro/internal/netsim"
 	"repro/internal/policy"
+	"repro/internal/telemetry"
 	"repro/internal/tunnel"
 )
 
@@ -50,6 +51,8 @@ type Platform struct {
 	Store  *config.Store
 
 	globalPool *core.Pool
+	monitor    *telemetry.Emitter
+	station    *telemetry.Station
 
 	mu             sync.Mutex
 	pops           map[string]*PoP
@@ -69,15 +72,42 @@ func NewPlatform(cfg PlatformConfig) *Platform {
 	if !cfg.GlobalPool.IsValid() {
 		cfg.GlobalPool = core.DefaultGlobalPool
 	}
-	return &Platform{
+	p := &Platform{
 		cfg:        cfg,
 		Engine:     policy.NewEngine(cfg.ASN),
 		Store:      config.NewStore(),
 		globalPool: core.NewPool(cfg.GlobalPool),
+		monitor:    telemetry.NewEmitter(nil, 0),
+		station:    telemetry.NewStation(nil),
 		pops:       make(map[string]*PoP),
 		creds:      make(tunnel.Credentials),
 		proposals:  make(map[string]*Proposal),
 	}
+	// The platform-wide monitoring station consumes every router's
+	// BMP-style event feed for the life of the platform.
+	go p.station.Run(p.monitor)
+	return p
+}
+
+// Monitor returns the platform's monitoring event queue (routers emit
+// into it; the station consumes it).
+func (p *Platform) Monitor() *telemetry.Emitter { return p.monitor }
+
+// Station returns the platform's BMP-style monitoring station.
+func (p *Platform) Station() *telemetry.Station { return p.station }
+
+// WaitMonitorDrained blocks until the station has applied every event
+// accepted so far (or the timeout lapses), for tests and report
+// generation that read station state right after control-plane churn.
+func (p *Platform) WaitMonitorDrained(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for p.station.Processed() < p.monitor.Accepted() {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return true
 }
 
 // ASN returns the platform AS number.
@@ -146,6 +176,7 @@ func (p *Platform) AddPoP(cfg PoPConfig) (*PoP, error) {
 		Name: cfg.Name, ASN: p.cfg.ASN, RouterID: cfg.RouterID,
 		LocalPool: cfg.LocalPool, GlobalPool: p.globalPool,
 		Enforcer:             p.Engine,
+		Monitor:              p.monitor,
 		MaintainDefaultTable: cfg.MaintainDefaultTable,
 		Logf:                 p.cfg.Logf,
 	})
