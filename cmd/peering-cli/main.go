@@ -257,7 +257,10 @@ func fetchMetrics(w io.Writer, addr string) error {
 	if !strings.HasSuffix(url, "/metrics") {
 		url = strings.TrimRight(url, "/") + "/metrics"
 	}
-	resp, err := http.Get(url)
+	// A bounded client: a wedged or unreachable peeringd must fail the
+	// scrape, not hang the CLI (http.DefaultClient has no timeout).
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
 	if err != nil {
 		return err
 	}

@@ -14,8 +14,11 @@ import (
 	"net/http"
 	"net/netip"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/inet"
 	"repro/internal/ixp"
 	"repro/internal/telemetry"
@@ -31,7 +34,17 @@ func main() {
 	watch := flag.Duration("watch", 0, "keep running and print status at this interval (0 = exit after setup)")
 	listen := flag.String("listen", "", "accept remote experiment tunnels on this TCP address (e.g. :1790)")
 	metrics := flag.String("metrics", "", "serve the plain-text metrics exposition on this HTTP address (e.g. :9179)")
+	chaosSpec := flag.String("chaos", "", `enable deterministic fault injection and session resilience: comma-separated spec of seed=N, rate=F (faults/min), duration=D, kinds=reset|stall-read|stall-write|corrupt|delay|link-flap|partition, classes=neighbor|experiment|tunnel|backbone (e.g. "seed=42,rate=6,kinds=reset|link-flap")`)
 	flag.Parse()
+
+	var injector *chaos.Injector
+	if *chaosSpec != "" {
+		inj, err := parseChaosSpec(*chaosSpec)
+		if err != nil {
+			log.Fatalf("bad -chaos spec: %v", err)
+		}
+		injector = inj
+	}
 
 	cfg := inet.DefaultGenConfig()
 	cfg.Edges = *edges
@@ -41,7 +54,7 @@ func main() {
 	}
 	fmt.Printf("synthetic Internet: %d ASes (types: %v)\n", topo.Len(), topo.TypeCounts())
 
-	platform := peering.NewPlatform(peering.PlatformConfig{ASN: 47065, Topology: topo})
+	platform := peering.NewPlatform(peering.PlatformConfig{ASN: 47065, Topology: topo, Chaos: injector})
 
 	// The main exchange, AMS-IX style.
 	x := ixp.New("AMS-IX", 64700, topo, netip.MustParsePrefix("80.249.208.0/21"))
@@ -108,6 +121,12 @@ func main() {
 	fmt.Printf("backbone links: %d\n", len(platform.BackboneLinks()))
 	fmt.Println("platform is up; submit experiment proposals via the peering API")
 
+	if injector != nil {
+		fmt.Printf("chaos: injecting faults (%s); sessions run supervised with graceful restart\n", *chaosSpec)
+		go injector.Run()
+		defer injector.Stop()
+	}
+
 	serving := false
 	if *metrics != "" {
 		ln, err := net.Listen("tcp", *metrics)
@@ -157,6 +176,53 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// parseChaosSpec builds a fault injector from the -chaos flag, a
+// comma-separated list of key=value pairs: seed=N, rate=F (faults per
+// minute), duration=D (per-fault duration, Go syntax), and
+// "|"-separated kinds= and classes= filters.
+func parseChaosSpec(spec string) (*chaos.Injector, error) {
+	cfg := chaos.Config{Seed: 1, Rate: 6, Logf: log.Printf}
+	for _, field := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return nil, fmt.Errorf("%q: want key=value", field)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("seed: %v", err)
+			}
+			cfg.Seed = n
+		case "rate":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("rate: %v", err)
+			}
+			cfg.Rate = f
+		case "duration":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return nil, fmt.Errorf("duration: %v", err)
+			}
+			cfg.DefaultDuration = d
+		case "kinds":
+			for _, name := range strings.Split(val, "|") {
+				k, err := chaos.ParseKind(name)
+				if err != nil {
+					return nil, err
+				}
+				cfg.Kinds = append(cfg.Kinds, k)
+			}
+		case "classes":
+			cfg.Classes = append(cfg.Classes, strings.Split(val, "|")...)
+		default:
+			return nil, fmt.Errorf("unknown key %q (want seed, rate, duration, kinds, classes)", key)
+		}
+	}
+	return chaos.New(cfg), nil
 }
 
 // serveMetrics writes the default registry's exposition, the format

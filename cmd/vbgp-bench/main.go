@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	vbgp-bench [-fig all|6a|6b|backbone|amsix|updates|footprint|monitor] [-scale N]
+//	vbgp-bench [-fig all|6a|6b|backbone|amsix|updates|footprint|monitor|chaos] [-scale N]
 //
 // Absolute numbers differ from the paper (the substrate is an in-memory
 // simulator, not BIRD on a server at AMS-IX); the comparisons check the
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment to run: all, 6a, 6b, backbone, amsix, updates, footprint, monitor")
+	fig := flag.String("fig", "all", "which experiment to run: all, 6a, 6b, backbone, amsix, updates, footprint, monitor, chaos")
 	scale := flag.Int("scale", 10, "downscale factor for full-footprint experiments")
 	flag.Parse()
 
@@ -42,6 +42,7 @@ func main() {
 	run("updates", updates)
 	run("footprint", func() error { return footprint(*scale) })
 	run("monitor", monitor)
+	run("chaos", chaosSoak)
 }
 
 func header(title, paper string) {

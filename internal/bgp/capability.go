@@ -3,15 +3,46 @@ package bgp
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 )
 
 // Capability codes (RFC 5492 registry).
 const (
-	CapMultiprotocol = 1  // RFC 4760
-	CapRouteRefresh  = 2  // RFC 2918
-	CapAS4           = 65 // RFC 6793
-	CapAddPath       = 69 // RFC 7911
+	CapMultiprotocol   = 1  // RFC 4760
+	CapRouteRefresh    = 2  // RFC 2918
+	CapGracefulRestart = 64 // RFC 4724
+	CapAS4             = 65 // RFC 6793
+	CapAddPath         = 69 // RFC 7911
 )
+
+// Graceful restart flag bits (RFC 4724 §3).
+const (
+	grRestartFlag = 0x8000 // R bit: speaker has restarted
+	grForwardFlag = 0x80   // per-family F bit: forwarding state preserved
+	grRestartMask = 0x0fff // 12-bit restart time in seconds
+)
+
+// GRFamily is one address family advertised in the graceful restart
+// capability.
+type GRFamily struct {
+	Family AFISAFI
+	// Forwarding is the F bit: forwarding state for this family was
+	// preserved across the restart.
+	Forwarding bool
+}
+
+// GracefulRestart is the RFC 4724 capability: the peer will retain this
+// speaker's routes for Time after the session drops, marking them stale
+// until re-advertisement ends with an End-of-RIB marker.
+type GracefulRestart struct {
+	// Restarting is the R bit: this session is the re-establishment
+	// after a restart.
+	Restarting bool
+	// Time is how long the peer should retain routes (12-bit seconds).
+	Time time.Duration
+	// Families lists the address families covered.
+	Families []GRFamily
+}
 
 // ADD-PATH send/receive modes (RFC 7911 §4).
 const (
@@ -43,6 +74,8 @@ type Capabilities struct {
 	RouteRefresh bool
 	// AddPath maps address families to the advertised send/receive mode.
 	AddPath map[AFISAFI]uint8
+	// GR is the graceful restart capability, or nil when absent.
+	GR *GracefulRestart
 }
 
 // SupportsMP reports whether the family was advertised via the
@@ -67,6 +100,22 @@ func marshalCapabilities(c *Capabilities) []byte {
 	}
 	if c.RouteRefresh {
 		caps = append(caps, CapRouteRefresh, 0)
+	}
+	if c.GR != nil {
+		secs := uint16(c.GR.Time/time.Second) & grRestartMask
+		if c.GR.Restarting {
+			secs |= grRestartFlag
+		}
+		caps = append(caps, CapGracefulRestart, byte(2+4*len(c.GR.Families)))
+		caps = binary.BigEndian.AppendUint16(caps, secs)
+		for _, f := range c.GR.Families {
+			caps = binary.BigEndian.AppendUint16(caps, f.Family.AFI)
+			flags := byte(0)
+			if f.Forwarding {
+				flags = grForwardFlag
+			}
+			caps = append(caps, f.Family.SAFI, flags)
+		}
 	}
 	if c.AS4 != 0 {
 		caps = append(caps, CapAS4, 4)
@@ -136,6 +185,22 @@ func parseCapabilities(data []byte) (*Capabilities, error) {
 					return nil, fmt.Errorf("bgp: bad AS4 capability length %d", clen)
 				}
 				c.AS4 = binary.BigEndian.Uint32(val)
+			case CapGracefulRestart:
+				if clen < 2 {
+					return nil, fmt.Errorf("bgp: bad graceful restart capability length %d", clen)
+				}
+				hdr := binary.BigEndian.Uint16(val)
+				gr := &GracefulRestart{
+					Restarting: hdr&grRestartFlag != 0,
+					Time:       time.Duration(hdr&grRestartMask) * time.Second,
+				}
+				for fam := val[2:]; len(fam) >= 4; fam = fam[4:] {
+					gr.Families = append(gr.Families, GRFamily{
+						Family:     AFISAFI{binary.BigEndian.Uint16(fam), fam[2]},
+						Forwarding: fam[3]&grForwardFlag != 0,
+					})
+				}
+				c.GR = gr
 			case CapAddPath:
 				for len(val) >= 4 {
 					f := AFISAFI{binary.BigEndian.Uint16(val), val[2]}

@@ -59,6 +59,45 @@ type Update struct {
 	// MP_UNREACH_NLRI; the IPv6 next hop is Attrs.MPNextHop.
 	MPReach   []NLRI
 	MPUnreach []NLRI
+
+	// eorV6 marks this update as an IPv6 End-of-RIB: the body carries a
+	// bare MP_UNREACH_NLRI attribute with no routes (RFC 4724 §2).
+	eorV6 bool
+}
+
+// EndOfRIB builds the RFC 4724 End-of-RIB marker for a family: an empty
+// UPDATE for IPv4 unicast, an UPDATE whose only content is an empty
+// MP_UNREACH_NLRI attribute for IPv6 unicast.
+func EndOfRIB(f AFISAFI) *Update {
+	if f == IPv6Unicast {
+		return &Update{eorV6: true}
+	}
+	return &Update{}
+}
+
+// EndOfRIBFamily reports whether the (decoded) update is an End-of-RIB
+// marker and for which family. An empty UPDATE with no attributes is the
+// IPv4 marker; one whose attributes decoded to an empty set alongside an
+// empty MP_UNREACH is the IPv6 marker.
+func (m *Update) EndOfRIBFamily() (AFISAFI, bool) {
+	if len(m.Withdrawn) != 0 || len(m.NLRI) != 0 || len(m.MPReach) != 0 || len(m.MPUnreach) != 0 {
+		return AFISAFI{}, false
+	}
+	if m.eorV6 {
+		return IPv6Unicast, true
+	}
+	if m.Attrs == nil {
+		return IPv4Unicast, true
+	}
+	a := m.Attrs
+	empty := !a.HasOrigin && a.ASPath == nil && !a.NextHop.IsValid() &&
+		!a.MPNextHop.IsValid() && !a.HasMED && !a.HasLocalPref &&
+		!a.AtomicAggregate && a.Aggregator == nil &&
+		len(a.Communities) == 0 && len(a.LargeCommunities) == 0 && len(a.Unknown) == 0
+	if empty {
+		return IPv6Unicast, true
+	}
+	return AFISAFI{}, false
 }
 
 // Type implements Message.
@@ -70,6 +109,10 @@ func (m *Update) body(opts *codecOpts) []byte {
 		wd = appendNLRI(wd, n, opts.addPathV4)
 	}
 	attrs := marshalAttrs(m.Attrs, opts.as4, m.MPReach, m.MPUnreach, opts.addPathV6)
+	if m.eorV6 {
+		// Empty MP_UNREACH_NLRI: AFI=2, SAFI=unicast, zero routes.
+		attrs = append(attrs, FlagOptional, AttrMPUnreach, 3, 0, 2, SAFIUnicast)
+	}
 	b := binary.BigEndian.AppendUint16(nil, uint16(len(wd)))
 	b = append(b, wd...)
 	b = binary.BigEndian.AppendUint16(b, uint16(len(attrs)))

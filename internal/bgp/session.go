@@ -77,9 +77,19 @@ type Config struct {
 	// The paper notes MRAI as a baseline delay any update pipeline sits
 	// behind (§6). Zero disables pacing.
 	MRAI time.Duration
+	// GracefulRestart, when non-nil, advertises the RFC 4724 capability:
+	// the peer should retain our routes across a session drop and we do
+	// the same for it (stale-path retention is the caller's job, driven
+	// by OnClose and OnEndOfRIB).
+	GracefulRestart *GracefulRestartConfig
 
 	// OnUpdate is called for each received UPDATE while Established.
+	// End-of-RIB markers are not passed here; see OnEndOfRIB.
 	OnUpdate func(*Update)
+	// OnEndOfRIB is called when the peer signals End-of-RIB for a
+	// family (RFC 4724): its initial re-advertisement after a restart
+	// is complete and retained stale paths can be swept.
+	OnEndOfRIB func(AFISAFI)
 	// OnRouteRefresh is called when the peer requests re-advertisement
 	// of a family (RFC 2918).
 	OnRouteRefresh func(AFISAFI)
@@ -90,6 +100,17 @@ type Config struct {
 
 	// Logf, when set, receives session event logs.
 	Logf func(format string, args ...any)
+}
+
+// GracefulRestartConfig configures RFC 4724 negotiation for a session.
+type GracefulRestartConfig struct {
+	// RestartTime is advertised as the 12-bit restart time: how long the
+	// peer should retain our routes after the session drops.
+	RestartTime time.Duration
+	// Restarting sets the R bit, marking this session as the
+	// re-establishment after a restart (set by the Supervisor on
+	// reconnect attempts).
+	Restarting bool
 }
 
 // Session is one BGP session over an established transport. Create with
@@ -215,7 +236,33 @@ func (s *Session) localCaps() *Capabilities {
 	if len(s.cfg.AddPath) > 0 {
 		c.AddPath = s.cfg.AddPath
 	}
+	if gr := s.cfg.GracefulRestart; gr != nil {
+		g := &GracefulRestart{Restarting: gr.Restarting, Time: gr.RestartTime}
+		for _, f := range s.cfg.Families {
+			g.Families = append(g.Families, GRFamily{Family: f, Forwarding: true})
+		}
+		c.GR = g
+	}
 	return c
+}
+
+// GracefulRestartNegotiated reports whether both sides advertised the
+// RFC 4724 capability (valid once the session leaves OpenSent). Callers
+// use it to decide between stale-path retention and immediate withdraw
+// when the session drops.
+func (s *Session) GracefulRestartNegotiated() bool {
+	return s.cfg.GracefulRestart != nil &&
+		s.negotiated.remoteCaps != nil && s.negotiated.remoteCaps.GR != nil
+}
+
+// SendEndOfRIB transmits the End-of-RIB marker for family f, signalling
+// that the initial (re-)advertisement of the family is complete.
+func (s *Session) SendEndOfRIB(f AFISAFI) error {
+	if s.State() != StateEstablished {
+		return fmt.Errorf("bgp: session not established (state %s)", s.State())
+	}
+	s.UpdatesOut.Add(1)
+	return s.write(EndOfRIB(f))
 }
 
 // setState records an FSM transition, counting flaps when an
@@ -371,6 +418,12 @@ func (s *Session) handleMessage(msg Message) error {
 			return notif(ErrCodeFSM, 0)
 		}
 		s.UpdatesIn.Add(1)
+		if fam, ok := m.EndOfRIBFamily(); ok {
+			if s.cfg.OnEndOfRIB != nil {
+				s.cfg.OnEndOfRIB(fam)
+			}
+			return nil
+		}
 		if s.cfg.OnUpdate != nil {
 			s.cfg.OnUpdate(m)
 		}

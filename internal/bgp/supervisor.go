@@ -1,0 +1,246 @@
+package bgp
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Supervisor defaults: IdleHoldTime starts at BaseHold, doubles per
+// consecutive failure up to MaxHold, and resets once a session survives
+// StableReset (RFC 4271 §8.2.1 IdleHoldTime semantics, scaled to the
+// simulator's time base).
+const (
+	defaultBaseHold    = 50 * time.Millisecond
+	defaultMaxHold     = 5 * time.Second
+	defaultStableReset = 2 * time.Second
+)
+
+// recoveryBuckets are the bgp_session_recovery_seconds histogram edges.
+var recoveryBuckets = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// SupervisorConfig configures automatic session re-establishment.
+type SupervisorConfig struct {
+	// Session is the session configuration used for every attempt. The
+	// Supervisor wraps OnEstablished to record recovery telemetry; all
+	// other callbacks fire unchanged on every incarnation.
+	Session Config
+	// Conn is the initial transport. Nil means dial immediately.
+	Conn net.Conn
+	// Dial produces a replacement transport after a failure. Nil
+	// disables reconnection (the Supervisor then runs one session and
+	// stops, i.e. pre-supervisor behavior).
+	Dial func() (net.Conn, error)
+	// BaseHold, MaxHold, and StableReset tune the backoff ladder; zero
+	// selects the defaults above.
+	BaseHold    time.Duration
+	MaxHold     time.Duration
+	StableReset time.Duration
+	// Seed makes the backoff jitter reproducible.
+	Seed int64
+	// OnSession is called with each new session before it runs, so the
+	// owner can swap the session pointer its send paths use.
+	OnSession func(*Session)
+	// Logf receives reconnect logs.
+	Logf func(format string, args ...any)
+}
+
+// Supervisor keeps one BGP session alive across transport failures:
+// when a session dies with an error it redials with exponential backoff
+// plus jitter and runs a replacement, marking the RFC 4724 R bit on
+// reconnect attempts. Administrative Close (session error nil) stops
+// the loop.
+type Supervisor struct {
+	cfg SupervisorConfig
+	rng *rand.Rand
+
+	mu   sync.Mutex
+	sess *Session
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+
+	attempts    *telemetry.Counter
+	reconnects  *telemetry.Counter
+	recoverySec *telemetry.Histogram
+}
+
+// NewSupervisor creates a Supervisor; call Start to run it.
+func NewSupervisor(cfg SupervisorConfig) *Supervisor {
+	if cfg.BaseHold <= 0 {
+		cfg.BaseHold = defaultBaseHold
+	}
+	if cfg.MaxHold <= 0 {
+		cfg.MaxHold = defaultMaxHold
+	}
+	if cfg.StableReset <= 0 {
+		cfg.StableReset = defaultStableReset
+	}
+	peer := cfg.Session.PeerName
+	if peer == "" {
+		peer = "unnamed"
+	}
+	reg := telemetry.Default()
+	return &Supervisor{
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		stopCh:      make(chan struct{}),
+		doneCh:      make(chan struct{}),
+		attempts:    reg.Counter("bgp_reconnect_attempts_total", telemetry.L("peer", peer)),
+		reconnects:  reg.Counter("bgp_reconnects_total", telemetry.L("peer", peer)),
+		recoverySec: reg.Histogram("bgp_session_recovery_seconds", recoveryBuckets),
+	}
+}
+
+// Start launches the supervision loop.
+func (sv *Supervisor) Start() { go sv.run() }
+
+// Session returns the current session (the latest incarnation), or nil
+// before the first one exists.
+func (sv *Supervisor) Session() *Session {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.sess
+}
+
+func (sv *Supervisor) setSession(s *Session) {
+	sv.mu.Lock()
+	sv.sess = s
+	sv.mu.Unlock()
+}
+
+// Done is closed when the supervision loop exits.
+func (sv *Supervisor) Done() <-chan struct{} { return sv.doneCh }
+
+// Stop ends supervision and administratively closes the current
+// session.
+func (sv *Supervisor) Stop() {
+	sv.stopOnce.Do(func() { close(sv.stopCh) })
+	if s := sv.Session(); s != nil {
+		_ = s.Close()
+	}
+}
+
+func (sv *Supervisor) stopped() bool {
+	select {
+	case <-sv.stopCh:
+		return true
+	default:
+		return false
+	}
+}
+
+func (sv *Supervisor) logf(format string, args ...any) {
+	if sv.cfg.Logf != nil {
+		sv.cfg.Logf(format, args...)
+	}
+}
+
+// sleep waits d or until Stop, reporting whether to continue.
+func (sv *Supervisor) sleep(d time.Duration) bool {
+	select {
+	case <-sv.stopCh:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// run is the supervision loop. Session callbacks fire on this goroutine
+// (inside sess.Run), so the loop-local recovery state needs no locking.
+func (sv *Supervisor) run() {
+	defer close(sv.doneCh)
+	hold := sv.cfg.BaseHold
+	conn := sv.cfg.Conn
+	restarting := false
+	var downSince time.Time
+
+	for !sv.stopped() {
+		if conn == nil {
+			if sv.cfg.Dial == nil {
+				return
+			}
+			c, err := sv.cfg.Dial()
+			if err != nil {
+				sv.logf("supervisor %s: dial failed: %v (retry in ~%s)", sv.cfg.Session.PeerName, err, hold)
+				if !sv.sleep(sv.jitter(hold)) {
+					return
+				}
+				hold = sv.nextHold(hold)
+				continue
+			}
+			conn = c
+		}
+		if sv.stopped() {
+			_ = conn.Close()
+			return
+		}
+
+		scfg := sv.cfg.Session
+		if restarting {
+			sv.attempts.Inc()
+			if scfg.GracefulRestart != nil {
+				gr := *scfg.GracefulRestart
+				gr.Restarting = true
+				scfg.GracefulRestart = &gr
+			}
+		}
+		userEst := scfg.OnEstablished
+		scfg.OnEstablished = func() {
+			if !downSince.IsZero() {
+				sv.reconnects.Inc()
+				sv.recoverySec.Observe(time.Since(downSince).Seconds())
+				downSince = time.Time{}
+			}
+			if userEst != nil {
+				userEst()
+			}
+		}
+
+		sess := NewSession(conn, scfg)
+		sv.setSession(sess)
+		if sv.cfg.OnSession != nil {
+			sv.cfg.OnSession(sess)
+		}
+		start := time.Now()
+		err := sess.Run()
+		conn = nil
+		if err == nil {
+			// Administrative shutdown: the owner closed the session.
+			return
+		}
+		if sv.stopped() || sv.cfg.Dial == nil {
+			return
+		}
+		if downSince.IsZero() {
+			downSince = time.Now()
+		}
+		restarting = true
+		if time.Since(start) >= sv.cfg.StableReset {
+			hold = sv.cfg.BaseHold
+		}
+		sv.logf("supervisor %s: session died: %v (reconnect in ~%s)", sv.cfg.Session.PeerName, err, hold)
+		if !sv.sleep(sv.jitter(hold)) {
+			return
+		}
+		hold = sv.nextHold(hold)
+	}
+}
+
+// jitter spreads a hold time over [0.75, 1.0) of its value so a burst
+// of failures does not reconnect in lockstep.
+func (sv *Supervisor) jitter(hold time.Duration) time.Duration {
+	return time.Duration(float64(hold) * (0.75 + 0.25*sv.rng.Float64()))
+}
+
+func (sv *Supervisor) nextHold(hold time.Duration) time.Duration {
+	hold *= 2
+	if hold > sv.cfg.MaxHold {
+		hold = sv.cfg.MaxHold
+	}
+	return hold
+}

@@ -1,0 +1,176 @@
+package bgp
+
+import (
+	"net"
+	"net/netip"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/pipe"
+	"repro/internal/telemetry"
+)
+
+// supervisedPair wires a supervised local session against a peer that
+// accepts a fresh session on every dial. It returns the supervisor, a
+// function that kills the current transport, and a counter of peer-side
+// establishments.
+func supervisedPair(t *testing.T, established *atomic.Int32) (*Supervisor, func()) {
+	t.Helper()
+	var current atomic.Value // net.Conn (local side)
+
+	dial := func() (net.Conn, error) {
+		cl, cp := pipe.New()
+		peer := NewSession(cp, Config{
+			LocalASN: 65002, RemoteASN: 65001, LocalID: netip.MustParseAddr("2.2.2.2"),
+			OnEstablished: func() { established.Add(1) },
+		})
+		go peer.Run()
+		current.Store(net.Conn(cl))
+		return cl, nil
+	}
+
+	first, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := NewSupervisor(SupervisorConfig{
+		Session: Config{
+			LocalASN: 65001, RemoteASN: 65002, LocalID: netip.MustParseAddr("1.1.1.1"),
+			PeerName: "sv-test",
+		},
+		Conn:     first,
+		Dial:     dial,
+		BaseHold: time.Millisecond,
+		MaxHold:  20 * time.Millisecond,
+		Seed:     1,
+	})
+	sv.Start()
+	kill := func() {
+		if c, ok := current.Load().(net.Conn); ok {
+			_ = c.Close()
+		}
+	}
+	return sv, kill
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSupervisorReestablishesAfterTransportLoss(t *testing.T) {
+	var established atomic.Int32
+	sv, kill := supervisedPair(t, &established)
+	defer sv.Stop()
+
+	waitFor(t, "initial establishment", func() bool { return established.Load() >= 1 })
+	before := telemetry.Default().Value("bgp_reconnects_total")
+
+	for i := 0; i < 3; i++ {
+		target := established.Load() + 1
+		kill()
+		waitFor(t, "re-establishment", func() bool { return established.Load() >= target })
+	}
+	if got := telemetry.Default().Value("bgp_reconnects_total"); got < before+3 {
+		t.Fatalf("bgp_reconnects_total rose by %v, want >= 3", got-before)
+	}
+	if telemetry.Default().Value("bgp_session_recovery_seconds") == 0 {
+		t.Fatal("no recovery latency observations recorded")
+	}
+}
+
+func TestSupervisorStopsOnAdministrativeClose(t *testing.T) {
+	var established atomic.Int32
+	sv, _ := supervisedPair(t, &established)
+	waitFor(t, "initial establishment", func() bool { return established.Load() >= 1 })
+
+	sv.Session().Close()
+	select {
+	case <-sv.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("supervisor kept running after administrative close")
+	}
+}
+
+func TestSupervisorBackoffIsBounded(t *testing.T) {
+	sv := NewSupervisor(SupervisorConfig{
+		Session:  Config{PeerName: "backoff"},
+		MaxHold:  40 * time.Millisecond,
+		BaseHold: 10 * time.Millisecond,
+	})
+	hold := sv.cfg.BaseHold
+	for i := 0; i < 10; i++ {
+		hold = sv.nextHold(hold)
+		if hold > sv.cfg.MaxHold {
+			t.Fatalf("hold %v exceeded cap %v", hold, sv.cfg.MaxHold)
+		}
+		j := sv.jitter(hold)
+		if j < hold*3/4 || j > hold {
+			t.Fatalf("jitter %v outside [0.75, 1.0] of %v", j, hold)
+		}
+	}
+	if hold != sv.cfg.MaxHold {
+		t.Fatalf("hold settled at %v, want cap %v", hold, sv.cfg.MaxHold)
+	}
+}
+
+func TestSupervisorSetsRestartBitOnReconnect(t *testing.T) {
+	var established atomic.Int32
+	sawRestart := make(chan bool, 8)
+	var current atomic.Value
+
+	dial := func() (net.Conn, error) {
+		cl, cp := pipe.New()
+		var peer *Session
+		peer = NewSession(cp, Config{
+			LocalASN: 65002, RemoteASN: 65001, LocalID: netip.MustParseAddr("2.2.2.2"),
+			GracefulRestart: &GracefulRestartConfig{RestartTime: 5 * time.Second},
+			OnEstablished: func() {
+				established.Add(1)
+				caps := peer.RemoteCaps()
+				sawRestart <- caps != nil && caps.GR != nil && caps.GR.Restarting
+			},
+		})
+		go peer.Run()
+		current.Store(net.Conn(cl))
+		return cl, nil
+	}
+	sv := NewSupervisor(SupervisorConfig{
+		Session: Config{
+			LocalASN: 65001, RemoteASN: 65002, LocalID: netip.MustParseAddr("1.1.1.1"),
+			GracefulRestart: &GracefulRestartConfig{RestartTime: 5 * time.Second},
+		},
+		Dial:     dial,
+		BaseHold: time.Millisecond,
+		Seed:     1,
+	})
+	sv.Start()
+	defer sv.Stop()
+
+	select {
+	case restarting := <-sawRestart:
+		if restarting {
+			t.Fatal("first establishment advertised the R bit")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("never established")
+	}
+	if c, ok := current.Load().(net.Conn); ok {
+		_ = c.Close()
+	}
+	select {
+	case restarting := <-sawRestart:
+		if !restarting {
+			t.Fatal("reconnect did not advertise the R bit")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("never re-established")
+	}
+}

@@ -1,0 +1,46 @@
+package chaos
+
+import "repro/internal/telemetry"
+
+// injectorMetrics holds the counters an Injector resolves once in New,
+// following the platform's resolved-pointer convention: registration is
+// a map lookup, every increment afterwards is one atomic op.
+type injectorMetrics struct {
+	// byKind counts injected faults per kind (chaos_faults_total{kind}).
+	byKind map[FaultKind]*telemetry.Counter
+	// targetsHit counts targets hit across all faults.
+	targetsHit *telemetry.Counter
+	// resets counts conns closed by Reset (and Partition) faults.
+	resets *telemetry.Counter
+	// corruptions counts reads whose payload was corrupted.
+	corruptions *telemetry.Counter
+	// conns and links gauge the registered target population.
+	conns *telemetry.Gauge
+	links *telemetry.Gauge
+}
+
+func newInjectorMetrics() injectorMetrics {
+	reg := telemetry.Default()
+	kinds := append(ConnKinds(), LinkFlap, Partition)
+	byKind := make(map[FaultKind]*telemetry.Counter, len(kinds))
+	for _, k := range kinds {
+		byKind[k] = reg.Counter("chaos_faults_total", telemetry.L("kind", string(k)))
+	}
+	return injectorMetrics{
+		byKind:      byKind,
+		targetsHit:  reg.Counter("chaos_targets_hit_total"),
+		resets:      reg.Counter("chaos_conn_resets_total"),
+		corruptions: reg.Counter("chaos_corrupted_reads_total"),
+		conns:       reg.Gauge("chaos_registered_conns"),
+		links:       reg.Gauge("chaos_registered_links"),
+	}
+}
+
+// faults returns the per-kind counter (shared "other" series for kinds
+// outside the registered set, which cannot happen for valid faults).
+func (m injectorMetrics) faults(k FaultKind) *telemetry.Counter {
+	if c, ok := m.byKind[k]; ok {
+		return c
+	}
+	return telemetry.Default().Counter("chaos_faults_total", telemetry.L("kind", string(k)))
+}

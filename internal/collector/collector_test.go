@@ -233,6 +233,13 @@ func FuzzReadEvents(f *testing.F) {
 	f.Add(buf.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{0x50, 0x52})
+	seed := buf.Bytes()
+	f.Add(seed[:len(seed)-5]) // truncated mid-record
+	f.Add([]byte{0x50})       // half a magic
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	flipped := append([]byte(nil), seed...)
+	flipped[len(flipped)/2] ^= 0xFF // one corrupted byte mid-stream
+	f.Add(flipped)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		events, err := ReadEvents(bytes.NewReader(data))

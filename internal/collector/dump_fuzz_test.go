@@ -1,0 +1,124 @@
+package collector
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+// fuzzSeedEvents is a small dump covering both address families, an
+// absent next hop, and path/community lists — the corpus the fuzzer
+// mutates from.
+func fuzzSeedEvents() []Event {
+	return []Event{
+		{
+			Time: time.Unix(0, 1234), Kind: KindAnnounce,
+			Prefix: netip.MustParsePrefix("184.164.224.0/24"), PathID: 1,
+			ASPath:      []uint32{61574, 47065, 3356},
+			NextHop:     netip.MustParseAddr("100.65.0.2"),
+			Communities: []bgp.Community{bgp.Community(47065<<16 | 100)},
+		},
+		{
+			Time: time.Unix(0, 5678), Kind: KindWithdraw,
+			Prefix: netip.MustParsePrefix("2804:269c::/32"), PathID: 2,
+		},
+	}
+}
+
+// TestDumpCorruptInputs drives the decoder through every structured
+// failure mode: each corruption must surface as an error, never a
+// panic, and truncations must read as unexpected EOF.
+func TestDumpCorruptInputs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEvents(&buf, fuzzSeedEvents()); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	mutate := func(fn func(b []byte) []byte) []byte {
+		return fn(append([]byte(nil), good...))
+	}
+
+	cases := []struct {
+		name    string
+		data    []byte
+		wantErr string // substring of the expected error ("" = any)
+		wantEOF bool   // io.ErrUnexpectedEOF expected
+	}{
+		{
+			name:    "bad magic",
+			data:    mutate(func(b []byte) []byte { b[0] = 0xAA; return b }),
+			wantErr: "bad record magic",
+		},
+		{
+			name:    "truncated header",
+			data:    good[:10],
+			wantEOF: true,
+		},
+		{
+			name:    "truncated mid-address",
+			data:    good[:20],
+			wantEOF: true,
+		},
+		{
+			name:    "bad address family",
+			data:    mutate(func(b []byte) []byte { b[15] = 9; return b }),
+			wantErr: "bad address family",
+		},
+		{
+			name:    "v4 prefix bits out of range",
+			data:    mutate(func(b []byte) []byte { b[16] = 77; return b }),
+			wantErr: "v4 prefix bits",
+		},
+		{
+			name:    "bad next-hop family",
+			data:    mutate(func(b []byte) []byte { b[21] = 3; return b }),
+			wantErr: "bad next-hop family",
+		},
+		{
+			name: "path length claims more than stream holds",
+			data: mutate(func(b []byte) []byte {
+				// The first record's path-length field sits after
+				// hdr(15) + fam/bits(2) + v4 addr(4) + nhFam(1) + nh(4).
+				binary.BigEndian.PutUint16(b[26:28], 0xFFFF)
+				return b
+			}),
+			wantEOF: true,
+		},
+		{
+			name: "garbage between records",
+			data: func() []byte {
+				var one bytes.Buffer
+				if err := WriteEvents(&one, fuzzSeedEvents()[:1]); err != nil {
+					t.Fatal(err)
+				}
+				return append(one.Bytes(), 0xDE, 0xAD, 0xBE, 0xEF)
+			}(),
+			wantErr: "bad record magic",
+		},
+		{
+			name:    "truncated final record",
+			data:    good[:len(good)-3],
+			wantEOF: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadEvents(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("corrupt input parsed without error")
+			}
+			if tc.wantEOF && err != io.ErrUnexpectedEOF {
+				t.Fatalf("err = %v, want io.ErrUnexpectedEOF", err)
+			}
+			if tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}

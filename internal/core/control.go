@@ -37,6 +37,10 @@ type expRouteKey struct {
 // GlobalIP as next hop (§4.4).
 func (r *Router) handleNeighborUpdate(n *Neighbor, u *bgp.Update) {
 	defer r.syncNeighborRoutesGauge(n)
+	var remoteID netip.Addr
+	if sess := n.Session(); sess != nil {
+		remoteID = sess.RemoteID()
+	}
 	for _, w := range append(append([]bgp.NLRI(nil), u.Withdrawn...), u.MPUnreach...) {
 		if n.Table.Withdraw(w.Prefix, n.Name, w.ID) == nil {
 			continue
@@ -63,6 +67,15 @@ func (r *Router) handleNeighborUpdate(n *Neighbor, u *bgp.Update) {
 		if attrs == nil {
 			return
 		}
+		// AS-path loop prevention (RFC 4271 §9.1.2): a path already
+		// carrying the platform's ASN is one of our own announcements
+		// reflected back — accepting it would loop it into every
+		// experiment's view.
+		for _, hop := range attrs.ASPathFlat() {
+			if hop == r.cfg.ASN {
+				return
+			}
+		}
 		stored := attrs.Clone()
 		// Forwarding next hop: the neighbor itself for a direct
 		// adjacency; route servers are transparent, so their routes keep
@@ -73,7 +86,7 @@ func (r *Router) handleNeighborUpdate(n *Neighbor, u *bgp.Update) {
 		p := &rib.Path{
 			Prefix: nlri.Prefix, ID: nlri.ID, Peer: n.Name, Attrs: stored,
 			EBGP: true, Seq: rib.NextSeq(),
-			PeerAddr: n.Addr, PeerRouterID: n.session.RemoteID(),
+			PeerAddr: n.Addr, PeerRouterID: remoteID,
 		}
 		n.Table.Add(p)
 		r.emit(telemetry.Event{
@@ -181,19 +194,27 @@ func (r *Router) exportToMesh(n *Neighbor, prefix netip.Prefix, attrs *bgp.PathA
 		u = r.meshUpdateForNeighborRoute(n, prefix, attrs)
 	}
 	for _, p := range peers {
-		if p.session.State() == bgp.StateEstablished {
-			if err := p.session.Send(u); err != nil {
+		if s := p.sess(); s != nil && s.State() == bgp.StateEstablished {
+			if err := s.Send(u); err != nil {
 				r.logf("mesh export to %s: %v", p.name, err)
 			}
 		}
 	}
 }
 
+// experimentGRTime is the graceful-restart window advertised on
+// experiment sessions: how long an experiment's routes survive a
+// dropped control session (e.g. a tunnel redial) before being flushed.
+const experimentGRTime = 10 * time.Second
+
 // ConnectExperiment attaches an experiment BGP session over conn. The
 // experiment's routes are validated by the enforcement engine; the
 // experiment receives every known route via ADD-PATH once established.
+// Reconnecting under a name whose previous session already died
+// replaces the old registration (the redial path of a resilient
+// experiment client).
 func (r *Router) ConnectExperiment(name string, expASN uint32, conn net.Conn) (*bgp.Session, error) {
-	e := &expConn{name: name}
+	e := &expConn{name: name, gr: experimentGRTime}
 	sess := bgp.NewSession(conn, bgp.Config{
 		LocalASN:  r.cfg.ASN,
 		RemoteASN: expASN,
@@ -204,21 +225,29 @@ func (r *Router) ConnectExperiment(name string, expASN uint32, conn net.Conn) (*
 			bgp.IPv4Unicast: bgp.AddPathSendReceive,
 			bgp.IPv6Unicast: bgp.AddPathSendReceive,
 		},
-		OnUpdate: func(u *bgp.Update) { r.handleExperimentUpdate(e, u) },
+		GracefulRestart: &bgp.GracefulRestartConfig{RestartTime: experimentGRTime},
+		OnUpdate:        func(u *bgp.Update) { r.handleExperimentUpdate(e, u) },
 		OnEstablished: func() {
 			r.emit(telemetry.Event{Kind: telemetry.EventPeerUp, Peer: "exp:" + name, PeerASN: expASN})
 			r.dumpTablesToExperiment(e)
 		},
 		OnRouteRefresh: func(bgp.AFISAFI) { r.dumpTablesToExperiment(e) },
+		OnEndOfRIB:     func(fam bgp.AFISAFI) { r.experimentEndOfRIB(e, fam) },
 		OnClose:        func(err error) { r.experimentDown(e, err) },
 		Logf:           r.cfg.Logf,
 	})
 	e.session = sess
 
 	r.mu.Lock()
-	if _, dup := r.experiments[name]; dup {
-		r.mu.Unlock()
-		return nil, fmt.Errorf("core: experiment %s already connected", name)
+	if old, dup := r.experiments[name]; dup {
+		// Allow replacement only when the previous session is dead; a
+		// live session under the same name is a configuration error.
+		select {
+		case <-old.session.Done():
+		default:
+			r.mu.Unlock()
+			return nil, fmt.Errorf("core: experiment %s already connected", name)
+		}
 	}
 	e.tunnelIP = r.tunnelIPs[name]
 	r.experiments[name] = e
@@ -257,6 +286,13 @@ func (r *Router) dumpTablesToExperiment(e *expConn) {
 				return
 			}
 			r.metrics.addPathExports.Inc()
+		}
+	}
+	// End-of-RIB after the initial dump (RFC 4724 §3): lets a restarting
+	// experiment sweep stale paths as soon as the replay completes.
+	for _, fam := range []bgp.AFISAFI{bgp.IPv4Unicast, bgp.IPv6Unicast} {
+		if err := e.session.SendEndOfRIB(fam); err != nil {
+			return
 		}
 	}
 }
@@ -438,10 +474,11 @@ func (r *Router) sendExperimentRouteToNeighbor(n *Neighbor, chosen *rib.Path) {
 		n.AdjOut.Withdraw(prefix, p.Peer, p.ID)
 	}
 	n.AdjOut.Add(&rib.Path{Prefix: prefix, ID: chosen.ID, Peer: chosen.Peer, Attrs: out, Seq: chosen.Seq})
-	if n.session == nil || n.session.State() != bgp.StateEstablished {
+	sess := n.Session()
+	if sess == nil || sess.State() != bgp.StateEstablished {
 		return
 	}
-	if err := n.session.Send(u); err != nil {
+	if err := sess.Send(u); err != nil {
 		r.logf("export %s to neighbor %s: %v", prefix, n.Name, err)
 	}
 }
@@ -451,7 +488,8 @@ func (r *Router) sendExperimentWithdrawToNeighbor(n *Neighbor, prefix netip.Pref
 	for _, p := range n.AdjOut.Paths(prefix) {
 		n.AdjOut.Withdraw(prefix, p.Peer, p.ID)
 	}
-	if n.session == nil || n.session.State() != bgp.StateEstablished {
+	sess := n.Session()
+	if sess == nil || sess.State() != bgp.StateEstablished {
 		return
 	}
 	var u *bgp.Update
@@ -460,7 +498,7 @@ func (r *Router) sendExperimentWithdrawToNeighbor(n *Neighbor, prefix netip.Pref
 	} else {
 		u = &bgp.Update{Withdrawn: []bgp.NLRI{{Prefix: prefix}}}
 	}
-	if err := n.session.Send(u); err != nil {
+	if err := sess.Send(u); err != nil {
 		r.logf("withdraw %s from neighbor %s: %v", prefix, n.Name, err)
 	}
 }
@@ -519,8 +557,8 @@ func (r *Router) relayExperimentRouteToMesh(prefix netip.Prefix, id bgp.PathID, 
 		}
 	}
 	for _, p := range peers {
-		if p.session.State() == bgp.StateEstablished {
-			if err := p.session.Send(u); err != nil {
+		if s := p.sess(); s != nil && s.State() == bgp.StateEstablished {
+			if err := s.Send(u); err != nil {
 				r.logf("mesh relay to %s: %v", p.name, err)
 			}
 		}
@@ -536,14 +574,33 @@ func bbAddr6(v4 netip.Addr) netip.Addr {
 	return netip.AddrFrom16(raw)
 }
 
-// experimentDown withdraws everything a disconnected experiment
-// announced.
+// experimentDown handles a disconnected experiment. When the session
+// negotiated graceful restart and died on an error (not an
+// administrative close), the experiment's routes are retained as stale
+// for the restart window so a reconnecting client finds its
+// announcements still exported; otherwise everything is withdrawn
+// immediately.
 func (r *Router) experimentDown(e *expConn, err error) {
+	r.mu.Lock()
+	// A replacement session may already be registered under the name
+	// (redial racing ahead of this callback); only unregister ourselves.
+	if cur := r.experiments[e.name]; cur == e {
+		delete(r.experiments, e.name)
+	}
+	r.mu.Unlock()
+	if err != nil && e.gr > 0 && e.session.GracefulRestartNegotiated() {
+		r.logf("experiment %s down: %v (graceful restart, retaining routes for %s)", e.name, err, e.gr)
+		r.emit(telemetry.Event{
+			Kind: telemetry.EventPeerDown, Peer: "exp:" + e.name,
+			Reason: closeReason(err) + " (graceful restart)",
+		})
+		if r.expRoutes.MarkPeerStale(e.name) > 0 {
+			r.armExperimentFlush(e.name, e.gr)
+		}
+		return
+	}
 	r.logf("experiment %s disconnected: %v", e.name, err)
 	r.emit(telemetry.Event{Kind: telemetry.EventPeerDown, Peer: "exp:" + e.name, Reason: closeReason(err)})
-	r.mu.Lock()
-	delete(r.experiments, e.name)
-	r.mu.Unlock()
 	type ver struct {
 		prefix netip.Prefix
 		id     bgp.PathID
@@ -562,9 +619,29 @@ func (r *Router) experimentDown(e *expConn, err error) {
 	}
 }
 
-// neighborDown withdraws a disconnected neighbor's routes from
-// experiments and the mesh.
+// neighborDown handles a dropped neighbor session. A supervised session
+// that negotiated graceful restart and died on a transport error keeps
+// its routes as stale (forwarding state preserved, RFC 4724) until the
+// peer re-establishes and sends End-of-RIB, or the restart window
+// lapses. Everything else gets the immediate full withdrawal.
 func (r *Router) neighborDown(n *Neighbor, err error) {
+	sess := n.Session()
+	if err != nil && n.sup != nil && n.gr > 0 && sess != nil && sess.GracefulRestartNegotiated() {
+		r.logf("neighbor %s down: %v (graceful restart, retaining routes for %s)", n.Name, err, n.gr)
+		r.emit(telemetry.Event{
+			Kind: telemetry.EventPeerDown, Peer: n.Name, PeerASN: n.ASN,
+			Reason: closeReason(err) + " (graceful restart)",
+		})
+		marked := n.Table.MarkPeerStale(n.Name)
+		if r.defaultTable != nil {
+			r.defaultTable.MarkPeerStale(n.Name)
+		}
+		if marked > 0 {
+			r.armNeighborFlush(n)
+		}
+		// byRealMAC stays: forwarding continues on retained state.
+		return
+	}
 	r.logf("neighbor %s down: %v", n.Name, err)
 	r.emit(telemetry.Event{Kind: telemetry.EventPeerDown, Peer: n.Name, PeerASN: n.ASN, Reason: closeReason(err)})
 	removed := n.Table.WithdrawPeer(n.Name)

@@ -4,31 +4,104 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"time"
 
 	"repro/internal/bgp"
 	"repro/internal/rib"
 	"repro/internal/telemetry"
 )
 
+// BackbonePeerConfig configures one backbone mesh session.
+type BackbonePeerConfig struct {
+	// Name is the remote router's PoP name.
+	Name string
+	// Addr is the peer router's backbone address, used as the next hop
+	// for experiment routes relayed from that PoP.
+	Addr netip.Addr
+	// Conn is the initial BGP transport.
+	Conn net.Conn
+	// Redial, when set, supervises the session: transport failures are
+	// followed by redials with exponential backoff.
+	Redial func() (net.Conn, error)
+	// Resilient marks a passive peer that re-establishes by the remote
+	// side redialing into AcceptBackbonePeerConn; state is retained
+	// across failures as for a supervised peer.
+	Resilient bool
+	// GracefulRestart, when nonzero, advertises RFC 4724 and retains
+	// backbone-learned state as stale for this window after a drop.
+	GracefulRestart time.Duration
+}
+
 // AddBackbonePeer connects this router to another vBGP router over the
 // backbone with an iBGP-style session (same ASN, ADD-PATH in both
-// directions). remoteAddr is the peer router's backbone address, used as
-// the next hop for experiment routes relayed from that PoP.
+// directions). The session is one-shot: transport loss tears the
+// peer's state down. Use AddBackbonePeerConfig for resilient peers.
 func (r *Router) AddBackbonePeer(name string, remoteAddr netip.Addr, conn net.Conn) error {
+	return r.AddBackbonePeerConfig(BackbonePeerConfig{Name: name, Addr: remoteAddr, Conn: conn})
+}
+
+// AddBackbonePeerConfig registers a backbone mesh peer per cfg.
+func (r *Router) AddBackbonePeerConfig(cfg BackbonePeerConfig) error {
 	r.mu.Lock()
-	if _, dup := r.meshPeers[name]; dup {
+	if _, dup := r.meshPeers[cfg.Name]; dup {
 		r.mu.Unlock()
-		return fmt.Errorf("core: duplicate backbone peer %s", name)
+		return fmt.Errorf("core: duplicate backbone peer %s", cfg.Name)
 	}
-	p := &meshPeer{name: name, addr: remoteAddr}
-	r.meshPeers[name] = p
+	p := &meshPeer{
+		name: cfg.Name, addr: cfg.Addr,
+		gr:        cfg.GracefulRestart,
+		resilient: cfg.Redial != nil || cfg.Resilient,
+	}
+	r.meshPeers[cfg.Name] = p
 	r.mu.Unlock()
 
-	sess := bgp.NewSession(conn, bgp.Config{
+	scfg := r.meshSessionConfig(p)
+	if cfg.Redial != nil {
+		p.sup = bgp.NewSupervisor(bgp.SupervisorConfig{
+			Session:   scfg,
+			Conn:      cfg.Conn,
+			Dial:      cfg.Redial,
+			OnSession: p.setSess,
+			Logf:      r.cfg.Logf,
+		})
+		p.sup.Start()
+		return nil
+	}
+	sess := bgp.NewSession(cfg.Conn, scfg)
+	p.setSess(sess)
+	go sess.Run()
+	return nil
+}
+
+// AcceptBackbonePeerConn re-attaches a known backbone peer over a fresh
+// transport — the passive half of mesh resilience: the remote router's
+// supervisor redials, this side accepts and replaces the dead session.
+func (r *Router) AcceptBackbonePeerConn(name string, conn net.Conn) error {
+	r.mu.Lock()
+	p := r.meshPeers[name]
+	r.mu.Unlock()
+	if p == nil {
+		return fmt.Errorf("core: unknown backbone peer %s", name)
+	}
+	if old := p.sess(); old != nil {
+		// No-op when the old session already died (the usual case).
+		old.Close()
+	}
+	sess := bgp.NewSession(conn, r.meshSessionConfig(p))
+	p.setSess(sess)
+	go sess.Run()
+	return nil
+}
+
+// meshSessionConfig builds the (re)usable session config for a mesh
+// peer. The callbacks read the peer's current session, which the
+// supervisor or accept path updates before the session runs.
+func (r *Router) meshSessionConfig(p *meshPeer) bgp.Config {
+	scfg := bgp.Config{
 		LocalASN:  r.cfg.ASN,
 		RemoteASN: r.cfg.ASN,
 		LocalID:   r.cfg.RouterID,
-		PeerName:  r.cfg.Name + ":mesh:" + name,
+		PeerName:  r.cfg.Name + ":mesh:" + p.name,
 		Families:  []bgp.AFISAFI{bgp.IPv4Unicast, bgp.IPv6Unicast},
 		AddPath: map[bgp.AFISAFI]uint8{
 			bgp.IPv4Unicast: bgp.AddPathSendReceive,
@@ -36,15 +109,17 @@ func (r *Router) AddBackbonePeer(name string, remoteAddr netip.Addr, conn net.Co
 		},
 		OnUpdate: func(u *bgp.Update) { r.handleMeshUpdate(p, u) },
 		OnEstablished: func() {
-			r.emit(telemetry.Event{Kind: telemetry.EventPeerUp, Peer: "mesh:" + name, PeerASN: r.cfg.ASN})
+			r.emit(telemetry.Event{Kind: telemetry.EventPeerUp, Peer: "mesh:" + p.name, PeerASN: r.cfg.ASN})
 			r.dumpToMeshPeer(p)
 		},
 		OnClose: func(err error) { r.meshPeerDown(p, err) },
 		Logf:    r.cfg.Logf,
-	})
-	p.session = sess
-	go sess.Run()
-	return nil
+	}
+	if p.gr > 0 {
+		scfg.GracefulRestart = &bgp.GracefulRestartConfig{RestartTime: p.gr}
+		scfg.OnEndOfRIB = func(fam bgp.AFISAFI) { r.meshPeerEndOfRIB(p, fam) }
+	}
+	return scfg
 }
 
 // dumpToMeshPeer replays local state to a newly established backbone
@@ -52,6 +127,10 @@ func (r *Router) AddBackbonePeer(name string, remoteAddr netip.Addr, conn net.Co
 // neighbor's platform ID) and every local experiment announcement.
 func (r *Router) dumpToMeshPeer(p *meshPeer) {
 	r.logf("backbone peer %s established", p.name)
+	s := p.sess()
+	if s == nil {
+		return
+	}
 	r.mu.Lock()
 	neighbors := r.localNeighborsLocked()
 	targets := make(map[expRouteKey]targetSet, len(r.expTargets))
@@ -74,7 +153,7 @@ func (r *Router) dumpToMeshPeer(p *meshPeer) {
 		})
 		for _, en := range entries {
 			u := r.meshUpdateForNeighborRoute(n, en.prefix, en.attrs)
-			if err := p.session.Send(u); err != nil {
+			if err := s.Send(u); err != nil {
 				r.logf("mesh dump to %s: %v", p.name, err)
 				return
 			}
@@ -116,7 +195,7 @@ func (r *Router) dumpToMeshPeer(p *meshPeer) {
 			Communities: []bgp.Community{AnnounceTo(r.cfg.ASN, internalOnlyID)},
 		}
 		u := &bgp.Update{Attrs: out, NLRI: []bgp.NLRI{{Prefix: lan, ID: meshExpFlag}}}
-		if err := p.session.Send(u); err != nil {
+		if err := s.Send(u); err != nil {
 			r.logf("mesh lan relay to %s: %v", p.name, err)
 			return
 		}
@@ -135,8 +214,16 @@ func (r *Router) dumpToMeshPeer(p *meshPeer) {
 			out.NextHop = bb.PrimaryAddr()
 			u = &bgp.Update{Attrs: out, NLRI: []bgp.NLRI{nlri}}
 		}
-		if err := p.session.Send(u); err != nil {
+		if err := s.Send(u); err != nil {
 			r.logf("mesh dump to %s: %v", p.name, err)
+			return
+		}
+	}
+	// End-of-RIB after the full dump (RFC 4724 §3) so a peer retaining
+	// this router's state across a restart can sweep what was not
+	// re-announced.
+	for _, fam := range []bgp.AFISAFI{bgp.IPv4Unicast, bgp.IPv6Unicast} {
+		if err := s.SendEndOfRIB(fam); err != nil {
 			return
 		}
 	}
@@ -310,12 +397,25 @@ func (r *Router) withdrawMeshRoute(p *meshPeer, w bgp.NLRI) {
 	r.withdrawExperimentRoute("mesh:"+p.name, w.Prefix, 0, false)
 }
 
-// meshPeerDown drops everything learned from a backbone peer.
+// meshPeerDown handles a dropped backbone session. Resilient peers
+// (supervised, or re-accepted by the remote side) keep their mesh-peer
+// registration so the next session slots in; with graceful restart
+// negotiated their learned state is additionally retained as stale
+// until the replay's End-of-RIB or the restart window. Non-resilient
+// peers get the original full teardown.
 func (r *Router) meshPeerDown(p *meshPeer, err error) {
-	r.logf("backbone peer %s down: %v", p.name, err)
-	r.emit(telemetry.Event{Kind: telemetry.EventPeerDown, Peer: "mesh:" + p.name, PeerASN: r.cfg.ASN, Reason: closeReason(err)})
+	sess := p.sess()
+	if sess != nil && sess.State() == bgp.StateEstablished {
+		// A replacement session is already live (late close callback
+		// from a superseded session): nothing to tear down.
+		return
+	}
+	resilient := p.resilient && err != nil
+	graceful := resilient && p.gr > 0 && sess != nil && sess.GracefulRestartNegotiated()
 	r.mu.Lock()
-	delete(r.meshPeers, p.name)
+	if !resilient {
+		delete(r.meshPeers, p.name)
+	}
 	var remotes []*Neighbor
 	for _, n := range r.neighbors {
 		if n.Remote {
@@ -323,6 +423,19 @@ func (r *Router) meshPeerDown(p *meshPeer, err error) {
 		}
 	}
 	r.mu.Unlock()
+	if graceful {
+		r.logf("backbone peer %s down: %v (graceful restart, retaining state for %s)", p.name, err, p.gr)
+		r.emit(telemetry.Event{
+			Kind: telemetry.EventPeerDown, Peer: "mesh:" + p.name, PeerASN: r.cfg.ASN,
+			Reason: closeReason(err) + " (graceful restart)",
+		})
+		if r.markRemoteNeighborsStale(p) > 0 {
+			r.armMeshFlush(p)
+		}
+		return
+	}
+	r.logf("backbone peer %s down: %v", p.name, err)
+	r.emit(telemetry.Event{Kind: telemetry.EventPeerDown, Peer: "mesh:" + p.name, PeerASN: r.cfg.ASN, Reason: closeReason(err)})
 	// Without per-peer ownership of remote neighbors we withdraw all
 	// remote tables; peers still up will re-announce (route refresh).
 	for _, n := range remotes {

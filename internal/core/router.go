@@ -7,6 +7,7 @@ import (
 	"net/netip"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bgp"
 	"repro/internal/bpf"
@@ -89,17 +90,46 @@ type Neighbor struct {
 	AdjOut *rib.Table
 
 	ifc     *netsim.Interface // attachment of local neighbors
-	session *bgp.Session      // nil for remote neighbors
 	realMAC ethernet.MAC      // local neighbor's resolved MAC
+
+	// sessMu guards session, which is replaced on every reconnect when
+	// the neighbor is supervised.
+	sessMu  sync.Mutex
+	session *bgp.Session // nil for remote neighbors
+	sup     *bgp.Supervisor
+	// gr is the graceful-restart retention window (0 = GR off).
+	gr time.Duration
+	// staleTimer flushes still-stale paths when the restart window
+	// lapses without End-of-RIB. Guarded by sessMu.
+	staleTimer *time.Timer
 
 	// routesGauge publishes Table occupancy (core_neighbor_routes).
 	routesGauge *telemetry.Gauge
 }
 
-// expConn is one connected experiment.
+// Session returns the neighbor's current BGP session (nil for remote
+// neighbors). Supervised neighbors get a fresh session on every
+// reconnect, so callers must not cache the result.
+func (n *Neighbor) Session() *bgp.Session {
+	n.sessMu.Lock()
+	defer n.sessMu.Unlock()
+	return n.session
+}
+
+func (n *Neighbor) setSession(s *bgp.Session) {
+	n.sessMu.Lock()
+	n.session = s
+	n.sessMu.Unlock()
+}
+
+// expConn is one connected experiment. The session is set once at
+// construction; a reconnecting experiment gets a whole new expConn.
 type expConn struct {
 	name    string
 	session *bgp.Session
+	// gr is the graceful-restart retention window for this experiment's
+	// routes after its session drops.
+	gr time.Duration
 	// tunnelIP is the experiment's address on the experiment LAN,
 	// learned from its announcements' next hop.
 	tunnelIP netip.Addr
@@ -111,6 +141,30 @@ type meshPeer struct {
 	session *bgp.Session
 	// addr is the remote router's backbone address.
 	addr netip.Addr
+
+	// mu guards session (replaced on reconnect) and staleTimer.
+	mu  sync.Mutex
+	sup *bgp.Supervisor
+	// gr is the graceful-restart retention window (0 = GR off).
+	gr time.Duration
+	// resilient marks peers wired for re-establishment: either this
+	// side supervises a redial, or the remote side redials into
+	// AcceptBackbonePeerConn.
+	resilient  bool
+	staleTimer *time.Timer
+}
+
+// sess returns the peer's current BGP session.
+func (p *meshPeer) sess() *bgp.Session {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.session
+}
+
+func (p *meshPeer) setSess(s *bgp.Session) {
+	p.mu.Lock()
+	p.session = s
+	p.mu.Unlock()
 }
 
 // Router is a vBGP instance.
@@ -135,6 +189,8 @@ type Router struct {
 	// tunnelIPs records experiment tunnel addresses registered before
 	// the BGP session connects.
 	tunnelIPs map[string]netip.Addr
+	// expStale holds per-experiment graceful-restart flush timers.
+	expStale map[string]*time.Timer
 
 	// expRoutes maps experiment prefixes to the connected experiment (or
 	// the backbone peer fronting it) for inbound forwarding.
@@ -172,6 +228,7 @@ func NewRouter(cfg Config) *Router {
 		experiments: make(map[string]*expConn),
 		meshPeers:   make(map[string]*meshPeer),
 		tunnelIPs:   make(map[string]netip.Addr),
+		expStale:    make(map[string]*time.Timer),
 		expRoutes:   rib.NewTable(cfg.Name + ":exp-routes"),
 		metrics:     newRouterMetrics(cfg.Name),
 	}
@@ -306,6 +363,15 @@ type NeighborConfig struct {
 	// RouteServer negotiates ADD-PATH reception for a transparent
 	// route-server session.
 	RouteServer bool
+	// Redial, when set, makes the session resilient: after a transport
+	// failure a bgp.Supervisor redials with exponential backoff and
+	// re-establishes (RFC 4271 IdleHoldTime). Nil keeps the one-shot
+	// behavior.
+	Redial func() (net.Conn, error)
+	// GracefulRestart, when nonzero, advertises the RFC 4724 capability
+	// with this restart time and retains the neighbor's paths as stale
+	// for the same window after a supervised session drops.
+	GracefulRestart time.Duration
 }
 
 // AddNeighbor registers a local external neighbor and starts its BGP
@@ -379,9 +445,25 @@ func (r *Router) AddNeighbor(cfg NeighborConfig) (*Neighbor, error) {
 			bgp.IPv6Unicast: bgp.AddPathReceive,
 		}
 	}
-	sess := bgp.NewSession(cfg.Conn, scfg)
-	n.session = sess
-	go sess.Run()
+	if cfg.GracefulRestart > 0 {
+		n.gr = cfg.GracefulRestart
+		scfg.GracefulRestart = &bgp.GracefulRestartConfig{RestartTime: cfg.GracefulRestart}
+		scfg.OnEndOfRIB = func(fam bgp.AFISAFI) { r.neighborEndOfRIB(n, fam) }
+	}
+	if cfg.Redial != nil {
+		n.sup = bgp.NewSupervisor(bgp.SupervisorConfig{
+			Session:   scfg,
+			Conn:      cfg.Conn,
+			Dial:      cfg.Redial,
+			OnSession: n.setSession,
+			Logf:      r.cfg.Logf,
+		})
+		n.sup.Start()
+	} else {
+		sess := bgp.NewSession(cfg.Conn, scfg)
+		n.setSession(sess)
+		go sess.Run()
+	}
 	return n, nil
 }
 

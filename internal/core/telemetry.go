@@ -82,7 +82,8 @@ func (r *Router) EmitStatsReport() {
 		return
 	}
 	for _, n := range r.Neighbors() {
-		if n.session == nil {
+		sess := n.Session()
+		if sess == nil {
 			continue
 		}
 		r.emit(telemetry.Event{
@@ -91,11 +92,11 @@ func (r *Router) EmitStatsReport() {
 			PeerASN: n.ASN,
 			Stats: []telemetry.Stat{
 				{Type: telemetry.StatRoutesAdjIn, Value: uint64(n.Table.PathCount())},
-				{Type: telemetry.StatUpdatesIn, Value: n.session.UpdatesIn.Load()},
-				{Type: telemetry.StatUpdatesOut, Value: n.session.UpdatesOut.Load()},
-				{Type: telemetry.StatBytesIn, Value: n.session.BytesIn.Load()},
-				{Type: telemetry.StatBytesOut, Value: n.session.BytesOut.Load()},
-				{Type: telemetry.StatMRAISuppressed, Value: n.session.MRAISuppressed.Load()},
+				{Type: telemetry.StatUpdatesIn, Value: sess.UpdatesIn.Load()},
+				{Type: telemetry.StatUpdatesOut, Value: sess.UpdatesOut.Load()},
+				{Type: telemetry.StatBytesIn, Value: sess.BytesIn.Load()},
+				{Type: telemetry.StatBytesOut, Value: sess.BytesOut.Load()},
+				{Type: telemetry.StatMRAISuppressed, Value: sess.MRAISuppressed.Load()},
 			},
 		})
 	}

@@ -3,6 +3,7 @@ package inet
 import (
 	"net"
 	"net/netip"
+	"time"
 
 	"repro/internal/bgp"
 )
@@ -17,6 +18,10 @@ type Speaker struct {
 	asn  uint32
 	addr netip.Addr
 	rel  Rel // how this AS classifies the platform
+	// platformASN is the remote ASN; routes whose path already carries
+	// it came from the platform and are never announced back (loop
+	// prevention, RFC 4271 §9.1.2).
+	platformASN uint32
 	// maxRoutes bounds the number of routes announced on session
 	// establishment (0 = all). Scale knob for tests and benches.
 	maxRoutes int
@@ -30,14 +35,18 @@ type Speaker struct {
 // RelCustomer).
 // maxRoutes bounds the table announced at establishment (0 = all).
 func NewSpeaker(topo *Topology, asn uint32, addr netip.Addr, rel Rel, platformASN uint32, maxRoutes int, conn net.Conn) *Speaker {
-	s := &Speaker{topo: topo, asn: asn, addr: addr, rel: rel, maxRoutes: maxRoutes}
+	s := &Speaker{topo: topo, asn: asn, addr: addr, rel: rel, platformASN: platformASN, maxRoutes: maxRoutes}
 	s.sess = bgp.NewSession(conn, bgp.Config{
-		LocalASN:      asn,
-		RemoteASN:     platformASN,
-		LocalID:       addr,
-		Families:      []bgp.AFISAFI{bgp.IPv4Unicast, bgp.IPv6Unicast},
-		OnEstablished: func() { s.announceAll() },
-		OnUpdate:      func(u *bgp.Update) { s.handleUpdate(u) },
+		LocalASN:  asn,
+		RemoteASN: platformASN,
+		LocalID:   addr,
+		Families:  []bgp.AFISAFI{bgp.IPv4Unicast, bgp.IPv6Unicast},
+		// Real transit/peer routers support graceful restart; advertise
+		// it so platform sessions configured with a restart window
+		// negotiate retention. Harmless when the platform side doesn't.
+		GracefulRestart: &bgp.GracefulRestartConfig{RestartTime: 10 * time.Second},
+		OnEstablished:   func() { s.announceAll() },
+		OnUpdate:        func(u *bgp.Update) { s.handleUpdate(u) },
 	})
 	go s.sess.Run()
 	return s
@@ -49,17 +58,38 @@ func (s *Speaker) Session() *bgp.Session { return s.sess }
 // Close shuts the session down.
 func (s *Speaker) Close() { s.sess.Close() }
 
-// announceAll sends the AS's routes to the platform.
+// announceAll sends the AS's routes to the platform, ending with
+// End-of-RIB markers (RFC 4724 §3) so a platform session retaining
+// state across a restart can sweep stale paths.
 func (s *Speaker) announceAll() {
 	routes := s.topo.RoutesAt(s.asn)
-	for i, rt := range routes {
-		if s.maxRoutes > 0 && i >= s.maxRoutes {
-			return
+	sent := 0
+	for _, rt := range routes {
+		if s.maxRoutes > 0 && sent >= s.maxRoutes {
+			break
+		}
+		// Split horizon: the platform's own announcements, injected into
+		// the topology by an earlier session incarnation, must not be
+		// reflected back at it.
+		if asPathContains(rt.Path, s.platformASN) {
+			continue
 		}
 		if err := s.AnnounceRoute(rt); err != nil {
 			return
 		}
+		sent++
 	}
+	_ = s.sess.SendEndOfRIB(bgp.IPv4Unicast)
+	_ = s.sess.SendEndOfRIB(bgp.IPv6Unicast)
+}
+
+func asPathContains(path []uint32, asn uint32) bool {
+	for _, hop := range path {
+		if hop == asn {
+			return true
+		}
+	}
+	return false
 }
 
 // AnnounceRoute sends one topology route on the session.

@@ -33,6 +33,12 @@ type Path struct {
 	IGPMetric uint32
 	// Seq orders route arrival: lower is older. Assigned by NextSeq.
 	Seq uint64
+	// Stale marks a path retained across a graceful restart (RFC 4724):
+	// the session that taught it died, but the peer negotiated graceful
+	// restart, so the path stays usable until re-advertisement replaces
+	// it or SweepStale removes it. Re-adding the same (Peer, ID)
+	// replaces the stale copy, clearing the mark.
+	Stale bool
 }
 
 var seqCounter atomic.Uint64

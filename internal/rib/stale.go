@@ -1,0 +1,120 @@
+package rib
+
+import "net/netip"
+
+// Graceful-restart stale-path retention (RFC 4724 §4.2): when a session
+// whose peer negotiated graceful restart drops, its Adj-RIB-In paths are
+// marked stale instead of withdrawn, so forwarding continues while the
+// peer restarts. Re-learning a path (same Peer and ID) replaces the
+// stale copy through the normal Add path; whatever is still stale when
+// End-of-RIB arrives — or when the restart timer lapses — is swept.
+
+// MarkPeerStale marks every path learned from peer as stale, returning
+// the number marked. Marking is copy-on-write: shared *Path values are
+// never mutated, each marked slot gets a stale copy, so concurrent
+// readers holding the old slice see consistent state.
+func (t *Table) MarkPeerStale(peer string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var updates []struct {
+		p     netip.Prefix
+		paths []*Path
+	}
+	marked := 0
+	t.trie.Walk(func(p netip.Prefix, paths []*Path) bool {
+		changed := false
+		for _, e := range paths {
+			if e.Peer == peer && !e.Stale {
+				changed = true
+				break
+			}
+		}
+		if !changed {
+			return true
+		}
+		out := make([]*Path, len(paths))
+		copy(out, paths)
+		for i, e := range out {
+			if e.Peer == peer && !e.Stale {
+				c := *e
+				c.Stale = true
+				out[i] = &c
+				marked++
+			}
+		}
+		updates = append(updates, struct {
+			p     netip.Prefix
+			paths []*Path
+		}{p, out})
+		return true
+	})
+	for _, u := range updates {
+		t.trie.Insert(u.p, u.paths)
+	}
+	ribStaleMarked.Add(uint64(marked))
+	return marked
+}
+
+// SweepStale removes every still-stale path learned from peer for the
+// given family (v6 selects IPv6 prefixes), returning the removed paths.
+// Paths re-learned since MarkPeerStale were replaced by fresh copies and
+// survive. Safe to call late: it only ever removes paths still marked.
+func (t *Table) SweepStale(peer string, v6 bool) []*Path {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var removed []*Path
+	var updates []struct {
+		p    netip.Prefix
+		left []*Path
+	}
+	t.trie.Walk(func(p netip.Prefix, paths []*Path) bool {
+		if p.Addr().Is6() != v6 {
+			return true
+		}
+		var left []*Path
+		for _, e := range paths {
+			if e.Peer == peer && e.Stale {
+				removed = append(removed, e)
+			} else {
+				left = append(left, e)
+			}
+		}
+		if len(left) != len(paths) {
+			updates = append(updates, struct {
+				p    netip.Prefix
+				left []*Path
+			}{p, left})
+		}
+		return true
+	})
+	for _, u := range updates {
+		if len(u.left) == 0 {
+			t.trie.Remove(u.p)
+		} else {
+			t.trie.Insert(u.p, u.left)
+		}
+	}
+	t.paths -= len(removed)
+	t.Withdraws += uint64(len(removed))
+	ribWithdraws.Add(uint64(len(removed)))
+	ribStaleSwept.Add(uint64(len(removed)))
+	ribPaths.Add(-int64(len(removed)))
+	return removed
+}
+
+// StaleCount returns how many of peer's paths are currently stale
+// (both families).
+func (t *Table) StaleCount(peer string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	t.trie.Walk(func(_ netip.Prefix, paths []*Path) bool {
+		for _, e := range paths {
+			if e.Peer == peer && e.Stale {
+				n++
+			}
+		}
+		return true
+	})
+	return n
+}

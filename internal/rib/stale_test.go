@@ -1,0 +1,111 @@
+package rib
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/bgp"
+)
+
+func stalePath(prefix, peer string, id bgp.PathID) *Path {
+	return &Path{
+		Prefix: netip.MustParsePrefix(prefix),
+		Peer:   peer,
+		ID:     id,
+		Attrs:  &bgp.PathAttrs{HasOrigin: true},
+		Seq:    NextSeq(),
+	}
+}
+
+func TestMarkPeerStaleKeepsPathsUsable(t *testing.T) {
+	tbl := NewTable("adj-in")
+	tbl.Add(stalePath("10.0.0.0/16", "as100", 0))
+	tbl.Add(stalePath("10.1.0.0/16", "as100", 0))
+	tbl.Add(stalePath("10.0.0.0/16", "as200", 0))
+
+	if n := tbl.MarkPeerStale("as100"); n != 2 {
+		t.Fatalf("marked %d, want 2", n)
+	}
+	if got := tbl.StaleCount("as100"); got != 2 {
+		t.Fatalf("StaleCount = %d", got)
+	}
+	// Retained paths still resolve: forwarding state preserved.
+	if p := tbl.Lookup(netip.MustParseAddr("10.1.1.1")); p == nil || p.Peer != "as100" || !p.Stale {
+		t.Fatalf("stale path not retained for lookup: %+v", p)
+	}
+	if tbl.PathCount() != 3 {
+		t.Fatalf("PathCount = %d, want 3 (nothing withdrawn)", tbl.PathCount())
+	}
+	// as200's path is untouched.
+	if got := tbl.StaleCount("as200"); got != 0 {
+		t.Fatalf("as200 stale count = %d", got)
+	}
+}
+
+func TestMarkIsCopyOnWrite(t *testing.T) {
+	tbl := NewTable("adj-in")
+	orig := stalePath("10.0.0.0/16", "as100", 0)
+	tbl.Add(orig)
+	before := tbl.Paths(orig.Prefix)
+	tbl.MarkPeerStale("as100")
+	if orig.Stale {
+		t.Fatal("original *Path mutated in place")
+	}
+	if before[0].Stale {
+		t.Fatal("previously returned slice mutated in place")
+	}
+	if !tbl.Paths(orig.Prefix)[0].Stale {
+		t.Fatal("table does not serve the stale copy")
+	}
+}
+
+func TestReAddClearsStaleness(t *testing.T) {
+	tbl := NewTable("adj-in")
+	tbl.Add(stalePath("10.0.0.0/16", "as100", 0))
+	tbl.Add(stalePath("10.1.0.0/16", "as100", 0))
+	tbl.MarkPeerStale("as100")
+
+	// Peer re-advertises one prefix after restarting.
+	tbl.Add(stalePath("10.0.0.0/16", "as100", 0))
+
+	removed := tbl.SweepStale("as100", false)
+	if len(removed) != 1 || removed[0].Prefix != netip.MustParsePrefix("10.1.0.0/16") {
+		t.Fatalf("sweep removed %v, want only the non-re-advertised prefix", removed)
+	}
+	if p := tbl.Best(netip.MustParsePrefix("10.0.0.0/16")); p == nil || p.Stale {
+		t.Fatalf("re-advertised path gone or still stale: %+v", p)
+	}
+	if tbl.PathCount() != 1 {
+		t.Fatalf("PathCount = %d, want 1", tbl.PathCount())
+	}
+}
+
+func TestSweepStaleIsPerFamily(t *testing.T) {
+	tbl := NewTable("adj-in")
+	tbl.Add(stalePath("10.0.0.0/16", "as100", 0))
+	tbl.Add(stalePath("2001:db8::/48", "as100", 0))
+	tbl.MarkPeerStale("as100")
+
+	if removed := tbl.SweepStale("as100", false); len(removed) != 1 || removed[0].Prefix.Addr().Is6() {
+		t.Fatalf("v4 sweep removed %v", removed)
+	}
+	if got := tbl.StaleCount("as100"); got != 1 {
+		t.Fatalf("v6 stale path gone after v4 sweep: count %d", got)
+	}
+	if removed := tbl.SweepStale("as100", true); len(removed) != 1 || !removed[0].Prefix.Addr().Is6() {
+		t.Fatalf("v6 sweep removed %v", removed)
+	}
+}
+
+func TestSweepStaleIsIdempotent(t *testing.T) {
+	tbl := NewTable("adj-in")
+	tbl.Add(stalePath("10.0.0.0/16", "as100", 0))
+	tbl.MarkPeerStale("as100")
+	tbl.SweepStale("as100", false)
+	if removed := tbl.SweepStale("as100", false); len(removed) != 0 {
+		t.Fatalf("second sweep removed %v", removed)
+	}
+	if tbl.PathCount() != 0 {
+		t.Fatalf("PathCount = %d", tbl.PathCount())
+	}
+}

@@ -11,6 +11,12 @@ var (
 	ribAdds      *telemetry.Counter
 	ribWithdraws *telemetry.Counter
 	ribPaths     *telemetry.Gauge
+	// ribStaleMarked counts paths marked stale at graceful-restart
+	// session drops; ribStaleSwept counts stale paths removed because
+	// the restart window lapsed or End-of-RIB arrived without
+	// re-advertisement.
+	ribStaleMarked *telemetry.Counter
+	ribStaleSwept  *telemetry.Counter
 )
 
 func init() {
@@ -18,4 +24,6 @@ func init() {
 	ribAdds = reg.Counter("rib_adds_total")
 	ribWithdraws = reg.Counter("rib_withdraws_total")
 	ribPaths = reg.Gauge("rib_paths")
+	ribStaleMarked = reg.Counter("rib_stale_marked_total")
+	ribStaleSwept = reg.Counter("rib_stale_swept_total")
 }

@@ -1,0 +1,18 @@
+package tunnel
+
+import "repro/internal/telemetry"
+
+// Package-wide counters resolved once against the default registry (the
+// resolved-pointer pattern — hot paths touch an atomic, never a map).
+
+var (
+	framesIn     = telemetry.Default().Counter("tunnel_frames_in_total")
+	framesOut    = telemetry.Default().Counter("tunnel_frames_out_total")
+	authFailures = telemetry.Default().Counter("tunnel_auth_failures_total")
+	reconnects   = telemetry.Default().Counter("tunnel_reconnect_attempts_total")
+)
+
+// CountReconnectAttempt records one tunnel re-dial attempt. The client
+// toolkit calls it from its recovery path; the tunnel package itself
+// has no dial loop.
+func CountReconnectAttempt() { reconnects.Inc() }

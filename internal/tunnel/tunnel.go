@@ -73,7 +73,11 @@ func (t *Tunnel) OnFrame(fn func(frame []byte)) {
 
 // SendFrame transmits one layer-2 frame through the tunnel.
 func (t *Tunnel) SendFrame(frame []byte) error {
-	return t.writeMux(chanData, frame)
+	if err := t.writeMux(chanData, frame); err != nil {
+		return err
+	}
+	framesOut.Inc()
+	return nil
 }
 
 // Control returns a net.Conn carrying the control channel, suitable for
@@ -129,6 +133,7 @@ func (t *Tunnel) readLoop() {
 				return
 			}
 		case chanData:
+			framesIn.Inc()
 			t.frameMu.Lock()
 			fn := t.onFrame
 			t.frameMu.Unlock()
@@ -214,6 +219,7 @@ func Serve(carrier net.Conn, creds Credentials, config func(name string) []byte)
 	}
 	key, ok := creds[string(name)]
 	if !ok || !hmac.Equal(mac, sign(key, challenge[:], string(name))) {
+		authFailures.Inc()
 		carrier.Write([]byte{0})
 		carrier.Close()
 		return nil, fmt.Errorf("tunnel: authentication failed for %q", name)

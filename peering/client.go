@@ -26,8 +26,9 @@ type Client struct {
 	// ASN the experiment originates from.
 	ASN uint32
 
-	mu    sync.Mutex
-	conns map[string]*popConn
+	mu        sync.Mutex
+	resilient bool
+	conns     map[string]*popConn
 }
 
 // popConn is the client's state for one PoP.
@@ -38,15 +39,30 @@ type popConn struct {
 	popName     string
 	platformASN uint32
 	pop         *PoP
+	// stateMu guards the fields a resilient reconnect replaces: the
+	// tunnel pair, the BGP session, and the addresses parsed from the
+	// (re-issued) tunnel payload.
+	stateMu sync.Mutex
 	// tun is the client end; serverTun is the PoP end (the router's BGP
 	// session attaches to its control channel; nil for remote PoPs,
 	// where the server attaches it itself).
 	tun       *tunnel.Tunnel
 	serverTun *tunnel.Tunnel
 	sess      *bgp.Session
+	// sup keeps the session alive across tunnel loss in resilient mode.
+	sup *bgp.Supervisor
 
 	localIP    netip.Addr
 	routerAddr netip.Addr
+
+	estMu   sync.Mutex
+	estDone bool
+
+	// anns records live announcements so a resilient client can replay
+	// them (with the re-assigned tunnel address as next hop) after a
+	// reconnect, RFC 4724 style.
+	annMu sync.Mutex
+	anns  map[annKey]announcement
 
 	table *rib.Table // routes learned at this PoP
 
@@ -78,7 +94,25 @@ func (c *Client) OpenTunnel(pop *PoP) error {
 	}
 	c.mu.Unlock()
 
+	tun, serverTun, err := dialPopTunnel(pop, c.Name, c.Key)
+	if err != nil {
+		return err
+	}
+	pc, err := c.newPopConn(pop.Name, pop.platform.ASN(), tun)
+	if err != nil {
+		return err
+	}
+	pc.pop = pop
+	pc.serverTun = serverTun
+	return nil
+}
+
+// dialPopTunnel opens one authenticated in-process tunnel to pop,
+// threading the server-side carrier through the platform's fault
+// injector so chaos runs can sever it.
+func dialPopTunnel(pop *PoP, name, key string) (tun, serverTun *tunnel.Tunnel, err error) {
 	serverSide, clientSide := newConnPair()
+	serverSide = pop.platform.chaosWrap("tunnel", name, pop.Name, serverSide)
 	type serveResult struct {
 		tun *tunnel.Tunnel
 		err error
@@ -88,23 +122,16 @@ func (c *Client) OpenTunnel(pop *PoP) error {
 		st, err := pop.ServeTunnel(serverSide)
 		served <- serveResult{st, err}
 	}()
-	tun, err := tunnel.Dial(clientSide, c.Name, c.Key)
+	tun, err = tunnel.Dial(clientSide, name, key)
 	if err != nil {
 		<-served
-		return err
+		return nil, nil, err
 	}
 	res := <-served
 	if res.err != nil {
-		return res.err
+		return nil, nil, res.err
 	}
-
-	pc, err := c.newPopConn(pop.Name, pop.platform.ASN(), tun)
-	if err != nil {
-		return err
-	}
-	pc.pop = pop
-	pc.serverTun = res.tun
-	return nil
+	return tun, res.tun, nil
 }
 
 // newPopConn builds per-PoP client state around an authenticated tunnel
@@ -117,6 +144,7 @@ func (c *Client) newPopConn(popName string, platformASN uint32, tun *tunnel.Tunn
 		arpWait:  make(map[netip.Addr][]chan ethernet.MAC),
 		echoWait: make(map[[2]uint16]chan probeReply),
 		estCh:    make(chan struct{}),
+		anns:     make(map[annKey]announcement),
 	}
 	var bits int
 	var ipStr, rtrStr string
@@ -134,6 +162,50 @@ func (c *Client) newPopConn(popName string, platformASN uint32, tun *tunnel.Tunn
 	return pc, nil
 }
 
+// session, transport, and local read the reconnect-replaceable state;
+// setSession installs each new session incarnation (the Supervisor's
+// OnSession hook in resilient mode).
+func (pc *popConn) session() *bgp.Session {
+	pc.stateMu.Lock()
+	defer pc.stateMu.Unlock()
+	return pc.sess
+}
+
+func (pc *popConn) setSession(s *bgp.Session) {
+	pc.stateMu.Lock()
+	pc.sess = s
+	pc.stateMu.Unlock()
+}
+
+func (pc *popConn) transport() *tunnel.Tunnel {
+	pc.stateMu.Lock()
+	defer pc.stateMu.Unlock()
+	return pc.tun
+}
+
+func (pc *popConn) local() netip.Addr {
+	pc.stateMu.Lock()
+	defer pc.stateMu.Unlock()
+	return pc.localIP
+}
+
+func (pc *popConn) supervisor() *bgp.Supervisor {
+	pc.stateMu.Lock()
+	defer pc.stateMu.Unlock()
+	return pc.sup
+}
+
+// signalEstablished closes estCh exactly once; resilient sessions
+// establish repeatedly.
+func (pc *popConn) signalEstablished() {
+	pc.estMu.Lock()
+	if !pc.estDone {
+		pc.estDone = true
+		close(pc.estCh)
+	}
+	pc.estMu.Unlock()
+}
+
 // CloseTunnel tears down the tunnel to a PoP (Table 1: "close tunnels").
 func (c *Client) CloseTunnel(popName string) error {
 	c.mu.Lock()
@@ -143,10 +215,12 @@ func (c *Client) CloseTunnel(popName string) error {
 	if pc == nil {
 		return fmt.Errorf("peering: no tunnel to %s", popName)
 	}
-	if pc.sess != nil {
-		pc.sess.Close()
+	if sup := pc.supervisor(); sup != nil {
+		sup.Stop()
+	} else if sess := pc.session(); sess != nil {
+		sess.Close()
 	}
-	return pc.tun.Close()
+	return pc.transport().Close()
 }
 
 // TunnelStatus reports "up" or "down" (Table 1: "check status").
@@ -158,7 +232,7 @@ func (c *Client) TunnelStatus(popName string) string {
 		return "down"
 	}
 	select {
-	case <-pc.tun.Done():
+	case <-pc.transport().Done():
 		return "down"
 	default:
 		return "up"
@@ -183,8 +257,11 @@ func (c *Client) StartBGP(popName string) error {
 	if err != nil {
 		return err
 	}
-	if pc.sess != nil {
+	if pc.session() != nil {
 		return fmt.Errorf("peering: BGP already running at %s", popName)
+	}
+	if c.isResilient() && pc.pop != nil {
+		return c.startResilientBGP(pc)
 	}
 	// In-process PoPs attach the router side here; remote PoPs attached
 	// it at tunnel setup (ServeAndAttach).
@@ -193,19 +270,20 @@ func (c *Client) StartBGP(popName string) error {
 			return err
 		}
 	}
-	pc.sess = bgp.NewSession(pc.tun.Control(), bgp.Config{
+	sess := bgp.NewSession(pc.transport().Control(), bgp.Config{
 		LocalASN:  c.ASN,
 		RemoteASN: pc.platformASN,
-		LocalID:   pc.localIP,
+		LocalID:   pc.local(),
 		Families:  []bgp.AFISAFI{bgp.IPv4Unicast, bgp.IPv6Unicast},
 		AddPath: map[bgp.AFISAFI]uint8{
 			bgp.IPv4Unicast: bgp.AddPathSendReceive,
 			bgp.IPv6Unicast: bgp.AddPathSendReceive,
 		},
 		OnUpdate:      func(u *bgp.Update) { pc.handleUpdate(u) },
-		OnEstablished: func() { close(pc.estCh) },
+		OnEstablished: func() { pc.signalEstablished() },
 	})
-	go pc.sess.Run()
+	pc.setSession(sess)
+	go sess.Run()
 	return nil
 }
 
@@ -215,14 +293,20 @@ func (c *Client) WaitEstablished(popName string, timeout time.Duration) error {
 	if err != nil {
 		return err
 	}
-	if pc.sess == nil {
+	// The supervisor spawns its first session asynchronously, so a
+	// resilient popConn counts as started once the supervisor exists.
+	if pc.session() == nil && pc.supervisor() == nil {
 		return fmt.Errorf("peering: BGP not started at %s", popName)
 	}
 	select {
 	case <-pc.estCh:
 		return nil
 	case <-time.After(timeout):
-		return fmt.Errorf("peering: BGP at %s did not establish (state %s)", popName, pc.sess.State())
+		state := bgp.StateIdle
+		if sess := pc.session(); sess != nil {
+			state = sess.State()
+		}
+		return fmt.Errorf("peering: BGP at %s did not establish (state %s)", popName, state)
 	}
 }
 
@@ -232,11 +316,19 @@ func (c *Client) StopBGP(popName string) error {
 	if err != nil {
 		return err
 	}
-	if pc.sess == nil {
+	sess := pc.session()
+	if sess == nil {
 		return fmt.Errorf("peering: BGP not running at %s", popName)
 	}
-	pc.sess.Close()
-	pc.sess = nil
+	if sup := pc.supervisor(); sup != nil {
+		sup.Stop()
+		pc.stateMu.Lock()
+		pc.sup = nil
+		pc.stateMu.Unlock()
+	} else {
+		sess.Close()
+	}
+	pc.setSession(nil)
 	return nil
 }
 
@@ -244,10 +336,14 @@ func (c *Client) StopBGP(popName string) error {
 // connections").
 func (c *Client) BGPStatus(popName string) bgp.State {
 	pc, err := c.conn(popName)
-	if err != nil || pc.sess == nil {
+	if err != nil {
 		return bgp.StateIdle
 	}
-	return pc.sess.State()
+	sess := pc.session()
+	if sess == nil {
+		return bgp.StateIdle
+	}
+	return sess.State()
 }
 
 // handleUpdate maintains the client's per-PoP route table.
@@ -354,6 +450,43 @@ func ExceptNeighbors(ids ...uint32) AnnounceOption {
 	return func(a *announcement) { a.noExport = append(a.noExport, ids...) }
 }
 
+// annKey identifies one live announcement: a (prefix, version) pair.
+type annKey struct {
+	prefix  netip.Prefix
+	version bgp.PathID
+}
+
+// buildAnnouncement assembles the UPDATE for one announcement with the
+// given next hop (the client's current tunnel address — reconnects are
+// assigned a fresh one, so replay rebuilds rather than caches updates).
+func buildAnnouncement(expASN, platformASN uint32, nextHop netip.Addr, prefix netip.Prefix, a announcement) *bgp.Update {
+	// Path shape: experiment ASN, then any poisoned ASNs, then the
+	// origin (repeated experiment ASN when poisoning, so the origin
+	// check still passes).
+	path := []uint32{expASN}
+	path = append(path, a.poison...)
+	if a.origin != expASN || len(a.poison) > 0 {
+		path = append(path, a.origin)
+	}
+	attrs := &bgp.PathAttrs{
+		Origin: bgp.OriginIGP, HasOrigin: true,
+		ASPath:      []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: path}},
+		NextHop:     nextHop,
+		Communities: a.comms,
+	}
+	attrs.PrependAS(expASN, a.prepend)
+	for _, id := range a.announce {
+		attrs.AddCommunity(AnnounceTo(platformASN, id))
+	}
+	for _, id := range a.noExport {
+		attrs.AddCommunity(NoExportTo(platformASN, id))
+	}
+	return &bgp.Update{
+		Attrs: attrs,
+		NLRI:  []bgp.NLRI{{Prefix: prefix, ID: a.version}},
+	}
+}
+
 // Announce sends a prefix announcement at a PoP (Table 1:
 // "announce/withdraw prefix").
 func (c *Client) Announce(popName string, prefix netip.Prefix, opts ...AnnounceOption) error {
@@ -361,39 +494,18 @@ func (c *Client) Announce(popName string, prefix netip.Prefix, opts ...AnnounceO
 	if err != nil {
 		return err
 	}
-	if pc.sess == nil {
+	sess := pc.session()
+	if sess == nil {
 		return fmt.Errorf("peering: BGP not running at %s", popName)
 	}
 	a := announcement{origin: c.ASN}
 	for _, o := range opts {
 		o(&a)
 	}
-	platformASN := pc.platformASN
-	// Path shape: experiment ASN, then any poisoned ASNs, then the
-	// origin (repeated experiment ASN when poisoning, so the origin
-	// check still passes).
-	path := []uint32{c.ASN}
-	path = append(path, a.poison...)
-	if a.origin != c.ASN || len(a.poison) > 0 {
-		path = append(path, a.origin)
-	}
-	attrs := &bgp.PathAttrs{
-		Origin: bgp.OriginIGP, HasOrigin: true,
-		ASPath:      []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: path}},
-		NextHop:     pc.localIP,
-		Communities: a.comms,
-	}
-	attrs.PrependAS(c.ASN, a.prepend)
-	for _, id := range a.announce {
-		attrs.AddCommunity(AnnounceTo(platformASN, id))
-	}
-	for _, id := range a.noExport {
-		attrs.AddCommunity(NoExportTo(platformASN, id))
-	}
-	return pc.sess.Send(&bgp.Update{
-		Attrs: attrs,
-		NLRI:  []bgp.NLRI{{Prefix: prefix, ID: a.version}},
-	})
+	pc.annMu.Lock()
+	pc.anns[annKey{prefix, a.version}] = a
+	pc.annMu.Unlock()
+	return sess.Send(buildAnnouncement(c.ASN, pc.platformASN, pc.local(), prefix, a))
 }
 
 // Withdraw retracts a prefix (a specific version, or version 0).
@@ -402,10 +514,14 @@ func (c *Client) Withdraw(popName string, prefix netip.Prefix, version uint32) e
 	if err != nil {
 		return err
 	}
-	if pc.sess == nil {
+	sess := pc.session()
+	if sess == nil {
 		return fmt.Errorf("peering: BGP not running at %s", popName)
 	}
-	return pc.sess.Send(&bgp.Update{
+	pc.annMu.Lock()
+	delete(pc.anns, annKey{prefix, bgp.PathID(version)})
+	pc.annMu.Unlock()
+	return sess.Send(&bgp.Update{
 		Withdrawn: []bgp.NLRI{{Prefix: prefix, ID: bgp.PathID(version)}},
 	})
 }
@@ -421,8 +537,8 @@ func (c *Client) CLI(popName, command string) string {
 	switch {
 	case len(fields) == 2 && fields[0] == "show" && fields[1] == "protocols":
 		state := "down"
-		if pc.sess != nil {
-			state = pc.sess.State().String()
+		if sess := pc.session(); sess != nil {
+			state = sess.State().String()
 		}
 		return fmt.Sprintf("name     proto  state\n%-8s BGP    %s", popName, state)
 	case len(fields) >= 2 && fields[0] == "show" && fields[1] == "route":

@@ -102,9 +102,9 @@ func (pc *popConn) resolve(target netip.Addr, timeout time.Duration) (ethernet.M
 	pc.arpMu.Unlock()
 
 	mac := clientMACFor(pc)
-	req := ethernet.NewARPRequest(mac, pc.localIP, target)
+	req := ethernet.NewARPRequest(mac, pc.local(), target)
 	fr := req.Frame(mac)
-	if err := pc.tun.SendFrame(fr.Marshal()); err != nil {
+	if err := pc.transport().SendFrame(fr.Marshal()); err != nil {
 		return ethernet.MAC{}, err
 	}
 	select {
@@ -119,7 +119,7 @@ func (pc *popConn) resolve(target netip.Addr, timeout time.Duration) (ethernet.M
 // MAC so LAN frames reach the tunnel. The bridge index is recoverable
 // from the assigned address's last octet.
 func clientMACFor(pc *popConn) ethernet.MAC {
-	raw := pc.localIP.As4()
+	raw := pc.local().As4()
 	return ethernet.MAC{0x0a, 0x00, 0, 0, 0, raw[3]}
 }
 
@@ -180,10 +180,10 @@ func (c *Client) SendIP(popName string, viaNeighborID uint32, pkt *ethernet.IPv4
 		return err
 	}
 	if !pkt.Src.IsValid() {
-		pkt.Src = pc.localIP
+		pkt.Src = pc.local()
 	}
 	fr := ethernet.Frame{Dst: mac, Src: clientMACFor(pc), Type: ethernet.TypeIPv4, Payload: pkt.Marshal()}
-	return pc.tun.SendFrame(fr.Marshal())
+	return pc.transport().SendFrame(fr.Marshal())
 }
 
 // probeReply is what a probe waiter receives: the responding address
@@ -307,7 +307,7 @@ func (c *Client) LocalIP(popName string) netip.Addr {
 	if err != nil {
 		return netip.Addr{}
 	}
-	return pc.localIP
+	return pc.local()
 }
 
 // ipv4Unicast exposes the IPv4 unicast family tag for toolkit callers

@@ -16,11 +16,13 @@ package peering
 
 import (
 	"fmt"
+	"net"
 	"net/netip"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/inet"
@@ -40,6 +42,12 @@ type PlatformConfig struct {
 	// Topology is the synthetic Internet neighbors are drawn from. May
 	// be nil for hand-wired setups.
 	Topology *inet.Topology
+	// Chaos, when set, threads every BGP transport, tunnel carrier, and
+	// backbone attachment through the fault injector, and switches the
+	// sessions it covers to resilient mode (supervised redial with
+	// backoff, graceful restart). Nil leaves the platform fault-free
+	// with the original one-shot sessions.
+	Chaos *chaos.Injector
 	// Logf receives platform event logs.
 	Logf func(format string, args ...any)
 }
@@ -112,6 +120,19 @@ func (p *Platform) WaitMonitorDrained(timeout time.Duration) bool {
 
 // ASN returns the platform AS number.
 func (p *Platform) ASN() uint32 { return p.cfg.ASN }
+
+// Chaos returns the platform's fault injector, or nil.
+func (p *Platform) Chaos() *chaos.Injector { return p.cfg.Chaos }
+
+// chaosWrap threads a transport through the fault injector (a no-op
+// without one).
+func (p *Platform) chaosWrap(class, name, popName string, conn net.Conn) net.Conn {
+	return p.cfg.Chaos.WrapConn(class, name, popName, conn)
+}
+
+// resilient reports whether platform sessions should supervise their
+// transports (on whenever a fault injector is present).
+func (p *Platform) resilient() bool { return p.cfg.Chaos != nil }
 
 // Topology returns the synthetic Internet, or nil.
 func (p *Platform) Topology() *inet.Topology { return p.cfg.Topology }
@@ -219,21 +240,59 @@ func (p *Platform) Backbone() *netsim.Segment {
 	return p.backbone
 }
 
+// meshGRTime and neighborGRTime are the graceful-restart windows used
+// for resilient platform sessions (chaos mode): long enough for the
+// supervisor's backoff to reconnect well within the window.
+const (
+	meshGRTime     = 10 * time.Second
+	neighborGRTime = 10 * time.Second
+)
+
 // ConnectBackbone joins two PoPs over the backbone: both routers attach
 // to the shared segment (once each), a mesh BGP session comes up between
 // them, and the pair's provisioned capacity and latency are recorded for
-// the traffic model (§4.3, §4.4, §6).
+// the traffic model (§4.3, §4.4, §6). With a fault injector configured
+// the session is supervised: PoP a redials after transport loss and PoP
+// b accepts the replacement, with graceful restart retaining state
+// across the flap.
 func (p *Platform) ConnectBackbone(a, b *PoP, capacityBps float64, latency time.Duration) error {
 	seg := p.Backbone()
 	addrA := p.backboneAttach(a, seg)
 	addrB := p.backboneAttach(b, seg)
 
+	linkName := a.Name + "-" + b.Name
 	ca, cb := newConnPair()
-	if err := a.Router.AddBackbonePeer(b.Name, addrB, ca); err != nil {
-		return err
-	}
-	if err := b.Router.AddBackbonePeer(a.Name, addrA, cb); err != nil {
-		return err
+	ca = p.chaosWrap("backbone", linkName, a.Name, ca)
+	cb = p.chaosWrap("backbone", linkName, b.Name, cb)
+	if p.resilient() {
+		if err := a.Router.AddBackbonePeerConfig(core.BackbonePeerConfig{
+			Name: b.Name, Addr: addrB, Conn: ca,
+			GracefulRestart: meshGRTime,
+			Redial: func() (net.Conn, error) {
+				na, nb := newConnPair()
+				na = p.chaosWrap("backbone", linkName, a.Name, na)
+				nb = p.chaosWrap("backbone", linkName, b.Name, nb)
+				if err := b.Router.AcceptBackbonePeerConn(a.Name, nb); err != nil {
+					return nil, err
+				}
+				return na, nil
+			},
+		}); err != nil {
+			return err
+		}
+		if err := b.Router.AddBackbonePeerConfig(core.BackbonePeerConfig{
+			Name: a.Name, Addr: addrA, Conn: cb,
+			Resilient: true, GracefulRestart: meshGRTime,
+		}); err != nil {
+			return err
+		}
+	} else {
+		if err := a.Router.AddBackbonePeer(b.Name, addrB, ca); err != nil {
+			return err
+		}
+		if err := b.Router.AddBackbonePeer(a.Name, addrA, cb); err != nil {
+			return err
+		}
 	}
 	p.mu.Lock()
 	if p.bbLinks == nil {
@@ -256,7 +315,12 @@ func (p *Platform) backboneAttach(pop *PoP, seg *netsim.Segment) netip.Addr {
 	}
 	p.bbHosts++
 	pop.bbAddr = netip.AddrFrom4([4]byte{100, 127, 0, byte(p.bbHosts)})
-	pop.Router.AddInterface("bb0", "backbone", netip.PrefixFrom(pop.bbAddr, 24), seg)
+	ifc := pop.Router.AddInterface("bb0", "backbone", netip.PrefixFrom(pop.bbAddr, 24), seg)
+	// Expose the attachment as a flappable link so the injector can take
+	// a PoP's backbone down and back up (LinkFlap / Partition faults).
+	p.cfg.Chaos.RegisterLink("bb0:"+pop.Name, pop.Name,
+		func() { ifc.Attach(nil) },
+		func() { ifc.Attach(seg) })
 	return pop.bbAddr
 }
 

@@ -80,10 +80,27 @@ func (pop *PoP) connectTopologyNeighbor(asn uint32, rel inet.Rel, maxRoutes int)
 	h.SetDefaultRoute(rtrAddr, hifc)
 
 	cr, cn := newConnPair()
-	nbr, err := pop.Router.AddNeighbor(core.NeighborConfig{
+	cr = pop.platform.chaosWrap("neighbor", name, pop.Name, cr)
+	ncfg := core.NeighborConfig{
 		Name: name, ID: id, ASN: asn, Addr: nbrAddr,
 		Interface: "nbr-" + name, Conn: cr,
-	})
+	}
+	if pop.platform.resilient() {
+		// Chaos mode: the router redials the neighbor after transport
+		// loss (a fresh speaker stands in for the neighbor's restarted
+		// edge router) and retains its routes across the restart.
+		ncfg.GracefulRestart = neighborGRTime
+		ncfg.Redial = func() (net.Conn, error) {
+			rr, rn := newConnPair()
+			rr = pop.platform.chaosWrap("neighbor", name, pop.Name, rr)
+			sp := inet.NewSpeaker(topo, asn, nbrAddr, rel, pop.platform.ASN(), maxRoutes, rn)
+			pop.mu.Lock()
+			pop.speakers = append(pop.speakers, sp)
+			pop.mu.Unlock()
+			return rr, nil
+		}
+	}
+	nbr, err := pop.Router.AddNeighbor(ncfg)
 	if err != nil {
 		return nil, err
 	}
@@ -234,8 +251,12 @@ func clientAddr(cidr netip.Prefix, idx int) netip.Addr {
 }
 
 // ConnectExperimentBGP attaches the experiment's BGP session carried on
-// tun to the PoP's router.
+// tun to the PoP's router. The router-side control conn goes through
+// the fault injector as class "experiment"; severing it kills the whole
+// tunnel (control and data share one carrier), which is exactly how an
+// OpenVPN drop takes BIRD down with it.
 func (pop *PoP) ConnectExperimentBGP(tun *tunnel.Tunnel, expASN uint32) error {
-	_, err := pop.Router.ConnectExperiment(tun.Name, expASN, tun.Control())
+	conn := pop.platform.chaosWrap("experiment", tun.Name, pop.Name, tun.Control())
+	_, err := pop.Router.ConnectExperiment(tun.Name, expASN, conn)
 	return err
 }
