@@ -21,6 +21,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/inet"
 	"repro/internal/ixp"
+	"repro/internal/rpki"
 	"repro/internal/telemetry"
 	"repro/peering"
 )
@@ -34,7 +35,9 @@ func main() {
 	watch := flag.Duration("watch", 0, "keep running and print status at this interval (0 = exit after setup)")
 	listen := flag.String("listen", "", "accept remote experiment tunnels on this TCP address (e.g. :1790)")
 	metrics := flag.String("metrics", "", "serve the plain-text metrics exposition on this HTTP address (e.g. :9179)")
-	chaosSpec := flag.String("chaos", "", `enable deterministic fault injection and session resilience: comma-separated spec of seed=N, rate=F (faults/min), duration=D, kinds=reset|stall-read|stall-write|corrupt|delay|link-flap|partition, classes=neighbor|experiment|tunnel|backbone (e.g. "seed=42,rate=6,kinds=reset|link-flap")`)
+	chaosSpec := flag.String("chaos", "", `enable deterministic fault injection and session resilience: comma-separated spec of seed=N, rate=F (faults/min), duration=D, kinds=reset|stall-read|stall-write|corrupt|delay|link-flap|partition, classes=neighbor|experiment|tunnel|backbone|rtr (e.g. "seed=42,rate=6,kinds=reset|link-flap")`)
+	rpkiOn := flag.Bool("rpki", false, "enable RPKI: sign every topology-originated prefix with a ROA, sync each PoP over RTR, and reject Invalid experiment announcements")
+	rovFraction := flag.Float64("rov", 0.5, "fraction of topology ASes performing route origin validation (with -rpki)")
 	flag.Parse()
 
 	var injector *chaos.Injector
@@ -54,7 +57,24 @@ func main() {
 	}
 	fmt.Printf("synthetic Internet: %d ASes (types: %v)\n", topo.Len(), topo.TypeCounts())
 
-	platform := peering.NewPlatform(peering.PlatformConfig{ASN: 47065, Topology: topo, Chaos: injector})
+	var roas *rpki.Store
+	if *rpkiOn {
+		// Trust anchor: one ROA per topology-originated prefix, so every
+		// legitimate route validates and any sub-prefix or wrong-origin
+		// hijack comes out Invalid.
+		roas = rpki.NewStore()
+		for _, asn := range topo.ASNs() {
+			for _, prefix := range topo.AS(asn).Originated {
+				roas.Add(rpki.ROA{Prefix: prefix, ASN: asn})
+			}
+		}
+	}
+
+	platform := peering.NewPlatform(peering.PlatformConfig{ASN: 47065, Topology: topo, Chaos: injector, RPKI: roas})
+	if roas != nil {
+		deployed := platform.DeployROV(*rovFraction, 47065)
+		fmt.Printf("rpki: %d ROAs signed; %d/%d ASes validate origins\n", roas.Len(), deployed, topo.Len())
+	}
 
 	// The main exchange, AMS-IX style.
 	x := ixp.New("AMS-IX", 64700, topo, netip.MustParsePrefix("80.249.208.0/21"))

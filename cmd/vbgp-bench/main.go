@@ -3,7 +3,10 @@
 //
 // Usage:
 //
-//	vbgp-bench [-fig all|6a|6b|backbone|amsix|updates|footprint|monitor|chaos] [-scale N]
+//	vbgp-bench [-fig NAME|all] [-scale N]
+//
+// Run with -fig list (or any unknown name) to see the figures; they are
+// defined once, in order, in the figures table below.
 //
 // Absolute numbers differ from the paper (the substrate is an in-memory
 // simulator, not BIRD on a server at AMS-IX); the comparisons check the
@@ -15,34 +18,60 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/eval"
 )
 
+// figures is the single ordered registry of every experiment: the name
+// accepted by -fig, and the function that runs it (taking the -scale
+// downscale factor, which most figures ignore). "all" runs them in this
+// order. Add a figure here and nowhere else.
+var figures = []struct {
+	name string
+	fn   func(scale int) error
+}{
+	{"6a", func(int) error { return fig6a() }},
+	{"6b", func(int) error { return fig6b() }},
+	{"backbone", func(int) error { return backbone() }},
+	{"amsix", amsix},
+	{"updates", func(int) error { return updates() }},
+	{"footprint", footprint},
+	{"monitor", func(int) error { return monitor() }},
+	{"chaos", func(int) error { return chaosSoak() }},
+	{"rov", func(int) error { return rov() }},
+}
+
+func figureNames() string {
+	names := make([]string, 0, len(figures)+1)
+	names = append(names, "all")
+	for _, f := range figures {
+		names = append(names, f.name)
+	}
+	return strings.Join(names, "|")
+}
+
 func main() {
-	fig := flag.String("fig", "all", "which experiment to run: all, 6a, 6b, backbone, amsix, updates, footprint, monitor, chaos")
+	fig := flag.String("fig", "all", "which experiment to run: "+figureNames())
 	scale := flag.Int("scale", 10, "downscale factor for full-footprint experiments")
 	flag.Parse()
 
-	run := func(name string, fn func() error) {
-		if *fig != "all" && *fig != name {
-			return
+	matched := false
+	for _, f := range figures {
+		if *fig != "all" && *fig != f.name {
+			continue
 		}
-		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		matched = true
+		if err := f.fn(*scale); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", f.name, err)
 			os.Exit(1)
 		}
 		fmt.Println()
 	}
-
-	run("6a", fig6a)
-	run("6b", fig6b)
-	run("backbone", backbone)
-	run("amsix", func() error { return amsix(*scale) })
-	run("updates", updates)
-	run("footprint", func() error { return footprint(*scale) })
-	run("monitor", monitor)
-	run("chaos", chaosSoak)
+	if !matched {
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want %s)\n", *fig, figureNames())
+		os.Exit(2)
+	}
 }
 
 func header(title, paper string) {

@@ -1,5 +1,5 @@
 // Security study: the class of experiments Peering is known for (§7.1
-// and the RAPTOR/Bitcoin/TLS line of work). Three parts:
+// and the RAPTOR/Bitcoin/TLS line of work). Four parts:
 //
 //  1. A CONTROLLED hijack of the experiment's own address space — a
 //     more-specific announcement from a second PoP draws the catchment,
@@ -9,6 +9,10 @@
 //  3. BGP poisoning — announcing a path that names a transit AS makes
 //     that AS reject the route, revealing the backup paths the rest of
 //     the Internet falls back to (the hidden-route measurement of §7.1).
+//  4. RPKI origin validation — the same sub-prefix hijack, attempted by
+//     a rogue AS in the wild rather than through the platform, is
+//     dropped at import by ROV-deploying ASes and its catchment
+//     collapses as deployment grows.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 
 	"repro/internal/inet"
 	"repro/internal/policy"
+	"repro/internal/rpki"
 	"repro/peering"
 )
 
@@ -166,6 +171,47 @@ func main() {
 		log.Fatal("poisoned AS accepted a path containing itself")
 	}
 	fmt.Printf("poisoned AS%d itself rejects the route (loop prevention), as intended\n", poisonTarget)
+
+	// Part 4: the platform refused to launch the Part-2 hijack, but a
+	// rogue AS in the wild answers to no enforcement engine. Sign a ROA
+	// for every topology prefix and compare the rogue sub-prefix's
+	// catchment with no origin validation vs 50% ROV deployment: the
+	// victim's ROA covers its /24 at its own length, so the /25 is
+	// RPKI-Invalid from any origin and validating ASes drop it at import.
+	store := rpki.NewStore()
+	for _, asn := range topo.ASNs() {
+		for _, prefix := range topo.AS(asn).Originated {
+			store.Add(rpki.ROA{Prefix: prefix, ASN: asn})
+		}
+	}
+	topo.SetValidator(store)
+	rogue := uint32(10055)
+	sub := netip.PrefixFrom(foreign.Addr(), foreign.Bits()+1)
+
+	topo.DeployROV(0, 61574)
+	if err := topo.Originate(rogue, sub); err != nil {
+		log.Fatal(err)
+	}
+	open := len(topo.ChoosersOf(sub, rogue))
+	if err := topo.Withdraw(rogue, sub); err != nil {
+		log.Fatal(err)
+	}
+
+	deployed := topo.DeployROV(0.5, 61574)
+	if err := topo.Originate(rogue, sub); err != nil {
+		log.Fatal(err)
+	}
+	contained := len(topo.ChoosersOf(sub, rogue))
+	rovDrops, _ := topo.SecurityDrops()
+	fmt.Printf("ROV: rogue AS%d's Invalid %s drew %d ASes with no validation, %d with %d/%d ASes validating (%d candidates dropped at import)\n",
+		rogue, sub, open, contained, deployed, topo.Len(), rovDrops)
+	if contained >= open {
+		log.Fatal("ROV deployment did not shrink the hijack catchment")
+	}
+	if !topo.Reachable(10040, foreign) {
+		log.Fatal("legitimate /24 lost under ROV")
+	}
+	fmt.Printf("victim's legitimate %s remains reachable everywhere (Valid under its ROA)\n", foreign)
 	fmt.Println("security study complete")
 }
 

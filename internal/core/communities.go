@@ -42,6 +42,12 @@ func NoExportTo(platformASN uint32, neighborID uint32) bgp.Community {
 const (
 	largeFnAnnounceTo = 1
 	largeFnNoExportTo = 2
+	// largeFnValidationState stamps routes exported to experiments with
+	// their RPKI origin-validation state (RFC 8097 in spirit):
+	// <PlatformASN>:3:<state>, state per rpki.State (0 NotFound, 1
+	// Valid, 2 Invalid). Informational — experiments choose routes
+	// themselves, and many deliberately study Invalid ones.
+	largeFnValidationState = 3
 )
 
 // LargeAnnounceTo builds the large-community whitelist for a neighbor.

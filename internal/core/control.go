@@ -148,6 +148,7 @@ func (r *Router) experimentUpdate(n *Neighbor, prefix netip.Prefix, attrs *bgp.P
 		return &bgp.Update{Withdrawn: []bgp.NLRI{nlri}}
 	}
 	out := attrs.Clone()
+	out = r.stampValidation(n, prefix, out)
 	r.metrics.nexthopRewrites.Inc()
 	if v6 {
 		out.MPNextHop = localIP6(n.GlobalIP)

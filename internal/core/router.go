@@ -15,6 +15,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/policy"
 	"repro/internal/rib"
+	"repro/internal/rpki"
 	"repro/internal/telemetry"
 )
 
@@ -41,6 +42,11 @@ type Config struct {
 	// up/down, route monitoring, stats reports) from this router. The
 	// emit path never blocks: a full queue drops with a counter.
 	Monitor *telemetry.Emitter
+	// Validator, when set, classifies every neighbor route exported to
+	// experiments against the RPKI and tags it with a validation-state
+	// large community (rov.go). Typically an *rpki.Client whose cache is
+	// kept live over an RTR session.
+	Validator rpki.Validator
 	// MaintainDefaultTable additionally maintains a best-path Loc-RIB,
 	// the overhead a router serving production traffic would pay; vBGP
 	// does not need it because experiments pick their own routes. This
@@ -191,6 +197,10 @@ type Router struct {
 	tunnelIPs map[string]netip.Addr
 	// expStale holds per-experiment graceful-restart flush timers.
 	expStale map[string]*time.Timer
+	// rovStates records the validation state last stamped on each
+	// neighbor route exported to experiments, so RevalidateExports can
+	// re-export exactly the routes whose state flipped.
+	rovStates map[rovKey]rpki.State
 
 	// expRoutes maps experiment prefixes to the connected experiment (or
 	// the backbone peer fronting it) for inbound forwarding.

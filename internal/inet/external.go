@@ -32,6 +32,12 @@ func (t *Topology) InjectExternal(viaASN uint32, prefix netip.Prefix, path []uin
 	if a.importFilter != nil && !a.importFilter(prefix, cand.Path) {
 		return nil
 	}
+	// The entry AS applies the same security filters as internal
+	// propagation: a ROV-deploying neighbor drops Invalid injections at
+	// the door, and Peerlock rules catch leaks arriving over the session.
+	if !t.admitSecureLocked(a, prefix, cand.Path) {
+		return nil
+	}
 	if inc := a.routes[prefix]; inc != nil && inc.LearnedOver == RelOrigin {
 		return nil
 	}

@@ -15,6 +15,8 @@ import (
 	"net/netip"
 	"sort"
 	"sync"
+
+	"repro/internal/rpki"
 )
 
 // Rel is the business relationship a route was learned over.
@@ -84,6 +86,12 @@ type AS struct {
 	routes map[netip.Prefix]*Route
 	// importFilter, when set, vets every route before import.
 	importFilter func(prefix netip.Prefix, path []uint32) bool
+	// rov marks the AS as performing RPKI route origin validation:
+	// routes whose origin is Invalid against the topology's validator
+	// are rejected on import.
+	rov bool
+	// peerlocks are the AS's route-leak protection rules.
+	peerlocks []rpki.Peerlock
 }
 
 // Topology is a mutable AS graph with incremental route propagation.
@@ -91,6 +99,12 @@ type AS struct {
 type Topology struct {
 	mu   sync.RWMutex
 	ases map[uint32]*AS
+	// validator backs ROV-deploying ASes (see rov.go).
+	validator rpki.Validator
+	// rovDrops / leakDrops count import rejections by ROV and Peerlock
+	// rules across all ASes.
+	rovDrops  uint64
+	leakDrops uint64
 }
 
 // NewTopology creates an empty topology.
@@ -343,6 +357,10 @@ func (t *Topology) propagateLocked(prefix netip.Prefix) {
 			// Import filter at the receiver (Appendix A's stale-filter
 			// scenario).
 			if dst.importFilter != nil && !dst.importFilter(prefix, cand.Path) {
+				continue
+			}
+			// Security filters at the receiver: ROV + Peerlock (rov.go).
+			if !t.admitSecureLocked(dst, prefix, cand.Path) {
 				continue
 			}
 			// The receiving AS keeps its own origination.

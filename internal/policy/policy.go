@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/bgp"
+	"repro/internal/rpki"
 	"repro/internal/telemetry"
 )
 
@@ -155,6 +156,7 @@ type Engine struct {
 	failed      bool
 	audit       []AuditEntry
 	auditCap    int
+	validator   rpki.Validator
 }
 
 type rateKey struct {
@@ -207,6 +209,17 @@ func (en *Engine) SetFailed(failed bool) {
 	en.failed = failed
 }
 
+// SetValidator installs an RPKI origin validator. Once set, experiment
+// announcements whose (prefix, origin) pair is Invalid against the
+// validated cache are rejected before they reach the routing engine —
+// the platform refuses to originate provably unauthorized routes even
+// for experiments whose static allocation would otherwise allow them.
+func (en *Engine) SetValidator(v rpki.Validator) {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	en.validator = v
+}
+
 // Audit returns a copy of the recorded decisions, newest last.
 func (en *Engine) Audit() []AuditEntry {
 	en.mu.Lock()
@@ -216,7 +229,11 @@ func (en *Engine) Audit() []AuditEntry {
 
 func (en *Engine) record(e AuditEntry) {
 	if len(en.audit) >= en.auditCap {
-		en.audit = en.audit[len(en.audit)/2:]
+		// Evict the oldest half: attribution needs recency, so the most
+		// recent decisions always survive.
+		evicted := len(en.audit) / 2
+		en.audit = en.audit[evicted:]
+		auditEvicted.Add(uint64(evicted))
 	}
 	en.audit = append(en.audit, e)
 }
@@ -276,6 +293,25 @@ func (en *Engine) EvaluateAnnouncement(expName, pop string, prefix netip.Prefix,
 	if origin := out.OriginASN(); origin != 0 && !exp.ownsASN(origin) && origin != en.PlatformASN {
 		if !exp.Caps.AllowTransit {
 			return reject(fmt.Sprintf("origin AS%d not authorized", origin))
+		}
+	}
+
+	// RPKI route origin validation (RFC 6811): an announcement whose
+	// (prefix, origin) is Invalid against the validated cache never
+	// leaves the platform. NotFound passes — most address space has no
+	// ROA, and rejecting it would break every legacy experiment.
+	if en.validator != nil {
+		origin := out.OriginASN()
+		if origin == 0 {
+			if len(exp.ASNs) > 0 {
+				origin = exp.ASNs[0]
+			} else {
+				origin = en.PlatformASN
+			}
+		}
+		if st := en.validator.Validate(prefix, origin); st == rpki.Invalid {
+			return rejectWith(verdictROVInvalid,
+				fmt.Sprintf("RPKI invalid: origin AS%d not authorized for %s by any ROA", origin, prefix))
 		}
 	}
 

@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"fmt"
 	"net/netip"
 	"strings"
 	"testing"
@@ -352,5 +353,76 @@ func TestGlobalDailyLimitAcrossPoPs(t *testing.T) {
 	now = now.Add(25 * time.Hour)
 	if res := en.EvaluateAnnouncement("exp1", "amsix", prefix, originAttrs(61574)); res.Action != ActionAccept {
 		t.Error("global budget did not recover")
+	}
+}
+
+// TestAuditEvictionKeepsRecent pins the cap-eviction contract: when the
+// log fills, the OLDEST half is discarded and every entry after the cut
+// survives in order — attribution needs recency. The eviction is also
+// visible to operators through policy_audit_evicted_total.
+func TestAuditEvictionKeepsRecent(t *testing.T) {
+	en := NewEngine(platformASN)
+	en.auditCap = 100
+	evictedBefore := auditEvicted.Value()
+
+	for i := 0; i < 150; i++ {
+		en.record(AuditEntry{Experiment: fmt.Sprintf("e%d", i)})
+	}
+
+	// Cap hit at entry 100: the oldest 50 go, then growth resumes.
+	log := en.Audit()
+	if len(log) != 100 {
+		t.Fatalf("audit length = %d, want 100", len(log))
+	}
+	if got := log[0].Experiment; got != "e50" {
+		t.Errorf("oldest surviving entry = %s, want e50 (oldest half evicted)", got)
+	}
+	if got := log[len(log)-1].Experiment; got != "e149" {
+		t.Errorf("newest entry = %s, want e149 (most recent always survive)", got)
+	}
+	for i, e := range log {
+		if want := fmt.Sprintf("e%d", 50+i); e.Experiment != want {
+			t.Fatalf("log[%d] = %s, want %s (contiguous, newest last)", i, e.Experiment, want)
+		}
+	}
+	if got := auditEvicted.Value() - evictedBefore; got != 50 {
+		t.Errorf("policy_audit_evicted_total advanced by %d, want 50", got)
+	}
+}
+
+// TestRateLimitDayBoundary exercises the sliding window exactly at the
+// 24-hour boundary: updates spread one per 10-minute slot fill the 144
+// budget; the update at slot 144 lands exactly 24h after the first,
+// which is still inside the window (the cutoff is exclusive), so it is
+// rejected; one ε past 24h after the first slides it out and is
+// accepted again.
+func TestRateLimitDayBoundary(t *testing.T) {
+	en := newTestEngine()
+	start := time.Unix(1700000000, 0)
+	now := start
+	en.Now = func() time.Time { return now }
+	prefix := pfx("184.164.224.0/24")
+
+	for i := 0; i < DefaultDailyUpdateLimit; i++ {
+		now = start.Add(time.Duration(i) * 10 * time.Minute)
+		if res := en.EvaluateAnnouncement("exp1", "amsix", prefix, originAttrs(61574)); res.Action != ActionAccept {
+			t.Fatalf("slot %d rejected: %v", i, res.Reasons)
+		}
+	}
+
+	// Slot 144 is exactly start+24h: the first update is not yet Before
+	// the cutoff, so the window still holds all 144.
+	now = start.Add(24 * time.Hour)
+	if res := en.EvaluateAnnouncement("exp1", "amsix", prefix, originAttrs(61574)); res.Action != ActionReject {
+		t.Fatal("update at the 144th slot (exactly 24h) accepted; window must still be full")
+	}
+	if got := en.RateBudgetRemaining(prefix, "amsix"); got != 0 {
+		t.Errorf("budget at the boundary = %d, want 0", got)
+	}
+
+	// 24h+ε after the first update it leaves the window.
+	now = start.Add(24*time.Hour + time.Second)
+	if res := en.EvaluateAnnouncement("exp1", "amsix", prefix, originAttrs(61574)); res.Action != ActionAccept {
+		t.Fatalf("update 24h+ε after the first rejected: %v", res.Reasons)
 	}
 }

@@ -11,7 +11,9 @@ var (
 	verdictAcceptModified *telemetry.Counter
 	verdictReject         *telemetry.Counter
 	verdictRateLimited    *telemetry.Counter
+	verdictROVInvalid     *telemetry.Counter
 	failClosedTrips       *telemetry.Counter
+	auditEvicted          *telemetry.Counter
 )
 
 func init() {
@@ -20,5 +22,7 @@ func init() {
 	verdictAcceptModified = reg.Counter("policy_verdicts_total", telemetry.L("action", "accept-modified"))
 	verdictReject = reg.Counter("policy_verdicts_total", telemetry.L("action", "reject"))
 	verdictRateLimited = reg.Counter("policy_verdicts_total", telemetry.L("action", "rate-limited"))
+	verdictROVInvalid = reg.Counter("policy_verdicts_total", telemetry.L("action", "rov-invalid"))
 	failClosedTrips = reg.Counter("policy_fail_closed_total")
+	auditEvicted = reg.Counter("policy_audit_evicted_total")
 }

@@ -1,0 +1,52 @@
+package rpki
+
+// Peerlock is one route-leak protection rule of the kind large transit
+// networks deploy out of band ("Flexsealing BGP Against Route Leaks"):
+// the deploying AS agrees with a protected peer that the peer's ASN
+// must never appear in a path learned from anyone except the peer
+// itself (or an explicitly authorized upstream of it). A route carrying
+// the protected ASN mid-path from an unauthorized neighbor is a leak —
+// some customer or peer is illegitimately transiting the protected
+// network — and is rejected regardless of what the RPKI says about its
+// origin.
+type Peerlock struct {
+	// Protected is the ASN this rule shields.
+	Protected uint32
+	// Allowed lists neighbor ASNs (besides Protected itself) permitted
+	// to send paths containing Protected.
+	Allowed []uint32
+}
+
+// Blocked reports whether a route arriving from neighbor fromASN with
+// the given AS path (nearest AS first, excluding the deploying AS
+// itself) violates the rule. The neighbor's own announcements are
+// always allowed: the first hop of the path is the neighbor, so only
+// a Protected ASN beyond it marks a leak.
+func (pl Peerlock) Blocked(fromASN uint32, path []uint32) bool {
+	if fromASN == pl.Protected {
+		return false
+	}
+	for _, a := range pl.Allowed {
+		if a == fromASN {
+			return false
+		}
+	}
+	for _, hop := range path {
+		if hop == pl.Protected {
+			return true
+		}
+	}
+	return false
+}
+
+// AnyBlocked applies a rule set, counting hits; it reports whether any
+// rule blocks the route.
+func AnyBlocked(rules []Peerlock, fromASN uint32, path []uint32) bool {
+	for _, pl := range rules {
+		if pl.Blocked(fromASN, path) {
+			peerlockHit.Inc()
+			return true
+		}
+	}
+	return false
+}

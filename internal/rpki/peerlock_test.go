@@ -1,0 +1,40 @@
+package rpki
+
+import "testing"
+
+func TestPeerlockBlocked(t *testing.T) {
+	// AS 100 protects tier-1 peer AS 200; AS 300 is an authorized
+	// upstream of 200.
+	pl := Peerlock{Protected: 200, Allowed: []uint32{300}}
+	cases := []struct {
+		name string
+		from uint32
+		path []uint32
+		want bool
+	}{
+		{"direct from protected", 200, []uint32{200, 555}, false},
+		{"via authorized upstream", 300, []uint32{300, 200, 555}, false},
+		{"leak via customer", 1000, []uint32{1000, 200, 555}, true},
+		{"leak deep in path", 1000, []uint32{1000, 999, 200, 555}, true},
+		{"clean path", 1000, []uint32{1000, 999, 555}, false},
+	}
+	for _, c := range cases {
+		if got := pl.Blocked(c.from, c.path); got != c.want {
+			t.Errorf("%s: Blocked(%d, %v) = %v, want %v", c.name, c.from, c.path, got, c.want)
+		}
+	}
+}
+
+func TestAnyBlockedCounts(t *testing.T) {
+	rules := []Peerlock{{Protected: 200}, {Protected: 201}}
+	before := peerlockHit.Value()
+	if !AnyBlocked(rules, 1000, []uint32{1000, 201, 5}) {
+		t.Fatal("leak of AS201 not blocked")
+	}
+	if AnyBlocked(rules, 1000, []uint32{1000, 5}) {
+		t.Fatal("clean path blocked")
+	}
+	if got := peerlockHit.Value() - before; got != 1 {
+		t.Fatalf("peerlock counter moved by %d, want 1", got)
+	}
+}

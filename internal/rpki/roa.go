@@ -1,0 +1,473 @@
+// Package rpki models the Internet's cryptographic routing registry as
+// the platform's neighbors would consume it: a store of Route Origin
+// Authorizations with RFC 6811 origin validation, an RTR-style cache
+// protocol (modeled on RFC 8210) that keeps routers' validated caches
+// live as ROAs change, and Peerlock-style route-leak rules of the kind
+// transit ASes deploy out of band ("Flexsealing BGP Against Route
+// Leaks").
+//
+// The paper's enforcement engine validates what experiments may
+// announce; this package models the other side — how the Internet
+// judges what the platform announces. vBGP routers and synthetic ASes
+// hold a ValidatedCache synchronized over the RTR protocol; when the
+// cache session drops and the data goes stale the cache fails closed
+// (per the platform's §3.3 posture): stale ROAs keep rejecting Invalid
+// routes rather than forgetting them and waving hijacks through.
+package rpki
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+)
+
+// State is an RFC 6811 route origin validation outcome.
+type State int
+
+// Validation states, in RFC 6811 terms.
+const (
+	// NotFound: no ROA covers the route's prefix.
+	NotFound State = iota
+	// Valid: a covering ROA authorizes the origin at this length.
+	Valid
+	// Invalid: covering ROAs exist but none matches origin+length.
+	Invalid
+)
+
+// String names the state as operators spell it.
+func (s State) String() string {
+	switch s {
+	case NotFound:
+		return "not-found"
+	case Valid:
+		return "valid"
+	case Invalid:
+		return "invalid"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// ROA is one Route Origin Authorization: origin ASN may announce
+// Prefix and its subnets down to MaxLength bits.
+type ROA struct {
+	Prefix    netip.Prefix
+	MaxLength int
+	ASN       uint32
+}
+
+// String formats the ROA in the conventional notation.
+func (r ROA) String() string {
+	return fmt.Sprintf("%s-%d => AS%d", r.Prefix, r.MaxLength, r.ASN)
+}
+
+// normalize masks the prefix and defaults MaxLength to the prefix
+// length (a ROA with no explicit maxLength authorizes only the exact
+// prefix, per RFC 6482).
+func (r ROA) normalize() ROA {
+	r.Prefix = r.Prefix.Masked()
+	if r.MaxLength < r.Prefix.Bits() {
+		r.MaxLength = r.Prefix.Bits()
+	}
+	return r
+}
+
+// covers reports whether the ROA's prefix contains p (same family,
+// shorter-or-equal length).
+func (r ROA) covers(p netip.Prefix) bool {
+	return r.Prefix.Addr().Is4() == p.Addr().Is4() &&
+		r.Prefix.Bits() <= p.Bits() && r.Prefix.Contains(p.Addr())
+}
+
+// matches reports whether the ROA authorizes (p, origin): covering,
+// within maxLength, and the right origin ASN (RFC 6811 §2).
+func (r ROA) matches(p netip.Prefix, origin uint32) bool {
+	return r.covers(p) && p.Bits() <= r.MaxLength && r.ASN == origin
+}
+
+// roaNode is one node of the per-family binary ROA trie. Nodes with no
+// ROAs are branching points.
+type roaNode struct {
+	prefix   netip.Prefix
+	roas     []ROA
+	children [2]*roaNode
+}
+
+// roaTrie is a binary radix trie of ROAs keyed by their prefix,
+// supporting the covering-set walk origin validation needs (every ROA
+// whose prefix contains the route's prefix, not just the longest).
+type roaTrie struct {
+	root *roaNode
+	size int
+}
+
+func newROATrie(v6 bool) *roaTrie {
+	addr := netip.IPv4Unspecified()
+	if v6 {
+		addr = netip.IPv6Unspecified()
+	}
+	return &roaTrie{root: &roaNode{prefix: netip.PrefixFrom(addr, 0)}}
+}
+
+// bitAt returns bit i (0 = most significant) of the address.
+func bitAt(a netip.Addr, i int) int {
+	raw := a.AsSlice()
+	return int(raw[i/8]>>(7-i%8)) & 1
+}
+
+// commonBits returns the length of the longest common prefix of a and
+// b, capped at max.
+func commonBits(a, b netip.Addr, max int) int {
+	ra, rb := a.AsSlice(), b.AsSlice()
+	n := 0
+	for i := 0; i < len(ra) && n < max; i++ {
+		x := ra[i] ^ rb[i]
+		if x == 0 {
+			n += 8
+			continue
+		}
+		for m := byte(0x80); m != 0 && n < max; m >>= 1 {
+			if x&m != 0 {
+				return n
+			}
+			n++
+		}
+	}
+	if n > max {
+		n = max
+	}
+	return n
+}
+
+// insert adds a ROA under its prefix.
+func (t *roaTrie) insert(r ROA) {
+	p := r.Prefix
+	n := t.root
+	for {
+		if n.prefix == p {
+			for _, have := range n.roas {
+				if have == r {
+					return
+				}
+			}
+			n.roas = append(n.roas, r)
+			t.size++
+			return
+		}
+		// p extends below n. Descend by p's next bit.
+		b := bitAt(p.Addr(), n.prefix.Bits())
+		child := n.children[b]
+		if child == nil {
+			n.children[b] = &roaNode{prefix: p, roas: []ROA{r}}
+			t.size++
+			return
+		}
+		cb := commonBits(p.Addr(), child.prefix.Addr(), min(p.Bits(), child.prefix.Bits()))
+		if cb == child.prefix.Bits() && child.prefix.Bits() <= p.Bits() {
+			n = child
+			continue
+		}
+		// Split: insert a branching node at the divergence point.
+		branch := &roaNode{prefix: netip.PrefixFrom(p.Addr(), cb).Masked()}
+		branch.children[bitAt(child.prefix.Addr(), cb)] = child
+		n.children[b] = branch
+		if branch.prefix == p {
+			branch.roas = []ROA{r}
+		} else {
+			branch.children[bitAt(p.Addr(), cb)] = &roaNode{prefix: p, roas: []ROA{r}}
+		}
+		t.size++
+		return
+	}
+}
+
+// remove deletes an exact ROA. It reports whether the ROA was present.
+// Emptied nodes are left as branching points (the trie shrinks only in
+// value count; ROA stores are small and churn rarely).
+func (t *roaTrie) remove(r ROA) bool {
+	n := t.root
+	for n != nil {
+		if n.prefix == r.Prefix {
+			for i, have := range n.roas {
+				if have == r {
+					n.roas = append(n.roas[:i], n.roas[i+1:]...)
+					t.size--
+					return true
+				}
+			}
+			return false
+		}
+		if n.prefix.Bits() >= r.Prefix.Bits() || !n.prefix.Contains(r.Prefix.Addr()) {
+			return false
+		}
+		n = n.children[bitAt(r.Prefix.Addr(), n.prefix.Bits())]
+	}
+	return false
+}
+
+// covering appends every stored ROA whose prefix contains p: the walk
+// follows p's bit path from the root, collecting values at each node
+// along the way.
+func (t *roaTrie) covering(p netip.Prefix, out []ROA) []ROA {
+	n := t.root
+	for n != nil {
+		if n.prefix.Bits() > p.Bits() || !n.prefix.Contains(p.Addr()) {
+			break
+		}
+		for _, r := range n.roas {
+			if r.covers(p) {
+				out = append(out, r)
+			}
+		}
+		if n.prefix.Bits() == p.Bits() {
+			break
+		}
+		n = n.children[bitAt(p.Addr(), n.prefix.Bits())]
+	}
+	return out
+}
+
+// walk visits every ROA in the trie.
+func (t *roaTrie) walk(fn func(ROA)) {
+	var rec func(n *roaNode)
+	rec = func(n *roaNode) {
+		if n == nil {
+			return
+		}
+		for _, r := range n.roas {
+			fn(r)
+		}
+		rec(n.children[0])
+		rec(n.children[1])
+	}
+	rec(t.root)
+}
+
+// Delta is one serial-numbered ROA change: an announcement (Announce
+// true) or a revocation.
+type Delta struct {
+	Serial   uint32
+	Announce bool
+	ROA      ROA
+}
+
+// deltaLogCap bounds the retained change history; clients asking for
+// serials older than the window receive a Cache Reset and resync from
+// scratch (RFC 8210 §5.9).
+const deltaLogCap = 4096
+
+// Store is a serial-numbered ROA database: the authoritative cache an
+// RTR server exposes, and also the local ValidatedCache an RTR client
+// maintains. All methods are safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	v4, v6 *roaTrie
+	serial uint32
+	// firstSerial is the serial before the oldest retained delta.
+	firstSerial uint32
+	deltas      []Delta
+	subs        []func(serial uint32)
+}
+
+// NewStore creates an empty ROA store at serial 0.
+func NewStore() *Store {
+	return &Store{v4: newROATrie(false), v6: newROATrie(true)}
+}
+
+func (s *Store) trieFor(p netip.Prefix) *roaTrie {
+	if p.Addr().Is6() {
+		return s.v6
+	}
+	return s.v4
+}
+
+// Add announces a ROA, bumping the serial. Adding a ROA already present
+// is a no-op and does not bump the serial.
+func (s *Store) Add(r ROA) uint32 {
+	r = r.normalize()
+	s.mu.Lock()
+	before := s.trieFor(r.Prefix).size
+	s.trieFor(r.Prefix).insert(r)
+	if s.trieFor(r.Prefix).size == before {
+		serial := s.serial
+		s.mu.Unlock()
+		return serial
+	}
+	serial := s.bumpLocked(Delta{Announce: true, ROA: r})
+	subs := make([]func(uint32), len(s.subs))
+	copy(subs, s.subs)
+	s.mu.Unlock()
+	roaGauge.Set(int64(s.Len()))
+	serialGauge.Set(int64(serial))
+	for _, fn := range subs {
+		if fn != nil {
+			fn(serial)
+		}
+	}
+	return serial
+}
+
+// Revoke withdraws a ROA, bumping the serial when it was present.
+func (s *Store) Revoke(r ROA) uint32 {
+	r = r.normalize()
+	s.mu.Lock()
+	if !s.trieFor(r.Prefix).remove(r) {
+		serial := s.serial
+		s.mu.Unlock()
+		return serial
+	}
+	serial := s.bumpLocked(Delta{Announce: false, ROA: r})
+	subs := make([]func(uint32), len(s.subs))
+	copy(subs, s.subs)
+	s.mu.Unlock()
+	roaGauge.Set(int64(s.Len()))
+	serialGauge.Set(int64(serial))
+	for _, fn := range subs {
+		if fn != nil {
+			fn(serial)
+		}
+	}
+	return serial
+}
+
+func (s *Store) bumpLocked(d Delta) uint32 {
+	s.serial++
+	d.Serial = s.serial
+	s.deltas = append(s.deltas, d)
+	if len(s.deltas) > deltaLogCap {
+		drop := len(s.deltas) - deltaLogCap
+		s.firstSerial = s.deltas[drop-1].Serial
+		s.deltas = s.deltas[drop:]
+	}
+	return s.serial
+}
+
+// Subscribe registers fn to run after every serial bump (the RTR
+// server's Serial Notify trigger). fn runs on the mutating goroutine
+// and must not call back into the store's writers. The returned
+// function unsubscribes.
+func (s *Store) Subscribe(fn func(serial uint32)) (unsubscribe func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.subs = append(s.subs, fn)
+	idx := len(s.subs) - 1
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if idx < len(s.subs) {
+			s.subs[idx] = nil
+		}
+	}
+}
+
+// Serial returns the current serial number.
+func (s *Store) Serial() uint32 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.serial
+}
+
+// Len returns the number of stored ROAs.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.v4.size + s.v6.size
+}
+
+// Snapshot returns the serial and every ROA at that serial.
+func (s *Store) Snapshot() (uint32, []ROA) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]ROA, 0, s.v4.size+s.v6.size)
+	s.v4.walk(func(r ROA) { out = append(out, r) })
+	s.v6.walk(func(r ROA) { out = append(out, r) })
+	return s.serial, out
+}
+
+// DeltasSince returns the changes after serial, oldest first. ok is
+// false when serial predates the retained window (or is ahead of the
+// store), in which case the caller must resync from a snapshot.
+func (s *Store) DeltasSince(serial uint32) (ds []Delta, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if serial > s.serial || serial < s.firstSerial {
+		return nil, false
+	}
+	for _, d := range s.deltas {
+		if d.Serial > serial {
+			ds = append(ds, d)
+		}
+	}
+	return ds, true
+}
+
+// Apply replays one delta (an RTR client folding a Cache Response into
+// its local cache). It does not notify subscribers of the originating
+// store; the client owns notification of its own consumers.
+func (s *Store) Apply(d Delta) {
+	r := d.ROA.normalize()
+	s.mu.Lock()
+	if d.Announce {
+		s.trieFor(r.Prefix).insert(r)
+	} else {
+		s.trieFor(r.Prefix).remove(r)
+	}
+	if d.Serial > s.serial {
+		s.serial = d.Serial
+	}
+	s.mu.Unlock()
+}
+
+// Reset replaces the store's contents with a snapshot at the given
+// serial (an RTR client handling a full Cache Response after reset).
+func (s *Store) Reset(serial uint32, roas []ROA) {
+	s.mu.Lock()
+	v4, v6 := newROATrie(false), newROATrie(true)
+	for _, r := range roas {
+		r = r.normalize()
+		if r.Prefix.Addr().Is6() {
+			v6.insert(r)
+		} else {
+			v4.insert(r)
+		}
+	}
+	s.v4, s.v6 = v4, v6
+	s.serial = serial
+	s.firstSerial = serial
+	s.deltas = nil
+	s.mu.Unlock()
+}
+
+// Validate classifies (prefix, origin) per RFC 6811: NotFound when no
+// ROA covers the prefix, Valid when some covering ROA matches origin
+// and maxLength, Invalid otherwise.
+func (s *Store) Validate(prefix netip.Prefix, origin uint32) State {
+	prefix = prefix.Masked()
+	s.mu.RLock()
+	covering := s.trieFor(prefix).covering(prefix, nil)
+	s.mu.RUnlock()
+	if len(covering) == 0 {
+		return NotFound
+	}
+	for _, r := range covering {
+		if r.matches(prefix, origin) {
+			return Valid
+		}
+	}
+	return Invalid
+}
+
+// Validator is anything that can classify a route origin: a Store, an
+// RTR Client's live cache, or a test stub.
+type Validator interface {
+	Validate(prefix netip.Prefix, origin uint32) State
+}
+
+// SetSerial advances the store's serial without a content change (an
+// RTR client applying an empty incremental response).
+func (s *Store) SetSerial(serial uint32) {
+	s.mu.Lock()
+	if serial > s.serial {
+		s.serial = serial
+	}
+	s.mu.Unlock()
+}

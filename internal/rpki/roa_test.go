@@ -1,0 +1,172 @@
+package rpki
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+)
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+func TestValidateRFC6811(t *testing.T) {
+	s := NewStore()
+	s.Add(ROA{Prefix: pfx("184.164.224.0/22"), MaxLength: 24, ASN: 61574})
+
+	cases := []struct {
+		prefix string
+		origin uint32
+		want   State
+	}{
+		{"184.164.224.0/22", 61574, Valid},
+		{"184.164.224.0/24", 61574, Valid},    // within maxLength
+		{"184.164.225.0/24", 61574, Valid},    // sibling subnet, covered
+		{"184.164.224.0/25", 61574, Invalid},  // too specific
+		{"184.164.224.0/24", 65000, Invalid},  // wrong origin
+		{"184.164.224.0/21", 61574, NotFound}, // less specific than ROA
+		{"8.8.8.0/24", 15169, NotFound},       // uncovered space
+	}
+	for _, c := range cases {
+		if got := s.Validate(pfx(c.prefix), c.origin); got != c.want {
+			t.Errorf("Validate(%s, AS%d) = %v, want %v", c.prefix, c.origin, got, c.want)
+		}
+	}
+}
+
+func TestValidateMultipleROAs(t *testing.T) {
+	s := NewStore()
+	// Two origins authorized for overlapping space: any match → Valid.
+	s.Add(ROA{Prefix: pfx("10.0.0.0/8"), MaxLength: 24, ASN: 1})
+	s.Add(ROA{Prefix: pfx("10.1.0.0/16"), MaxLength: 24, ASN: 2})
+	if got := s.Validate(pfx("10.1.2.0/24"), 2); got != Valid {
+		t.Fatalf("more-specific ROA should validate AS2: got %v", got)
+	}
+	if got := s.Validate(pfx("10.1.2.0/24"), 1); got != Valid {
+		t.Fatalf("covering /8 ROA should validate AS1: got %v", got)
+	}
+	if got := s.Validate(pfx("10.1.2.0/24"), 3); got != Invalid {
+		t.Fatalf("unauthorized origin should be Invalid: got %v", got)
+	}
+	if got := s.Validate(pfx("10.9.0.0/16"), 2); got != Invalid {
+		t.Fatalf("AS2 outside its /16 should be Invalid (the /8 covers): got %v", got)
+	}
+}
+
+func TestValidateIPv6(t *testing.T) {
+	s := NewStore()
+	s.Add(ROA{Prefix: pfx("2001:db8::/32"), MaxLength: 48, ASN: 61574})
+	if got := s.Validate(pfx("2001:db8:1::/48"), 61574); got != Valid {
+		t.Fatalf("v6 Valid: got %v", got)
+	}
+	if got := s.Validate(pfx("2001:db8:1::/64"), 61574); got != Invalid {
+		t.Fatalf("v6 too specific: got %v", got)
+	}
+	if got := s.Validate(pfx("2001:dead::/32"), 61574); got != NotFound {
+		t.Fatalf("v6 uncovered: got %v", got)
+	}
+}
+
+func TestMaxLengthDefaultsToPrefixLength(t *testing.T) {
+	s := NewStore()
+	s.Add(ROA{Prefix: pfx("192.0.2.0/24"), ASN: 64500})
+	if got := s.Validate(pfx("192.0.2.0/24"), 64500); got != Valid {
+		t.Fatalf("exact prefix: got %v", got)
+	}
+	if got := s.Validate(pfx("192.0.2.0/25"), 64500); got != Invalid {
+		t.Fatalf("sub-prefix without explicit maxLength must be Invalid: got %v", got)
+	}
+}
+
+func TestSerialAndDeltas(t *testing.T) {
+	s := NewStore()
+	if s.Serial() != 0 {
+		t.Fatalf("fresh store serial = %d", s.Serial())
+	}
+	r1 := ROA{Prefix: pfx("10.0.0.0/8"), MaxLength: 24, ASN: 1}
+	r2 := ROA{Prefix: pfx("10.1.0.0/16"), MaxLength: 24, ASN: 2}
+	s.Add(r1)
+	s.Add(r2)
+	s.Add(r2) // duplicate: no serial bump
+	if s.Serial() != 2 {
+		t.Fatalf("serial after 2 adds = %d, want 2", s.Serial())
+	}
+	s.Revoke(r1)
+	if s.Serial() != 3 {
+		t.Fatalf("serial after revoke = %d, want 3", s.Serial())
+	}
+	ds, ok := s.DeltasSince(1)
+	if !ok || len(ds) != 2 {
+		t.Fatalf("DeltasSince(1) = %v, %v", ds, ok)
+	}
+	if ds[0].ROA != r2.normalize() || !ds[0].Announce {
+		t.Fatalf("delta 2 = %+v", ds[0])
+	}
+	if ds[1].ROA != r1.normalize() || ds[1].Announce {
+		t.Fatalf("delta 3 = %+v", ds[1])
+	}
+	if _, ok := s.DeltasSince(99); ok {
+		t.Fatal("future serial should not be ok")
+	}
+	serial, roas := s.Snapshot()
+	if serial != 3 || len(roas) != 1 || roas[0] != r2.normalize() {
+		t.Fatalf("snapshot = %d %v", serial, roas)
+	}
+}
+
+func TestDeltaWindowEviction(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < deltaLogCap+10; i++ {
+		s.Add(ROA{Prefix: pfx(fmt.Sprintf("10.%d.%d.0/24", i/256, i%256)), ASN: uint32(i + 1)})
+	}
+	if _, ok := s.DeltasSince(1); ok {
+		t.Fatal("serial before the retained window must force a reset")
+	}
+	if ds, ok := s.DeltasSince(uint32(deltaLogCap + 5)); !ok || len(ds) != 5 {
+		t.Fatalf("recent serial should yield deltas: %v %v", len(ds), ok)
+	}
+}
+
+func TestSubscribeNotifiesAndUnsubscribes(t *testing.T) {
+	s := NewStore()
+	var got []uint32
+	unsub := s.Subscribe(func(serial uint32) { got = append(got, serial) })
+	s.Add(ROA{Prefix: pfx("10.0.0.0/8"), ASN: 1})
+	s.Add(ROA{Prefix: pfx("10.0.0.0/8"), ASN: 1}) // duplicate: no notify
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("notifications = %v", got)
+	}
+	unsub()
+	s.Add(ROA{Prefix: pfx("11.0.0.0/8"), ASN: 2})
+	if len(got) != 1 {
+		t.Fatalf("notified after unsubscribe: %v", got)
+	}
+}
+
+func TestCoveringTrieStress(t *testing.T) {
+	s := NewStore()
+	// Nested ROAs at several depths plus scattered siblings.
+	for i := 0; i < 64; i++ {
+		s.Add(ROA{Prefix: pfx(fmt.Sprintf("10.%d.0.0/16", i)), MaxLength: 24, ASN: uint32(100 + i)})
+	}
+	s.Add(ROA{Prefix: pfx("10.0.0.0/8"), MaxLength: 16, ASN: 99})
+	for i := 0; i < 64; i++ {
+		p := pfx(fmt.Sprintf("10.%d.5.0/24", i))
+		if got := s.Validate(p, uint32(100+i)); got != Valid {
+			t.Fatalf("%s AS%d = %v", p, 100+i, got)
+		}
+		if got := s.Validate(p, 99); got != Invalid {
+			t.Fatalf("%s via /8 beyond maxLength 16 = %v, want invalid", p, got)
+		}
+	}
+	if got := s.Validate(pfx("10.70.0.0/16"), 99); got != Valid {
+		t.Fatalf("/8 ROA at /16: %v", got)
+	}
+	for i := 0; i < 64; i++ {
+		s.Revoke(ROA{Prefix: pfx(fmt.Sprintf("10.%d.0.0/16", i)), MaxLength: 24, ASN: uint32(100 + i)})
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len after revocations = %d", s.Len())
+	}
+	if got := s.Validate(pfx("10.3.5.0/24"), 103); got != Invalid {
+		t.Fatalf("after revoke, only /8 covers: %v", got)
+	}
+}

@@ -1,0 +1,256 @@
+package rpki
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+)
+
+// The RTR wire protocol, modeled on RFC 8210: fixed 8-byte header
+// (version, PDU type, a type-dependent 16-bit field, total length),
+// followed by a type-specific body. The subset implemented is the
+// router-cache synchronization core: Serial Notify, Serial/Reset Query,
+// Cache Response, IPvX Prefix, End of Data, Cache Reset, Error Report.
+
+// RTRVersion is the protocol version emitted in every header.
+const RTRVersion = 1
+
+// PDU types (RFC 8210 §5).
+const (
+	PDUSerialNotify  = 0
+	PDUSerialQuery   = 1
+	PDUResetQuery    = 2
+	PDUCacheResponse = 3
+	PDUIPv4Prefix    = 4
+	PDUIPv6Prefix    = 6
+	PDUEndOfData     = 7
+	PDUCacheReset    = 8
+	PDUErrorReport   = 10
+)
+
+// PDU is one decoded RTR protocol data unit. Fields are populated
+// according to Type.
+type PDU struct {
+	Type int
+	// Session identifies the cache session (header field for most
+	// types).
+	Session uint16
+	// Serial is the serial number of Serial Notify/Query and End of
+	// Data PDUs.
+	Serial uint32
+	// Announce distinguishes announcements from withdrawals in prefix
+	// PDUs.
+	Announce bool
+	// ROA carries the payload of prefix PDUs.
+	ROA ROA
+	// Text carries Error Report diagnostics.
+	Text string
+}
+
+const rtrHeaderLen = 8
+
+// flagAnnounce marks a prefix PDU as an announcement (withdrawal when
+// clear), RFC 8210 §5.6.
+const flagAnnounce = 1
+
+// WritePDU encodes and writes one PDU.
+func WritePDU(w io.Writer, p PDU) error {
+	var body []byte
+	field := p.Session
+	switch p.Type {
+	case PDUSerialNotify, PDUSerialQuery, PDUEndOfData:
+		body = binary.BigEndian.AppendUint32(nil, p.Serial)
+	case PDUResetQuery, PDUCacheResponse, PDUCacheReset:
+		if p.Type == PDUResetQuery {
+			field = 0
+		}
+	case PDUIPv4Prefix, PDUIPv6Prefix:
+		field = 0
+		flags := byte(0)
+		if p.Announce {
+			flags = flagAnnounce
+		}
+		addr := p.ROA.Prefix.Addr()
+		raw := addr.AsSlice()
+		body = append(body, flags, byte(p.ROA.Prefix.Bits()), byte(p.ROA.MaxLength), 0)
+		body = append(body, raw...)
+		body = binary.BigEndian.AppendUint32(body, p.ROA.ASN)
+	case PDUErrorReport:
+		body = binary.BigEndian.AppendUint32(nil, uint32(len(p.Text)))
+		body = append(body, p.Text...)
+	default:
+		return fmt.Errorf("rpki: cannot encode PDU type %d", p.Type)
+	}
+	hdr := make([]byte, rtrHeaderLen, rtrHeaderLen+len(body))
+	hdr[0] = RTRVersion
+	hdr[1] = byte(p.Type)
+	binary.BigEndian.PutUint16(hdr[2:], field)
+	binary.BigEndian.PutUint32(hdr[4:], uint32(rtrHeaderLen+len(body)))
+	_, err := w.Write(append(hdr, body...))
+	return err
+}
+
+// maxPDULen bounds accepted PDU lengths, protecting the reader from
+// absurd length fields on corrupted transports.
+const maxPDULen = 4096
+
+// ReadPDU reads and decodes one PDU.
+func ReadPDU(r io.Reader) (PDU, error) {
+	var hdr [rtrHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return PDU{}, err
+	}
+	if hdr[0] != RTRVersion {
+		return PDU{}, fmt.Errorf("rpki: unsupported RTR version %d", hdr[0])
+	}
+	p := PDU{Type: int(hdr[1]), Session: binary.BigEndian.Uint16(hdr[2:])}
+	total := binary.BigEndian.Uint32(hdr[4:])
+	if total < rtrHeaderLen || total > maxPDULen {
+		return PDU{}, fmt.Errorf("rpki: bad PDU length %d", total)
+	}
+	body := make([]byte, total-rtrHeaderLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return PDU{}, err
+	}
+	switch p.Type {
+	case PDUSerialNotify, PDUSerialQuery, PDUEndOfData:
+		if len(body) < 4 {
+			return PDU{}, fmt.Errorf("rpki: truncated serial PDU")
+		}
+		p.Serial = binary.BigEndian.Uint32(body)
+	case PDUResetQuery, PDUCacheResponse, PDUCacheReset:
+		// Header only.
+	case PDUIPv4Prefix, PDUIPv6Prefix:
+		alen := 4
+		if p.Type == PDUIPv6Prefix {
+			alen = 16
+		}
+		if len(body) < 4+alen+4 {
+			return PDU{}, fmt.Errorf("rpki: truncated prefix PDU")
+		}
+		p.Announce = body[0]&flagAnnounce != 0
+		bits, maxLen := int(body[1]), int(body[2])
+		addr, ok := netip.AddrFromSlice(body[4 : 4+alen])
+		if !ok || bits > alen*8 || maxLen > alen*8 {
+			return PDU{}, fmt.Errorf("rpki: bad prefix PDU")
+		}
+		p.ROA = ROA{
+			Prefix:    netip.PrefixFrom(addr, bits).Masked(),
+			MaxLength: maxLen,
+			ASN:       binary.BigEndian.Uint32(body[4+alen:]),
+		}
+	case PDUErrorReport:
+		if len(body) >= 4 {
+			n := binary.BigEndian.Uint32(body)
+			if int(n) <= len(body)-4 {
+				p.Text = string(body[4 : 4+n])
+			}
+		}
+	default:
+		return PDU{}, fmt.Errorf("rpki: unknown PDU type %d", p.Type)
+	}
+	return p, nil
+}
+
+// prefixPDU builds the prefix PDU for one ROA delta.
+func prefixPDU(r ROA, announce bool) PDU {
+	t := PDUIPv4Prefix
+	if r.Prefix.Addr().Is6() {
+		t = PDUIPv6Prefix
+	}
+	return PDU{Type: t, Announce: announce, ROA: r}
+}
+
+// Server exposes a Store over the RTR protocol. One Server handles any
+// number of concurrent router sessions; each Serve call owns one conn.
+type Server struct {
+	store   *Store
+	session uint16
+}
+
+// NewServer creates an RTR cache server for the store. The session ID
+// distinguishes cache incarnations (a client seeing a different session
+// ID must drop its state and resync).
+func NewServer(store *Store, session uint16) *Server {
+	return &Server{store: store, session: session}
+}
+
+// Serve speaks the cache side of the RTR protocol on conn until the
+// conn fails or the peer goes away. Serial Notify PDUs are pushed
+// whenever the store's serial advances (RFC 8210 §5.2), so connected
+// routers learn of ROA changes without polling.
+func (sv *Server) Serve(conn net.Conn) error {
+	defer conn.Close()
+	var writeMu sync.Mutex
+	send := func(p PDU) error {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		p.Session = sv.session
+		return WritePDU(conn, p)
+	}
+	unsubscribe := sv.store.Subscribe(func(serial uint32) {
+		rtrNotifies.Inc()
+		// Best effort: a failed notify surfaces as a dead conn on the
+		// read side.
+		_ = send(PDU{Type: PDUSerialNotify, Serial: serial})
+	})
+	defer unsubscribe()
+
+	for {
+		p, err := ReadPDU(conn)
+		if err != nil {
+			return err
+		}
+		switch p.Type {
+		case PDUResetQuery:
+			serial, roas := sv.store.Snapshot()
+			if err := send(PDU{Type: PDUCacheResponse}); err != nil {
+				return err
+			}
+			for _, r := range roas {
+				if err := send(prefixPDU(r, true)); err != nil {
+					return err
+				}
+			}
+			if err := send(PDU{Type: PDUEndOfData, Serial: serial}); err != nil {
+				return err
+			}
+		case PDUSerialQuery:
+			if p.Session != sv.session {
+				// Different cache incarnation: force a full resync.
+				if err := send(PDU{Type: PDUCacheReset}); err != nil {
+					return err
+				}
+				continue
+			}
+			deltas, ok := sv.store.DeltasSince(p.Serial)
+			if !ok {
+				rtrCacheResets.Inc()
+				if err := send(PDU{Type: PDUCacheReset}); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := send(PDU{Type: PDUCacheResponse}); err != nil {
+				return err
+			}
+			end := p.Serial
+			for _, d := range deltas {
+				if err := send(prefixPDU(d.ROA, d.Announce)); err != nil {
+					return err
+				}
+				end = d.Serial
+			}
+			if err := send(PDU{Type: PDUEndOfData, Serial: end}); err != nil {
+				return err
+			}
+		case PDUErrorReport:
+			return fmt.Errorf("rpki: peer error: %s", p.Text)
+		default:
+			_ = send(PDU{Type: PDUErrorReport, Text: fmt.Sprintf("unexpected PDU type %d", p.Type)})
+		}
+	}
+}

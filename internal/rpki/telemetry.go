@@ -1,0 +1,52 @@
+package rpki
+
+import "repro/internal/telemetry"
+
+// Package-wide rpki_* metrics: ROA-store population and serial, origin
+// validations by outcome, a validation-latency histogram, RTR session
+// machinery (syncs, notifies, resets), and the fail-closed stale
+// machinery. Peerlock blocks are counted here too so all registry-
+// related defenses expose under one prefix.
+var (
+	roaGauge    *telemetry.Gauge
+	serialGauge *telemetry.Gauge
+
+	validations       map[State]*telemetry.Counter
+	validationSeconds *telemetry.Histogram
+
+	rtrSyncs        *telemetry.Counter
+	rtrNotifies     *telemetry.Counter
+	rtrCacheResets  *telemetry.Counter
+	rtrSessionDrops *telemetry.Counter
+	rtrDials        *telemetry.Counter
+	rtrSyncSeconds  *telemetry.Histogram
+
+	staleTrips  *telemetry.Counter
+	staleGauge  *telemetry.Gauge
+	rtrUpGauge  *telemetry.Gauge
+	peerlockHit *telemetry.Counter
+)
+
+func init() {
+	reg := telemetry.Default()
+	roaGauge = reg.Gauge("rpki_roas")
+	serialGauge = reg.Gauge("rpki_serial")
+	validations = map[State]*telemetry.Counter{
+		Valid:    reg.Counter("rpki_validations_total", telemetry.L("state", Valid.String())),
+		Invalid:  reg.Counter("rpki_validations_total", telemetry.L("state", Invalid.String())),
+		NotFound: reg.Counter("rpki_validations_total", telemetry.L("state", NotFound.String())),
+	}
+	validationSeconds = reg.Histogram("rpki_validation_seconds",
+		[]float64{1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2})
+	rtrSyncs = reg.Counter("rpki_rtr_syncs_total")
+	rtrNotifies = reg.Counter("rpki_rtr_notifies_total")
+	rtrCacheResets = reg.Counter("rpki_rtr_cache_resets_total")
+	rtrSessionDrops = reg.Counter("rpki_rtr_session_drops_total")
+	rtrDials = reg.Counter("rpki_rtr_dials_total")
+	rtrSyncSeconds = reg.Histogram("rpki_rtr_sync_seconds",
+		[]float64{1e-4, 1e-3, 1e-2, 0.1, 1, 10})
+	staleTrips = reg.Counter("rpki_cache_stale_trips_total")
+	staleGauge = reg.Gauge("rpki_stale_caches")
+	rtrUpGauge = reg.Gauge("rpki_rtr_sessions_up")
+	peerlockHit = reg.Counter("rpki_peerlock_blocked_total")
+}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/inet"
 	"repro/internal/netsim"
 	"repro/internal/policy"
+	"repro/internal/rpki"
 	"repro/internal/telemetry"
 	"repro/internal/tunnel"
 )
@@ -48,6 +49,15 @@ type PlatformConfig struct {
 	// backoff, graceful restart). Nil leaves the platform fault-free
 	// with the original one-shot sessions.
 	Chaos *chaos.Injector
+	// RPKI, when set, is the platform's trust-anchor ROA store. The
+	// enforcement engine validates experiment announcements against it
+	// directly, and every PoP's router runs a live RTR client session to
+	// it (threaded through the fault injector as class "rtr"), tagging
+	// experiment-exported routes with their validation state.
+	RPKI *rpki.Store
+	// RPKIStaleExpiry overrides the RTR clients' freshness window after
+	// session loss (zero selects rpki.DefaultStaleExpiry).
+	RPKIStaleExpiry time.Duration
 	// Logf receives platform event logs.
 	Logf func(format string, args ...any)
 }
@@ -61,6 +71,7 @@ type Platform struct {
 	globalPool *core.Pool
 	monitor    *telemetry.Emitter
 	station    *telemetry.Station
+	rpkiServer *rpki.Server
 
 	mu             sync.Mutex
 	pops           map[string]*PoP
@@ -94,7 +105,29 @@ func NewPlatform(cfg PlatformConfig) *Platform {
 	// The platform-wide monitoring station consumes every router's
 	// BMP-style event feed for the life of the platform.
 	go p.station.Run(p.monitor)
+	if cfg.RPKI != nil {
+		// The controller holds the authoritative trust-anchor view: the
+		// enforcement engine validates against it directly, while PoP
+		// routers sync their own caches over RTR (see AddPoP).
+		p.rpkiServer = rpki.NewServer(cfg.RPKI, 1)
+		p.Engine.SetValidator(cfg.RPKI)
+	}
 	return p
+}
+
+// RPKI returns the platform's trust-anchor ROA store, or nil.
+func (p *Platform) RPKI() *rpki.Store { return p.cfg.RPKI }
+
+// DeployROV installs the trust-anchor store as the topology's validator
+// and enables route origin validation at a deterministic fraction of
+// its ASes. Returns how many ASes now validate (0 without a topology or
+// RPKI store).
+func (p *Platform) DeployROV(fraction float64, seed int64) int {
+	if p.cfg.Topology == nil || p.cfg.RPKI == nil {
+		return 0
+	}
+	p.cfg.Topology.SetValidator(p.cfg.RPKI)
+	return p.cfg.Topology.DeployROV(fraction, seed)
 }
 
 // Monitor returns the platform's monitoring event queue (routers emit
@@ -193,17 +226,74 @@ func (p *Platform) AddPoP(cfg PoPConfig) (*PoP, error) {
 	}
 	p.mu.Unlock()
 
+	// Per-PoP RTR client: the router validates through its own live
+	// cache, synchronized from the platform's trust anchor over a
+	// fault-injectable session (class "rtr"). The session doubles as a
+	// flappable chaos link: taking it down severs the live session and
+	// fails every redial until it comes back up, modeling a cache
+	// outage (the fail-closed scenario).
+	var rtr *rpki.Client
+	var validator rpki.Validator
+	if p.cfg.RPKI != nil {
+		var rtrMu sync.Mutex
+		var rtrDown bool
+		var rtrConn net.Conn
+		rtr = rpki.NewClient(rpki.ClientConfig{
+			Name: cfg.Name,
+			Dial: func() (net.Conn, error) {
+				rtrMu.Lock()
+				down := rtrDown
+				rtrMu.Unlock()
+				if down {
+					return nil, fmt.Errorf("rtr[%s]: cache unreachable (link down)", cfg.Name)
+				}
+				cc, cs := newConnPair()
+				cc = p.chaosWrap("rtr", "rtr-"+cfg.Name, cfg.Name, cc)
+				go func() { _ = p.rpkiServer.Serve(cs) }()
+				rtrMu.Lock()
+				rtrConn = cc
+				rtrMu.Unlock()
+				return cc, nil
+			},
+			StaleExpiry: p.cfg.RPKIStaleExpiry,
+			Logf:        p.cfg.Logf,
+		})
+		p.cfg.Chaos.RegisterLink("rtr-"+cfg.Name, cfg.Name,
+			func() {
+				rtrMu.Lock()
+				rtrDown = true
+				conn := rtrConn
+				rtrMu.Unlock()
+				if conn != nil {
+					conn.Close()
+				}
+			},
+			func() {
+				rtrMu.Lock()
+				rtrDown = false
+				rtrMu.Unlock()
+			})
+		validator = rtr
+	}
+
 	router := core.NewRouter(core.Config{
 		Name: cfg.Name, ASN: p.cfg.ASN, RouterID: cfg.RouterID,
 		LocalPool: cfg.LocalPool, GlobalPool: p.globalPool,
 		Enforcer:             p.Engine,
 		Monitor:              p.monitor,
+		Validator:            validator,
 		MaintainDefaultTable: cfg.MaintainDefaultTable,
 		Logf:                 p.cfg.Logf,
 	})
+	if rtr != nil {
+		// A ROA change converging over RTR re-stamps and re-exports the
+		// routes whose validation state flipped — no session restart.
+		rtr.SetOnChange(router.RevalidateExports)
+	}
 	pop := &PoP{
 		Name:     cfg.Name,
 		Router:   router,
+		RPKI:     rtr,
 		platform: p,
 		expLAN:   netsim.NewSegment(cfg.Name + "-exp-lan"),
 		expCIDR:  cfg.ExpLAN,

@@ -13,6 +13,7 @@ import (
 	"repro/internal/ixp"
 	"repro/internal/netsim"
 	"repro/internal/pipe"
+	"repro/internal/rpki"
 	"repro/internal/tunnel"
 )
 
@@ -23,6 +24,10 @@ type PoP struct {
 	Name string
 	// Router is the PoP's vBGP instance.
 	Router *core.Router
+	// RPKI is the PoP's RTR client (nil without a platform ROA store):
+	// the router's live validated cache, synchronized from the
+	// platform's trust anchor.
+	RPKI *rpki.Client
 
 	platform *Platform
 	expLAN   *netsim.Segment
