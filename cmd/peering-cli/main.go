@@ -10,6 +10,7 @@
 //	routes | show route [prefix] | show protocols
 //	ping <addr> [via <id>]
 //	neighbors
+//	health
 //	metrics [prefix]
 //	help | quit
 //
@@ -30,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/guard"
 	"repro/internal/inet"
 	"repro/internal/telemetry"
 	"repro/peering"
@@ -52,7 +54,16 @@ func main() {
 	cfg.Tier2 = 12
 	cfg.Edges = 60
 	topo := inet.Generate(cfg)
-	platform := peering.NewPlatform(peering.PlatformConfig{ASN: 47065, Topology: topo})
+	// The interactive platform runs with the full convergence-safety
+	// layer on: flap damping, MRAI pacing, and the overload watchdog
+	// (inspect it with the health verb).
+	platform := peering.NewPlatform(peering.PlatformConfig{
+		ASN: 47065, Topology: topo,
+		Damping:      &guard.DampingConfig{},
+		NeighborMRAI: 50 * time.Millisecond,
+		Guard:        peering.DefaultGuardConfig(),
+	})
+	defer platform.StopGuard()
 	pop, err := platform.AddPoP(peering.PoPConfig{
 		Name: popName, RouterID: netip.MustParseAddr("198.51.100.1"),
 		LocalPool: netip.MustParsePrefix("127.65.0.0/16"),
@@ -115,6 +126,7 @@ func execute(c *peering.Client, pop *peering.PoP, platform *peering.Platform, li
 			"show protocols                  BIRD-style session status",
 			"ping <addr> [via <id>]          data-plane probe",
 			"neighbors                       list PoP interconnections",
+			"health                          per-PoP watchdog state and pressure",
 			"metrics [prefix]                dump platform metrics (optionally filtered)",
 			"quit",
 		}, "\n")
@@ -235,6 +247,20 @@ func execute(c *peering.Client, pop *peering.PoP, platform *peering.Platform, li
 		var b strings.Builder
 		for _, n := range pop.Router.Neighbors() {
 			fmt.Fprintf(&b, "id %-3d %-12s AS%-6d routes=%d\n", n.ID, n.Name, n.ASN, n.Table.PathCount())
+		}
+		return strings.TrimRight(b.String(), "\n")
+	case "health":
+		report := platform.HealthReport()
+		if len(report) == 0 {
+			return "watchdog not running (platform built without a GuardConfig)"
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%-10s %-10s %12s %10s %8s %10s\n",
+			"pop", "state", "upd/s", "rib-paths", "queue", "loop-lag")
+		for _, st := range report {
+			fmt.Fprintf(&b, "%-10s %-10s %12.0f %10d %8d %10s\n",
+				st.PoP, st.State, st.Pressure.UpdateRate, st.Pressure.RIBPaths,
+				st.Pressure.QueueDepth, st.Pressure.LoopLag.Round(time.Microsecond))
 		}
 		return strings.TrimRight(b.String(), "\n")
 	case "metrics":

@@ -3,7 +3,11 @@
 // interconnections, a backbone mesh, and the management workflow. It
 // prints the §4.2-style footprint summary and, with -watch, periodic
 // status lines. With -metrics it serves the platform's plain-text
-// metric exposition over HTTP for peering-cli or any scraper.
+// metric exposition over HTTP for peering-cli or any scraper. The
+// convergence-safety layer is opt-in: -damping enables RFC 2439
+// route-flap damping, -mrai paces neighbor UPDATE batches, and -guard
+// runs the overload watchdog whose per-PoP health states appear in the
+// -watch output.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/guard"
 	"repro/internal/inet"
 	"repro/internal/ixp"
 	"repro/internal/rpki"
@@ -38,6 +43,9 @@ func main() {
 	chaosSpec := flag.String("chaos", "", `enable deterministic fault injection and session resilience: comma-separated spec of seed=N, rate=F (faults/min), duration=D, kinds=reset|stall-read|stall-write|corrupt|delay|link-flap|partition, classes=neighbor|experiment|tunnel|backbone|rtr (e.g. "seed=42,rate=6,kinds=reset|link-flap")`)
 	rpkiOn := flag.Bool("rpki", false, "enable RPKI: sign every topology-originated prefix with a ROA, sync each PoP over RTR, and reject Invalid experiment announcements")
 	rovFraction := flag.Float64("rov", 0.5, "fraction of topology ASes performing route origin validation (with -rpki)")
+	dampingHalfLife := flag.Duration("damping", 0, "enable RFC 2439 route-flap damping with this half-life (e.g. 15s; 0 = off)")
+	mrai := flag.Duration("mrai", 0, "pace neighbor UPDATE batches at this minimum route advertisement interval (0 = off)")
+	guardOn := flag.Bool("guard", false, "run the overload watchdog: healthy/degraded/shedding states per PoP with load shedding")
 	flag.Parse()
 
 	var injector *chaos.Injector
@@ -70,7 +78,18 @@ func main() {
 		}
 	}
 
-	platform := peering.NewPlatform(peering.PlatformConfig{ASN: 47065, Topology: topo, Chaos: injector, RPKI: roas})
+	pcfg := peering.PlatformConfig{ASN: 47065, Topology: topo, Chaos: injector, RPKI: roas, NeighborMRAI: *mrai}
+	if *dampingHalfLife > 0 {
+		pcfg.Damping = &guard.DampingConfig{HalfLife: *dampingHalfLife}
+		fmt.Printf("damping: RFC 2439 flap damping on (half-life %s)\n", *dampingHalfLife)
+	}
+	if *guardOn {
+		pcfg.Guard = peering.DefaultGuardConfig()
+		pcfg.Guard.Health.Logf = log.Printf
+		fmt.Println("guard: overload watchdog on (healthy/degraded/shedding)")
+	}
+	platform := peering.NewPlatform(pcfg)
+	defer platform.StopGuard()
 	if roas != nil {
 		deployed := platform.DeployROV(*rovFraction, 47065)
 		fmt.Printf("rpki: %d ROAs signed; %d/%d ASes validate origins\n", roas.Len(), deployed, topo.Len())
@@ -192,7 +211,12 @@ func main() {
 	for range tick.C {
 		fmt.Fprintf(os.Stdout, "%s ", time.Now().Format(time.TimeOnly))
 		for _, pop := range popList {
-			fmt.Printf("%s(routes=%d fwd=%d) ", pop.Name, pop.Router.RouteCount(), pop.Router.Forwarded.Load())
+			if *guardOn {
+				fmt.Printf("%s(routes=%d fwd=%d health=%s) ", pop.Name,
+					pop.Router.RouteCount(), pop.Router.Forwarded.Load(), platform.PoPHealth(pop.Name))
+			} else {
+				fmt.Printf("%s(routes=%d fwd=%d) ", pop.Name, pop.Router.RouteCount(), pop.Router.Forwarded.Load())
+			}
 		}
 		fmt.Println()
 	}

@@ -1,0 +1,214 @@
+package main
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"repro/internal/guard"
+	"repro/internal/inet"
+	"repro/internal/telemetry"
+	"repro/peering"
+)
+
+// damping runs the convergence-safety sweep: the same flap workload —
+// every prefix announced, withdrawn, and re-announced to the point of
+// RFC 2439 suppression — against four platform configurations, showing
+// how MRAI coalescing and flap damping each cut the update load the
+// platform pushes to its neighbors, and how fast suppressed state
+// drains once the storm stops. A final guarded run walks the overload
+// watchdog through its shedding ladder on the same storm.
+func damping(scale int) error {
+	header("damping — flap-storm update load vs convergence-safety config",
+		"damping + MRAI cut neighbor update load; suppressed prefixes drain after the storm; watchdog sheds and recovers")
+	if scale < 1 {
+		scale = 1
+	}
+	prefixes := 2000 / scale
+	if prefixes < 50 {
+		prefixes = 50
+	}
+
+	configs := []struct {
+		name    string
+		mrai    time.Duration
+		damping *guard.DampingConfig
+		guard   *peering.GuardConfig
+	}{
+		{"baseline", 0, nil, nil},
+		{"mrai", 25 * time.Millisecond, nil, nil},
+		{"damping", 0, &guard.DampingConfig{HalfLife: 150 * time.Millisecond}, nil},
+		{"mrai+damping", 25 * time.Millisecond, &guard.DampingConfig{HalfLife: 150 * time.Millisecond}, nil},
+	}
+
+	fmt.Printf("flap workload: %d prefixes x 5 updates (announce, withdraw, announce, withdraw, announce)\n\n", prefixes)
+	fmt.Printf("%-14s%14s%12s%12s%12s%12s\n",
+		"config", "nbr-updates", "absorbed", "suppressed", "reused", "quiesce")
+
+	var updatesOut []uint64
+	for _, cfg := range configs {
+		r, err := runDampingStorm(cfg.name, prefixes, cfg.mrai, cfg.damping, cfg.guard, nil)
+		if err != nil {
+			return err
+		}
+		updatesOut = append(updatesOut, r.updatesOut)
+		fmt.Printf("%-14s%14d%12d%12.0f%12.0f%12s\n",
+			cfg.name, r.updatesOut, r.absorbed, r.suppressed, r.reused, r.quiesce.Round(time.Millisecond))
+	}
+
+	fmt.Printf("\nshape check (MRAI alone cuts neighbor updates): %v\n", updatesOut[1] < updatesOut[0])
+	fmt.Printf("shape check (damping alone cuts neighbor updates): %v\n", updatesOut[2] < updatesOut[0])
+	fmt.Printf("shape check (combined is the quietest): %v\n",
+		updatesOut[3] < updatesOut[1] && updatesOut[3] < updatesOut[2])
+
+	// The shedding ladder on the same storm: low thresholds so the
+	// watchdog visibly steps up under load and recovers after.
+	gcfg := peering.DefaultGuardConfig()
+	gcfg.SampleInterval = 50 * time.Millisecond
+	gcfg.Health.Degraded = guard.Limits{UpdateRate: 200}
+	gcfg.Health.Shedding = guard.Limits{UpdateRate: 1_000}
+	gcfg.Health.RecoverSamples = 2
+	var ladder []string
+	gcfg.Health.OnChange = func(from, to guard.State, why string) {
+		ladder = append(ladder, fmt.Sprintf("%s -> %s (%s)", from, to, why))
+	}
+	fmt.Printf("\noverload watchdog (degraded > %0.f upd/s, shedding > %0.f upd/s):\n",
+		gcfg.Health.Degraded.UpdateRate, gcfg.Health.Shedding.UpdateRate)
+	if _, err := runDampingStorm("guarded", prefixes,
+		25*time.Millisecond, &guard.DampingConfig{HalfLife: 150 * time.Millisecond}, gcfg,
+		func(p *peering.Platform) bool { return p.PoPHealth("amsix") == guard.Healthy }); err != nil {
+		return err
+	}
+	for _, step := range ladder {
+		fmt.Printf("  %s\n", step)
+	}
+	fmt.Printf("shape check (watchdog stepped up and recovered to healthy): %v\n",
+		len(ladder) >= 2 && strings.Contains(ladder[len(ladder)-1], "-> healthy"))
+
+	printMetricsSnapshot("guard_")
+	return nil
+}
+
+type dampingStormResult struct {
+	updatesOut uint64        // UPDATEs sent on the transit neighbor session
+	absorbed   uint64        // adverts absorbed by MRAI coalescing
+	suppressed float64       // prefixes driven past the suppress threshold
+	reused     float64       // suppressed prefixes released by decay
+	quiesce    time.Duration // time for the suppressed set to drain
+}
+
+// runDampingStorm builds a one-PoP platform in the given safety
+// configuration, drives the flap workload through an experiment
+// session, and measures the neighbor-facing update load plus the
+// damping counters. waitRecovered, when set, is polled after the storm
+// (for the guarded run, until the watchdog returns to healthy).
+func runDampingStorm(name string, prefixes int, mrai time.Duration,
+	dcfg *guard.DampingConfig, gcfg *peering.GuardConfig,
+	waitRecovered func(*peering.Platform) bool) (dampingStormResult, error) {
+	var res dampingStormResult
+	cfg := inet.DefaultGenConfig()
+	cfg.Tier2 = 8
+	cfg.Edges = 30
+	topo := inet.Generate(cfg)
+
+	platform := peering.NewPlatform(peering.PlatformConfig{
+		ASN: 47065, Topology: topo,
+		NeighborMRAI: mrai, Damping: dcfg, Guard: gcfg,
+	})
+	defer platform.StopGuard()
+	pop, err := platform.AddPoP(peering.PoPConfig{
+		Name: "amsix", RouterID: netip.MustParseAddr("198.51.100.1"),
+		LocalPool: netip.MustParsePrefix("127.65.0.0/16"),
+		ExpLAN:    netip.MustParsePrefix("100.65.0.0/24"),
+	})
+	if err != nil {
+		return res, err
+	}
+	transit, err := pop.ConnectTransit(1000, 10)
+	if err != nil {
+		return res, err
+	}
+	if err := platform.Submit(peering.Proposal{
+		Name: name, Owner: "bench", Plan: "flap storm",
+		Prefixes: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/8")},
+		ASNs:     []uint32{61574},
+	}); err != nil {
+		return res, err
+	}
+	key, err := platform.Approve(name, nil)
+	if err != nil {
+		return res, err
+	}
+	client := peering.NewClient(name, key, 61574)
+	if err := client.OpenTunnel(pop); err != nil {
+		return res, err
+	}
+	if err := client.StartBGP("amsix"); err != nil {
+		return res, err
+	}
+	if err := client.WaitEstablished("amsix", 5*time.Second); err != nil {
+		return res, err
+	}
+
+	reg := telemetry.Default()
+	baseSuppressed := reg.Value("guard_damping_suppressed_total")
+	baseReused := reg.Value("guard_damping_reused_total")
+	baseProcessed := pop.Router.UpdatesProcessed()
+	sess := transit.Session()
+	baseOut := sess.UpdatesOut.Load()
+	baseAbsorbed := sess.MRAISuppressed.Load()
+
+	for i := 0; i < prefixes; i++ {
+		pfx := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i / 250), byte(i % 250), 0}), 24)
+		for round := 0; round < 2; round++ {
+			if err := client.Announce("amsix", pfx); err != nil {
+				return res, err
+			}
+			if err := client.Withdraw("amsix", pfx, 0); err != nil {
+				return res, err
+			}
+		}
+		if err := client.Announce("amsix", pfx); err != nil {
+			return res, err
+		}
+	}
+	// Drain: the router has consumed the whole storm, and any paced
+	// adverts still pending on the neighbor session have flushed.
+	deadline := time.Now().Add(20 * time.Second)
+	for pop.Router.UpdatesProcessed()-baseProcessed < uint64(prefixes*5) {
+		if time.Now().After(deadline) {
+			return res, fmt.Errorf("%s: router did not consume the storm", name)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if mrai > 0 {
+		time.Sleep(2*mrai + 10*time.Millisecond)
+	}
+
+	// Quiesce: suppressed state drains by decay alone.
+	start := time.Now()
+	if dcfg != nil {
+		for platform.Engine.Damper().SuppressedCount() > 0 {
+			if time.Now().After(deadline) {
+				return res, fmt.Errorf("%s: damper did not drain", name)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		res.quiesce = time.Since(start)
+	}
+	if waitRecovered != nil {
+		for !waitRecovered(platform) {
+			if time.Now().After(deadline) {
+				return res, fmt.Errorf("%s: watchdog did not recover", name)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	res.updatesOut = sess.UpdatesOut.Load() - baseOut
+	res.absorbed = sess.MRAISuppressed.Load() - baseAbsorbed
+	res.suppressed = reg.Value("guard_damping_suppressed_total") - baseSuppressed
+	res.reused = reg.Value("guard_damping_reused_total") - baseReused
+	return res, nil
+}

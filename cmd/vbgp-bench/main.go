@@ -40,6 +40,7 @@ var figures = []struct {
 	{"monitor", func(int) error { return monitor() }},
 	{"chaos", func(int) error { return chaosSoak() }},
 	{"rov", func(int) error { return rov() }},
+	{"damping", damping},
 }
 
 func figureNames() string {

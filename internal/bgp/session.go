@@ -137,9 +137,17 @@ type Session struct {
 	holdMu   sync.Mutex
 	lastRecv time.Time
 
+	// MRAI coalescing state (RFC 4271 §9.2.1.1): one pending map and
+	// ONE flush timer per session. mraiLast records when each route was
+	// last advertised; re-advertisements inside the interval replace the
+	// pending copy, and the timer drains everything due in a single
+	// batched UPDATE per attribute set.
 	mraiMu      sync.Mutex
 	mraiLast    map[string]time.Time
-	mraiPending map[string]*Update
+	mraiPending map[string]pacedRoute
+	mraiOrder   []string
+	mraiTimer   *time.Timer
+	mraiAt      time.Time
 	// MRAISuppressed counts advertisements absorbed by pacing.
 	MRAISuppressed atomic.Uint64
 
@@ -440,62 +448,165 @@ func (s *Session) handleMessage(msg Message) error {
 }
 
 // Send transmits an UPDATE. It is safe for concurrent use. With MRAI
-// configured, single-prefix advertisements may be delayed and coalesced;
-// Send still reports success immediately (the paced copy is delivered by
-// a timer).
+// configured, re-advertisements within the interval are absorbed into a
+// per-session pending set and delivered coalesced — one batched UPDATE
+// per attribute set — when the interval lapses; the first advertisement
+// of a route and all withdrawals go out immediately. Send still reports
+// success for absorbed routes (the coalesced copy is delivered by the
+// session's flush timer, and Close flushes whatever is still pending).
 func (s *Session) Send(u *Update) error {
 	if s.State() != StateEstablished {
 		return fmt.Errorf("bgp: session not established (state %s)", s.State())
 	}
-	if s.cfg.MRAI > 0 && len(u.NLRI) == 1 && len(u.Withdrawn) == 0 && len(u.MPReach) == 0 && len(u.MPUnreach) == 0 {
-		if s.paceAdvertisement(u) {
-			return nil
+	if s.cfg.MRAI > 0 {
+		u = s.coalesce(u)
+		if u == nil {
+			return nil // fully absorbed
 		}
 	}
 	s.UpdatesOut.Add(1)
 	return s.write(u)
 }
 
-// paceAdvertisement applies MRAI to a single-prefix advertisement. It
-// returns true if the update was absorbed (queued or coalesced).
-func (s *Session) paceAdvertisement(u *Update) bool {
-	key := u.NLRI[0].String()
+// pacedRoute is one advertisement held back by MRAI: the newest
+// attributes for a route plus which family list it came from.
+type pacedRoute struct {
+	attrs *PathAttrs
+	nlri  NLRI
+	mp    bool // true: MP_REACH (v6) list, false: classic v4 NLRI
+}
+
+// coalesce applies MRAI to u, returning the residual update to send
+// immediately (nil if everything was absorbed). Withdrawals pass
+// through untouched and cancel any pending advertisement of the same
+// route — a withdrawal racing a held-back advert must win.
+func (s *Session) coalesce(u *Update) *Update {
 	now := time.Now()
 	s.mraiMu.Lock()
 	if s.mraiLast == nil {
 		s.mraiLast = make(map[string]time.Time)
-		s.mraiPending = make(map[string]*Update)
+		s.mraiPending = make(map[string]pacedRoute)
 	}
-	last, seen := s.mraiLast[key]
-	if !seen || now.Sub(last) >= s.cfg.MRAI {
-		s.mraiLast[key] = now
-		s.mraiMu.Unlock()
-		return false // send immediately
+	for _, w := range u.Withdrawn {
+		delete(s.mraiPending, w.String())
 	}
-	// Within the interval: keep only the newest version and arm a timer
-	// if none is pending.
-	_, pending := s.mraiPending[key]
-	s.mraiPending[key] = u
-	s.MRAISuppressed.Add(1)
-	if !pending {
-		delay := s.cfg.MRAI - now.Sub(last)
-		time.AfterFunc(delay, func() { s.flushPaced(key) })
+	for _, w := range u.MPUnreach {
+		delete(s.mraiPending, w.String())
 	}
+	admit := func(routes []NLRI, mp bool) []NLRI {
+		var pass []NLRI
+		for _, n := range routes {
+			key := n.String()
+			last, seen := s.mraiLast[key]
+			if !seen || now.Sub(last) >= s.cfg.MRAI {
+				s.mraiLast[key] = now
+				pass = append(pass, n)
+				continue
+			}
+			if _, dup := s.mraiPending[key]; !dup {
+				s.mraiOrder = append(s.mraiOrder, key)
+			}
+			s.mraiPending[key] = pacedRoute{attrs: u.Attrs, nlri: n, mp: mp}
+			s.MRAISuppressed.Add(1)
+			s.armFlushLocked(last.Add(s.cfg.MRAI))
+		}
+		return pass
+	}
+	nlri := admit(u.NLRI, false)
+	mpReach := admit(u.MPReach, true)
 	s.mraiMu.Unlock()
-	return true
+
+	if len(nlri) == len(u.NLRI) && len(mpReach) == len(u.MPReach) {
+		return u // nothing absorbed
+	}
+	if len(nlri) == 0 && len(mpReach) == 0 &&
+		len(u.Withdrawn) == 0 && len(u.MPUnreach) == 0 {
+		return nil
+	}
+	return &Update{Withdrawn: u.Withdrawn, MPUnreach: u.MPUnreach, Attrs: u.Attrs, NLRI: nlri, MPReach: mpReach}
 }
 
-func (s *Session) flushPaced(key string) {
-	s.mraiMu.Lock()
-	u := s.mraiPending[key]
-	delete(s.mraiPending, key)
-	s.mraiLast[key] = time.Now()
-	s.mraiMu.Unlock()
-	if u == nil || s.State() != StateEstablished {
+// armFlushLocked makes sure the session's single flush timer fires no
+// later than at. Called with mraiMu held.
+func (s *Session) armFlushLocked(at time.Time) {
+	if s.mraiTimer != nil && !s.mraiAt.IsZero() && !at.Before(s.mraiAt) {
 		return
 	}
-	s.UpdatesOut.Add(1)
-	_ = s.write(u)
+	if s.mraiTimer != nil {
+		s.mraiTimer.Stop()
+	}
+	s.mraiAt = at
+	s.mraiTimer = time.AfterFunc(max(time.Until(at), 0), func() { s.flushPaced(false) })
+}
+
+// flushPaced drains the pending set — everything due, or everything
+// outright when force is set (flush-on-close) — and sends the survivors
+// batched, one UPDATE per distinct attribute set, in arrival order.
+func (s *Session) flushPaced(force bool) {
+	now := time.Now()
+	s.mraiMu.Lock()
+	s.mraiAt = time.Time{}
+	if s.mraiTimer != nil {
+		s.mraiTimer.Stop()
+		s.mraiTimer = nil
+	}
+	var batches []*Update
+	byAttrs := make(map[*PathAttrs]*Update)
+	var remain []string
+	var earliest time.Time
+	count := 0
+	for _, key := range s.mraiOrder {
+		e, ok := s.mraiPending[key]
+		if !ok {
+			continue // cancelled by a withdrawal
+		}
+		if due := s.mraiLast[key].Add(s.cfg.MRAI); !force && due.After(now) {
+			remain = append(remain, key)
+			if earliest.IsZero() || due.Before(earliest) {
+				earliest = due
+			}
+			continue
+		}
+		delete(s.mraiPending, key)
+		s.mraiLast[key] = now
+		b := byAttrs[e.attrs]
+		if b == nil {
+			b = &Update{Attrs: e.attrs}
+			byAttrs[e.attrs] = b
+			batches = append(batches, b)
+		}
+		if e.mp {
+			b.MPReach = append(b.MPReach, e.nlri)
+		} else {
+			b.NLRI = append(b.NLRI, e.nlri)
+		}
+		count++
+	}
+	s.mraiOrder = remain
+	if len(remain) > 0 {
+		s.armFlushLocked(earliest)
+	}
+	s.mraiMu.Unlock()
+
+	if count == 0 {
+		return
+	}
+	mraiBatchSize.Observe(float64(count))
+	for _, b := range batches {
+		if s.State() != StateEstablished {
+			return
+		}
+		s.UpdatesOut.Add(1)
+		_ = s.write(b)
+	}
+}
+
+// Flush immediately sends every MRAI-held advertisement. Close calls it
+// so no coalesced route is lost when a session is shut down cleanly.
+func (s *Session) Flush() {
+	if s.cfg.MRAI > 0 {
+		s.flushPaced(true)
+	}
 }
 
 // SendRouteRefresh requests re-advertisement of family f from the peer.
@@ -553,6 +664,7 @@ func (s *Session) keepaliveLoop() {
 // Close performs an administrative shutdown (Cease notification).
 func (s *Session) Close() error {
 	s.closeOnce.Do(func() {
+		s.Flush() // flush-on-close: drain MRAI-held advertisements first
 		_ = s.write(&Notification{Code: ErrCodeCease, Subcode: CeaseAdminShutdown})
 		s.setState(StateIdle)
 		s.closeErr = nil

@@ -99,25 +99,80 @@ func TestSupervisorStopsOnAdministrativeClose(t *testing.T) {
 	}
 }
 
+// TestSupervisorBackoffIsBounded pins the reconnect backoff contract:
+// the hold time doubles from BaseHold, saturates exactly at MaxHold,
+// and every jittered value lands in [0.75·hold, hold]. The ladders are
+// spelled out per case so a change to the doubling or the cap fails
+// loudly here instead of surfacing as chaos-soak flakiness.
 func TestSupervisorBackoffIsBounded(t *testing.T) {
-	sv := NewSupervisor(SupervisorConfig{
-		Session:  Config{PeerName: "backoff"},
-		MaxHold:  40 * time.Millisecond,
-		BaseHold: 10 * time.Millisecond,
-	})
-	hold := sv.cfg.BaseHold
-	for i := 0; i < 10; i++ {
-		hold = sv.nextHold(hold)
-		if hold > sv.cfg.MaxHold {
-			t.Fatalf("hold %v exceeded cap %v", hold, sv.cfg.MaxHold)
-		}
-		j := sv.jitter(hold)
-		if j < hold*3/4 || j > hold {
-			t.Fatalf("jitter %v outside [0.75, 1.0] of %v", j, hold)
-		}
+	cases := []struct {
+		name     string
+		base     time.Duration
+		max      time.Duration
+		wantBase time.Duration
+		wantMax  time.Duration
+		ladder   []time.Duration // successive nextHold values from wantBase
+	}{
+		{
+			name:     "defaults",
+			wantBase: 50 * time.Millisecond,
+			wantMax:  5 * time.Second,
+			ladder: []time.Duration{
+				100 * time.Millisecond, 200 * time.Millisecond,
+				400 * time.Millisecond, 800 * time.Millisecond,
+				1600 * time.Millisecond, 3200 * time.Millisecond,
+				5 * time.Second, 5 * time.Second,
+			},
+		},
+		{
+			name:     "custom",
+			base:     10 * time.Millisecond,
+			max:      40 * time.Millisecond,
+			wantBase: 10 * time.Millisecond,
+			wantMax:  40 * time.Millisecond,
+			ladder: []time.Duration{
+				20 * time.Millisecond, 40 * time.Millisecond,
+				40 * time.Millisecond, 40 * time.Millisecond,
+			},
+		},
+		{
+			name:     "cap below one doubling",
+			base:     30 * time.Millisecond,
+			max:      50 * time.Millisecond,
+			wantBase: 30 * time.Millisecond,
+			wantMax:  50 * time.Millisecond,
+			ladder:   []time.Duration{50 * time.Millisecond, 50 * time.Millisecond},
+		},
 	}
-	if hold != sv.cfg.MaxHold {
-		t.Fatalf("hold settled at %v, want cap %v", hold, sv.cfg.MaxHold)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sv := NewSupervisor(SupervisorConfig{
+				Session:  Config{PeerName: "backoff-" + tc.name},
+				BaseHold: tc.base,
+				MaxHold:  tc.max,
+			})
+			if sv.cfg.BaseHold != tc.wantBase || sv.cfg.MaxHold != tc.wantMax {
+				t.Fatalf("effective base/max = %v/%v, want %v/%v",
+					sv.cfg.BaseHold, sv.cfg.MaxHold, tc.wantBase, tc.wantMax)
+			}
+			hold := sv.cfg.BaseHold
+			for i, want := range tc.ladder {
+				hold = sv.nextHold(hold)
+				if hold != want {
+					t.Fatalf("step %d: hold = %v, want %v", i, hold, want)
+				}
+				// Jitter bounds: sample repeatedly so a widened range
+				// cannot hide behind one lucky draw.
+				for n := 0; n < 100; n++ {
+					if j := sv.jitter(hold); j < hold*3/4 || j > hold {
+						t.Fatalf("step %d: jitter %v outside [%v, %v]", i, j, hold*3/4, hold)
+					}
+				}
+			}
+			if hold != sv.cfg.MaxHold {
+				t.Fatalf("ladder settled at %v, want cap %v", hold, sv.cfg.MaxHold)
+			}
+		})
 	}
 }
 

@@ -11,6 +11,10 @@ var (
 	sessionFlaps *telemetry.Counter
 	// outBytes is the size distribution of marshalled outbound messages.
 	outBytes *telemetry.Histogram
+	// mraiBatchSize is the distribution of how many coalesced routes
+	// each MRAI flush delivered — the churn-compression the interval
+	// bought (bgp_mrai_batch_size).
+	mraiBatchSize *telemetry.Histogram
 )
 
 func init() {
@@ -20,6 +24,7 @@ func init() {
 	}
 	sessionFlaps = reg.Counter("bgp_session_flaps_total")
 	outBytes = reg.Histogram("bgp_message_out_bytes", []float64{32, 64, 128, 256, 512, 1024, 2048, 4096})
+	mraiBatchSize = reg.Histogram("bgp_mrai_batch_size", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})
 }
 
 var msgTypeNames = [MsgRouteRefresh + 1]string{

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/bgp"
+	"repro/internal/guard"
 	"repro/internal/policy"
 	"repro/internal/rib"
 	"repro/internal/telemetry"
@@ -36,6 +37,7 @@ type expRouteKey struct {
 // Fig. 2a), and relays them into the backbone mesh with the neighbor's
 // GlobalIP as next hop (§4.4).
 func (r *Router) handleNeighborUpdate(n *Neighbor, u *bgp.Update) {
+	r.updatesProcessed.Add(1)
 	defer r.syncNeighborRoutesGauge(n)
 	var remoteID netip.Addr
 	if sess := n.Session(); sess != nil {
@@ -45,6 +47,7 @@ func (r *Router) handleNeighborUpdate(n *Neighbor, u *bgp.Update) {
 		if n.Table.Withdraw(w.Prefix, n.Name, w.ID) == nil {
 			continue
 		}
+		suppressed, _ := r.dampNeighborRoute(n, w.Prefix, false)
 		r.emit(telemetry.Event{
 			Kind: telemetry.EventRouteMonitoring, Peer: n.Name, PeerASN: n.ASN,
 			Prefix: w.Prefix, PathID: uint32(w.ID), Withdraw: true,
@@ -53,8 +56,10 @@ func (r *Router) handleNeighborUpdate(n *Neighbor, u *bgp.Update) {
 			r.defaultTable.Withdraw(w.Prefix, n.Name, w.ID)
 		}
 		// Export the surviving best path (route servers hold several
-		// paths per prefix), or a withdrawal if none remains.
-		if best := n.Table.Best(w.Prefix); best != nil {
+		// paths per prefix), or a withdrawal if none remains — or if
+		// damping suppressed the route, in which case downstream must
+		// stop using it even though the adj-RIB-in keeps what's left.
+		if best := n.Table.Best(w.Prefix); best != nil && !suppressed {
 			r.exportToExperiments(n, w.Prefix, best.Attrs, false)
 			r.exportToMesh(n, w.Prefix, best.Attrs, false)
 		} else {
@@ -89,6 +94,7 @@ func (r *Router) handleNeighborUpdate(n *Neighbor, u *bgp.Update) {
 			PeerAddr: n.Addr, PeerRouterID: remoteID,
 		}
 		n.Table.Add(p)
+		suppressed, entered := r.dampNeighborRoute(n, nlri.Prefix, true)
 		r.emit(telemetry.Event{
 			Kind: telemetry.EventRouteMonitoring, Peer: n.Name, PeerASN: n.ASN,
 			Prefix: nlri.Prefix, PathID: uint32(nlri.ID),
@@ -98,9 +104,20 @@ func (r *Router) handleNeighborUpdate(n *Neighbor, u *bgp.Update) {
 			dp := *p
 			r.defaultTable.Add(&dp)
 		}
-		if best := n.Table.Best(nlri.Prefix); best != nil {
-			r.exportToExperiments(n, nlri.Prefix, best.Attrs, false)
-			r.exportToMesh(n, nlri.Prefix, best.Attrs, false)
+		switch {
+		case suppressed && entered:
+			// The flap that crossed the suppress threshold: retract the
+			// route downstream; the adj-RIB-in copy stays for reuse.
+			r.logf("damping: suppressing %s from %s", nlri.Prefix, n.Name)
+			r.exportToExperiments(n, nlri.Prefix, nil, true)
+			r.exportToMesh(n, nlri.Prefix, nil, true)
+		case suppressed:
+			// Still suppressed: withhold, and spare downstream the churn.
+		default:
+			if best := n.Table.Best(nlri.Prefix); best != nil {
+				r.exportToExperiments(n, nlri.Prefix, best.Attrs, false)
+				r.exportToMesh(n, nlri.Prefix, best.Attrs, false)
+			}
 		}
 	}
 	for _, nlri := range u.NLRI {
@@ -109,6 +126,29 @@ func (r *Router) handleNeighborUpdate(n *Neighbor, u *bgp.Update) {
 	for _, nlri := range u.MPReach {
 		process(nlri, u.Attrs)
 	}
+}
+
+// dampNeighborRoute registers one flap (announce or withdraw) of a
+// neighbor route with the damper. It reports whether the route is
+// suppressed and whether this flap was the one that crossed the
+// suppress threshold (so callers retract downstream exactly once).
+// Suppressed routes are marked in the adj-RIB-in — never removed: they
+// must survive the suppression window to be reusable after decay.
+func (r *Router) dampNeighborRoute(n *Neighbor, prefix netip.Prefix, announce bool) (suppressed, entered bool) {
+	if r.damper == nil {
+		return false, false
+	}
+	key := guard.Key{Peer: n.Name, Prefix: prefix}
+	was := r.damper.Suppressed(key)
+	if announce {
+		suppressed, _ = r.damper.Announce(key)
+	} else {
+		suppressed, _ = r.damper.Withdraw(key)
+	}
+	if suppressed {
+		n.Table.MarkDamped(prefix, n.Name, true)
+	}
+	return suppressed, suppressed && !was
 }
 
 // exportToExperiments sends one route (or withdrawal) from neighbor n to
@@ -303,6 +343,7 @@ func (r *Router) dumpTablesToExperiment(e *expConn) {
 // of the announcement; versions coexist, letting the experiment send
 // different announcements for the same prefix to different neighbors.
 func (r *Router) handleExperimentUpdate(e *expConn, u *bgp.Update) {
+	r.updatesProcessed.Add(1)
 	for _, w := range append(append([]bgp.NLRI(nil), u.Withdrawn...), u.MPUnreach...) {
 		r.emit(telemetry.Event{
 			Kind: telemetry.EventRouteMonitoring, Peer: "exp:" + e.name,
@@ -330,6 +371,17 @@ func (r *Router) handleExperimentUpdate(e *expConn, u *bgp.Update) {
 				return
 			}
 			cleaned = res.Attrs
+		}
+
+		// Overload shedding, last stage: under shedding pressure a new
+		// announcement is treated as a withdrawal (the platform-level
+		// analogue of RFC 7606 treat-as-withdraw). Policy above still
+		// ran, so flap penalties and audit attribution keep accruing —
+		// only the expensive install/propagate fan-out is shed.
+		if r.shedAnnounce.Load() {
+			r.metrics.shedAnnouncements.Inc()
+			r.withdrawExperimentRoute(e.name, nlri.Prefix, nlri.ID, false)
+			return
 		}
 
 		if v4 := cleaned.NextHop; v4.IsValid() && v4.Is4() {

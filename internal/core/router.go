@@ -12,6 +12,7 @@ import (
 	"repro/internal/bgp"
 	"repro/internal/bpf"
 	"repro/internal/ethernet"
+	"repro/internal/guard"
 	"repro/internal/netsim"
 	"repro/internal/policy"
 	"repro/internal/rib"
@@ -47,6 +48,17 @@ type Config struct {
 	// large community (rov.go). Typically an *rpki.Client whose cache is
 	// kept live over an RTR session.
 	Validator rpki.Validator
+	// Damping, when non-nil, applies RFC 2439 flap damping to routes
+	// learned from neighbors: a flapping (neighbor, prefix) accumulates
+	// penalty, and once suppressed it is withheld from experiment and
+	// mesh export — while staying in the adj-RIB-in — until the penalty
+	// decays below the reuse threshold.
+	Damping *guard.DampingConfig
+	// NeighborMRAI, when positive, sets the MinRouteAdvertisementInterval
+	// on every neighbor session (overridable per neighbor via
+	// NeighborConfig.MRAI) so rapid churn toward real neighbors
+	// coalesces into one batched advertisement per interval.
+	NeighborMRAI time.Duration
 	// MaintainDefaultTable additionally maintains a best-path Loc-RIB,
 	// the overhead a router serving production traffic would pay; vBGP
 	// does not need it because experiments pick their own routes. This
@@ -214,6 +226,19 @@ type Router struct {
 	DroppedNoRoute atomic.Uint64
 	TTLExpired     atomic.Uint64
 
+	// damper holds the RFC 2439 flap-damping state for neighbor routes
+	// (nil when Config.Damping is nil).
+	damper *guard.Damper
+	// updatesProcessed counts control-plane updates handled on both the
+	// neighbor and experiment paths — the watchdog's rate signal.
+	updatesProcessed atomic.Uint64
+	// shedTelemetry and shedAnnounce are the overload-shedding switches
+	// the platform watchdog flips: degraded mode drops monitoring
+	// emission, shedding mode additionally treats new experiment
+	// announcements as withdrawals.
+	shedTelemetry atomic.Bool
+	shedAnnounce  atomic.Bool
+
 	metrics routerMetrics
 }
 
@@ -244,6 +269,11 @@ func NewRouter(cfg Config) *Router {
 	}
 	if cfg.MaintainDefaultTable {
 		r.defaultTable = rib.NewTable(cfg.Name + ":default")
+	}
+	if cfg.Damping != nil {
+		dc := *cfg.Damping
+		dc.OnReuse = r.reuseNeighborRoute
+		r.damper = guard.NewDamper(dc)
 	}
 	return r
 }
@@ -382,6 +412,8 @@ type NeighborConfig struct {
 	// with this restart time and retains the neighbor's paths as stale
 	// for the same window after a supervised session drops.
 	GracefulRestart time.Duration
+	// MRAI overrides the router's Config.NeighborMRAI for this session.
+	MRAI time.Duration
 }
 
 // AddNeighbor registers a local external neighbor and starts its BGP
@@ -433,11 +465,16 @@ func (r *Router) AddNeighbor(cfg NeighborConfig) (*Neighbor, error) {
 	}
 	r.mu.Unlock()
 
+	mrai := cfg.MRAI
+	if mrai <= 0 {
+		mrai = r.cfg.NeighborMRAI
+	}
 	scfg := bgp.Config{
 		LocalASN:  r.cfg.ASN,
 		RemoteASN: cfg.ASN,
 		LocalID:   r.cfg.RouterID,
 		PeerName:  r.cfg.Name + ":" + cfg.Name,
+		MRAI:      mrai,
 		Families:  []bgp.AFISAFI{bgp.IPv4Unicast, bgp.IPv6Unicast},
 		OnUpdate:  func(u *bgp.Update) { r.handleNeighborUpdate(n, u) },
 		OnEstablished: func() {
@@ -579,6 +616,63 @@ func (r *Router) SetExperimentTunnelIP(name string, ip netip.Addr) {
 // ExperimentRoutes exposes the experiment-prefix table (tests and the
 // peering facade).
 func (r *Router) ExperimentRoutes() *rib.Table { return r.expRoutes }
+
+// Damper returns the router's flap damper, or nil when damping is off.
+func (r *Router) Damper() *guard.Damper { return r.damper }
+
+// UpdatesProcessed reports how many control-plane updates the router
+// has handled (neighbor + experiment paths) — the watchdog samples it
+// to derive the per-PoP update rate.
+func (r *Router) UpdatesProcessed() uint64 { return r.updatesProcessed.Load() }
+
+// SetTelemetryShed toggles dropping of monitoring emission, the first
+// (cheapest) overload-shedding stage.
+func (r *Router) SetTelemetryShed(on bool) { r.shedTelemetry.Store(on) }
+
+// SetAnnouncementShed toggles treat-as-withdraw for new experiment
+// announcements (RFC 7606-style at the platform level), the last
+// shedding stage: withdrawals and established state keep flowing, but
+// no new routes are installed or propagated until pressure recedes.
+func (r *Router) SetAnnouncementShed(on bool) { r.shedAnnounce.Store(on) }
+
+// ShedNonEstablishedExperiments closes experiment sessions that are
+// not (or no longer) Established — half-open connections holding
+// goroutines and buffers a PoP under pressure cannot spare. Returns how
+// many sessions were closed.
+func (r *Router) ShedNonEstablishedExperiments() int {
+	r.mu.Lock()
+	var victims []*expConn
+	for _, e := range r.experiments {
+		if e.session != nil && e.session.State() != bgp.StateEstablished {
+			victims = append(victims, e)
+		}
+	}
+	r.mu.Unlock()
+	for _, e := range victims {
+		r.logf("shedding: closing non-established experiment session %s", e.name)
+		e.session.Close()
+	}
+	r.metrics.shedSessions.Add(uint64(len(victims)))
+	return len(victims)
+}
+
+// reuseNeighborRoute is the damper's OnReuse callback: the penalty has
+// decayed below the reuse threshold, so the adj-RIB-in copy retained
+// through suppression is exported again.
+func (r *Router) reuseNeighborRoute(key guard.Key) {
+	r.mu.Lock()
+	n := r.neighbors[key.Peer]
+	r.mu.Unlock()
+	if n == nil {
+		return
+	}
+	n.Table.MarkDamped(key.Prefix, key.Peer, false)
+	if best := n.Table.Best(key.Prefix); best != nil {
+		r.logf("damping: %s reusable again, re-exporting", key)
+		r.exportToExperiments(n, key.Prefix, best.Attrs, false)
+		r.exportToMesh(n, key.Prefix, best.Attrs, false)
+	}
+}
 
 // DefaultTable returns the router-managed best-path table, or nil when
 // MaintainDefaultTable is off.

@@ -153,7 +153,10 @@ type fig1 struct {
 	engine *policy.Engine
 }
 
-func newFig1(t *testing.T) *fig1 {
+func newFig1(t *testing.T) *fig1 { return newFig1With(t, nil) }
+
+// newFig1With is newFig1 with a router Config hook (damping, MRAI, ...).
+func newFig1With(t *testing.T, mod func(*Config)) *fig1 {
 	t.Helper()
 	f := &fig1{
 		nbrLAN: netsim.NewSegment("nbr-lan"),
@@ -170,10 +173,14 @@ func newFig1(t *testing.T) *fig1 {
 		Prefixes: []netip.Prefix{pfx("10.2.0.0/24")},
 		ASNs:     []uint32{expASN + 1},
 	})
-	f.router = NewRouter(Config{
+	rcfg := Config{
 		Name: "e1", ASN: platformASN, RouterID: ip("198.51.100.1"),
 		Enforcer: f.engine,
-	})
+	}
+	if mod != nil {
+		mod(&rcfg)
+	}
+	f.router = NewRouter(rcfg)
 	f.router.AddInterface("nbr0", "neighbor", pfx("192.0.2.254/24"), f.nbrLAN)
 	f.router.AddInterface("exp0", "experiment", pfx("100.65.0.254/24"), f.expLAN)
 

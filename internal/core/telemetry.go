@@ -28,6 +28,11 @@ type routerMetrics struct {
 	// addPathExports counts UPDATEs sent to experiment sessions carrying
 	// platform ADD-PATH identifiers.
 	addPathExports *telemetry.Counter
+	// Overload-shedding counters (guard_* namespace: the actions belong
+	// to the guard layer even though the router executes them).
+	shedTelemetry     *telemetry.Counter
+	shedAnnouncements *telemetry.Counter
+	shedSessions      *telemetry.Counter
 }
 
 func newRouterMetrics(pop string) routerMetrics {
@@ -40,6 +45,10 @@ func newRouterMetrics(pop string) routerMetrics {
 		nexthopRewrites:  reg.Counter("core_nexthop_rewrites_total", pl),
 		backboneRewrites: reg.Counter("core_backbone_rewrites_total", pl),
 		addPathExports:   reg.Counter("core_addpath_exports_total", pl),
+
+		shedTelemetry:     reg.Counter("guard_shed_telemetry_total", pl),
+		shedAnnouncements: reg.Counter("guard_shed_announcements_total", pl),
+		shedSessions:      reg.Counter("guard_shed_sessions_total", pl),
 	}
 }
 
@@ -49,6 +58,12 @@ func newRouterMetrics(pop string) routerMetrics {
 // control plane.
 func (r *Router) emit(e telemetry.Event) {
 	if r.cfg.Monitor == nil {
+		return
+	}
+	// First shedding stage: a degraded PoP drops monitoring emission —
+	// the lowest-priority work — before touching routing behavior.
+	if r.shedTelemetry.Load() {
+		r.metrics.shedTelemetry.Inc()
 		return
 	}
 	e.PoP = r.cfg.Name
@@ -86,18 +101,24 @@ func (r *Router) EmitStatsReport() {
 		if sess == nil {
 			continue
 		}
+		stats := []telemetry.Stat{
+			{Type: telemetry.StatRoutesAdjIn, Value: uint64(n.Table.PathCount())},
+			{Type: telemetry.StatUpdatesIn, Value: sess.UpdatesIn.Load()},
+			{Type: telemetry.StatUpdatesOut, Value: sess.UpdatesOut.Load()},
+			{Type: telemetry.StatBytesIn, Value: sess.BytesIn.Load()},
+			{Type: telemetry.StatBytesOut, Value: sess.BytesOut.Load()},
+			{Type: telemetry.StatMRAISuppressed, Value: sess.MRAISuppressed.Load()},
+		}
+		if r.damper != nil {
+			stats = append(stats, telemetry.Stat{
+				Type: telemetry.StatDampingSuppressed, Value: uint64(r.damper.SuppressedFor(n.Name)),
+			})
+		}
 		r.emit(telemetry.Event{
 			Kind:    telemetry.EventStatsReport,
 			Peer:    n.Name,
 			PeerASN: n.ASN,
-			Stats: []telemetry.Stat{
-				{Type: telemetry.StatRoutesAdjIn, Value: uint64(n.Table.PathCount())},
-				{Type: telemetry.StatUpdatesIn, Value: sess.UpdatesIn.Load()},
-				{Type: telemetry.StatUpdatesOut, Value: sess.UpdatesOut.Load()},
-				{Type: telemetry.StatBytesIn, Value: sess.BytesIn.Load()},
-				{Type: telemetry.StatBytesOut, Value: sess.BytesOut.Load()},
-				{Type: telemetry.StatMRAISuppressed, Value: sess.MRAISuppressed.Load()},
-			},
+			Stats:   stats,
 		})
 	}
 }

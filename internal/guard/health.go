@@ -1,0 +1,174 @@
+package guard
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// State is a PoP's control-plane health. Ordering matters: higher is
+// worse, and the watchdog steps up immediately but down one level at a
+// time.
+type State int
+
+const (
+	Healthy State = iota
+	Degraded
+	Shedding
+)
+
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Shedding:
+		return "shedding"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Pressure is one watchdog sample of a PoP's control-plane load.
+type Pressure struct {
+	// UpdateRate is the recent BGP update processing rate (updates/s).
+	UpdateRate float64
+	// RIBPaths is the total path count across the PoP's tables.
+	RIBPaths int
+	// QueueDepth is the telemetry emitter's backlog.
+	QueueDepth int
+	// LoopLag is how late the sampling tick itself ran — a proxy for
+	// scheduler/event-loop starvation.
+	LoopLag time.Duration
+}
+
+// Limits is one level's thresholds. A zero field disables that signal
+// at that level.
+type Limits struct {
+	UpdateRate float64
+	RIBPaths   int
+	QueueDepth int
+	LoopLag    time.Duration
+}
+
+// exceeded lists the signals at or over their limits.
+func (l Limits) exceeded(p Pressure) []string {
+	var over []string
+	if l.UpdateRate > 0 && p.UpdateRate >= l.UpdateRate {
+		over = append(over, fmt.Sprintf("update-rate %.0f/s ≥ %.0f/s", p.UpdateRate, l.UpdateRate))
+	}
+	if l.RIBPaths > 0 && p.RIBPaths >= l.RIBPaths {
+		over = append(over, fmt.Sprintf("rib-paths %d ≥ %d", p.RIBPaths, l.RIBPaths))
+	}
+	if l.QueueDepth > 0 && p.QueueDepth >= l.QueueDepth {
+		over = append(over, fmt.Sprintf("queue-depth %d ≥ %d", p.QueueDepth, l.QueueDepth))
+	}
+	if l.LoopLag > 0 && p.LoopLag >= l.LoopLag {
+		over = append(over, fmt.Sprintf("loop-lag %s ≥ %s", p.LoopLag, l.LoopLag))
+	}
+	return over
+}
+
+// HealthConfig parameterizes one PoP's health tracker.
+type HealthConfig struct {
+	// Degraded and Shedding are the step-up thresholds for each level.
+	Degraded Limits
+	Shedding Limits
+	// RecoverSamples is how many consecutive samples must sit below the
+	// next level down before stepping down (hysteresis so the state
+	// does not flap with the load). Defaults to 3.
+	RecoverSamples int
+	// OnChange, when set, is called (without locks held) on every
+	// transition with a human-readable cause.
+	OnChange func(from, to State, why string)
+	// Logf, when set, receives transition log lines.
+	Logf func(format string, args ...any)
+}
+
+// Health tracks one PoP through the healthy → degraded → shedding
+// machine: any sample breaching a level's limits steps up to that
+// level immediately; recovery steps down one level after
+// RecoverSamples consecutive clean samples.
+type Health struct {
+	cfg HealthConfig
+	pop string
+
+	mu    sync.Mutex
+	state State
+	clean int // consecutive samples strictly below the current level
+
+	stateGauge  *telemetry.Gauge
+	transitions *telemetry.Counter
+}
+
+// NewHealth returns a Health tracker for pop, registering its
+// guard_health_* series.
+func NewHealth(pop string, cfg HealthConfig) *Health {
+	if cfg.RecoverSamples <= 0 {
+		cfg.RecoverSamples = 3
+	}
+	reg := telemetry.Default()
+	return &Health{
+		cfg:         cfg,
+		pop:         pop,
+		stateGauge:  reg.Gauge("guard_health_state", telemetry.L("pop", pop)),
+		transitions: reg.Counter("guard_health_transitions_total", telemetry.L("pop", pop)),
+	}
+}
+
+// Observe folds one pressure sample into the machine and returns the
+// resulting state.
+func (h *Health) Observe(p Pressure) State {
+	h.mu.Lock()
+	target, why := Healthy, ""
+	if over := h.cfg.Shedding.exceeded(p); len(over) > 0 {
+		target, why = Shedding, strings.Join(over, ", ")
+	} else if over := h.cfg.Degraded.exceeded(p); len(over) > 0 {
+		target, why = Degraded, strings.Join(over, ", ")
+	}
+
+	var from, to State
+	changed := false
+	switch {
+	case target > h.state:
+		from, to = h.state, target
+		h.state, h.clean, changed = target, 0, true
+	case target == h.state:
+		h.clean = 0
+	default: // pressure below the current level: recover hysteretically
+		h.clean++
+		if h.clean >= h.cfg.RecoverSamples {
+			from, to = h.state, h.state-1
+			h.state, h.clean, changed = h.state-1, 0, true
+			why = fmt.Sprintf("pressure below thresholds for %d samples", h.cfg.RecoverSamples)
+		}
+	}
+	state := h.state
+	h.stateGauge.Set(int64(state))
+	if changed {
+		h.transitions.Inc()
+	}
+	cb, logf := h.cfg.OnChange, h.cfg.Logf
+	h.mu.Unlock()
+
+	if changed {
+		if logf != nil {
+			logf("guard: %s health %s -> %s (%s)", h.pop, from, to, why)
+		}
+		if cb != nil {
+			cb(from, to, why)
+		}
+	}
+	return state
+}
+
+// State reports the current health state.
+func (h *Health) State() State {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state
+}

@@ -1,0 +1,111 @@
+package guard
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHealthStepsUpImmediately(t *testing.T) {
+	h := NewHealth("test-up", HealthConfig{
+		Degraded: Limits{UpdateRate: 100},
+		Shedding: Limits{UpdateRate: 1000},
+	})
+	if st := h.Observe(Pressure{UpdateRate: 50}); st != Healthy {
+		t.Fatalf("state = %v, want healthy", st)
+	}
+	if st := h.Observe(Pressure{UpdateRate: 150}); st != Degraded {
+		t.Fatalf("state = %v, want degraded", st)
+	}
+	// Shedding breach jumps straight over degraded.
+	h2 := NewHealth("test-up2", HealthConfig{
+		Degraded: Limits{UpdateRate: 100},
+		Shedding: Limits{UpdateRate: 1000},
+	})
+	if st := h2.Observe(Pressure{UpdateRate: 5000}); st != Shedding {
+		t.Fatalf("state = %v, want shedding from healthy in one sample", st)
+	}
+}
+
+func TestHealthRecoversHysteretically(t *testing.T) {
+	var transitions []string
+	h := NewHealth("test-recover", HealthConfig{
+		Degraded:       Limits{QueueDepth: 10},
+		Shedding:       Limits{QueueDepth: 100},
+		RecoverSamples: 3,
+		OnChange: func(from, to State, why string) {
+			transitions = append(transitions, from.String()+">"+to.String())
+		},
+	})
+	h.Observe(Pressure{QueueDepth: 500}) // -> shedding
+	if h.State() != Shedding {
+		t.Fatalf("state = %v", h.State())
+	}
+	// Two clean samples: still shedding (hysteresis).
+	h.Observe(Pressure{})
+	h.Observe(Pressure{})
+	if h.State() != Shedding {
+		t.Fatal("stepped down before RecoverSamples clean samples")
+	}
+	// A dirty sample resets the clean streak.
+	h.Observe(Pressure{QueueDepth: 500})
+	h.Observe(Pressure{})
+	h.Observe(Pressure{})
+	if h.State() != Shedding {
+		t.Fatal("clean streak not reset by a dirty sample")
+	}
+	// Three consecutive clean samples step down ONE level only.
+	h.Observe(Pressure{})
+	if h.State() != Degraded {
+		t.Fatalf("state = %v, want degraded after full clean streak", h.State())
+	}
+	// Three more reach healthy.
+	h.Observe(Pressure{})
+	h.Observe(Pressure{})
+	h.Observe(Pressure{})
+	if h.State() != Healthy {
+		t.Fatalf("state = %v, want healthy", h.State())
+	}
+	want := []string{"healthy>shedding", "shedding>degraded", "degraded>healthy"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", transitions, want)
+		}
+	}
+}
+
+func TestHealthZeroLimitsDisableSignals(t *testing.T) {
+	h := NewHealth("test-zero", HealthConfig{
+		Degraded: Limits{UpdateRate: 100}, // only update rate is armed
+		Shedding: Limits{UpdateRate: 1000},
+	})
+	st := h.Observe(Pressure{RIBPaths: 1 << 30, QueueDepth: 1 << 30, LoopLag: time.Hour})
+	if st != Healthy {
+		t.Fatalf("disabled signals tripped the machine: %v", st)
+	}
+}
+
+func TestHealthMultipleSignals(t *testing.T) {
+	h := NewHealth("test-multi", HealthConfig{
+		Degraded: Limits{UpdateRate: 100, RIBPaths: 1000, QueueDepth: 50, LoopLag: 100 * time.Millisecond},
+		Shedding: Limits{UpdateRate: 1000, RIBPaths: 10000, QueueDepth: 500, LoopLag: time.Second},
+	})
+	// Each signal alone can degrade.
+	for _, p := range []Pressure{
+		{UpdateRate: 200},
+		{RIBPaths: 2000},
+		{QueueDepth: 60},
+		{LoopLag: 200 * time.Millisecond},
+	} {
+		h2 := NewHealth("test-multi-one", HealthConfig{Degraded: h.cfg.Degraded, Shedding: h.cfg.Shedding})
+		if st := h2.Observe(p); st != Degraded {
+			t.Fatalf("pressure %+v: state = %v, want degraded", p, st)
+		}
+	}
+	// RIB pressure at shedding level wins over update rate at degraded.
+	if st := h.Observe(Pressure{UpdateRate: 200, RIBPaths: 20000}); st != Shedding {
+		t.Fatalf("state = %v, want shedding (worst signal wins)", st)
+	}
+}

@@ -1,0 +1,15 @@
+package guard
+
+import "repro/internal/telemetry"
+
+// Damping counters are global (one process-wide registry): a flap is a
+// flap whether it was charged by a core router or the policy engine.
+// Per-PoP health series are registered per tracker in NewHealth.
+var (
+	reg = telemetry.Default()
+
+	dampingFlaps         = reg.Counter("guard_damping_flaps_total")
+	dampingSuppressed    = reg.Counter("guard_damping_suppressed_total")
+	dampingReused        = reg.Counter("guard_damping_reused_total")
+	dampingSuppressedNow = reg.Gauge("guard_damping_suppressed_current")
+)

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/bgp"
+	"repro/internal/guard"
 	"repro/internal/rpki"
 	"repro/internal/telemetry"
 )
@@ -157,6 +158,7 @@ type Engine struct {
 	audit       []AuditEntry
 	auditCap    int
 	validator   rpki.Validator
+	damper      *guard.Damper
 }
 
 type rateKey struct {
@@ -218,6 +220,24 @@ func (en *Engine) SetValidator(v rpki.Validator) {
 	en.mu.Lock()
 	defer en.mu.Unlock()
 	en.validator = v
+}
+
+// SetDamper installs (or, with nil, removes) an RFC 2439 flap damper.
+// With a damper set, every evaluated announcement and withdrawal
+// registers a flap keyed ("experiment@pop", prefix), and announcements
+// of suppressed routes are rejected until the penalty decays below the
+// reuse threshold. Withdrawals are never blocked.
+func (en *Engine) SetDamper(d *guard.Damper) {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	en.damper = d
+}
+
+// Damper returns the installed flap damper, if any.
+func (en *Engine) Damper() *guard.Damper {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	return en.damper
 }
 
 // Audit returns a copy of the recorded decisions, newest last.
@@ -353,9 +373,21 @@ func (en *Engine) EvaluateAnnouncement(expName, pop string, prefix netip.Prefix,
 		out.Unknown = nil
 	}
 
+	// Flap damping (RFC 2439): every announcement registers a flap;
+	// once a route is suppressed, further announcements are rejected
+	// until the penalty decays below the reuse threshold. Checked before
+	// the rate limit so suppressed churn does not consume daily budget.
+	if en.damper != nil {
+		if sup, p := en.damper.Announce(dampKey(expName, pop, prefix)); sup {
+			return rejectWith(verdictDamped, fmt.Sprintf("flap damping: %s from %s at %s suppressed (penalty %.0f ≥ %.0f)",
+				prefix, expName, pop, p, en.damper.Config().SuppressThreshold))
+		}
+	}
+
 	// Update rate limit (per prefix per PoP).
-	if !en.admitRateLocked(prefix, pop) {
-		return rejectWith(verdictRateLimited, fmt.Sprintf("update rate for %s at %s exceeds %d/day", prefix, pop, en.dailyLimit()))
+	if ok, observed := en.admitRateLocked(prefix, pop); !ok {
+		return rejectWith(verdictRateLimited, fmt.Sprintf("update rate for %s at %s exceeds %d/day (observed %d in window)",
+			prefix, pop, en.dailyLimit(), observed))
 	}
 
 	action := ActionAccept
@@ -391,12 +423,25 @@ func (en *Engine) EvaluateWithdraw(expName, pop string, prefix netip.Prefix) Res
 	if !exp.allows(prefix) {
 		return reject(fmt.Sprintf("prefix %s outside allocation", prefix))
 	}
-	if !en.admitRateLocked(prefix, pop) {
-		return rejectWith(verdictRateLimited, fmt.Sprintf("update rate for %s at %s exceeds %d/day", prefix, pop, en.dailyLimit()))
+	// A withdrawal of an announced route is a flap, but withdrawals are
+	// never blocked: suppression only withholds advertisements.
+	if en.damper != nil {
+		en.damper.Withdraw(dampKey(expName, pop, prefix))
+	}
+	if ok, observed := en.admitRateLocked(prefix, pop); !ok {
+		return rejectWith(verdictRateLimited, fmt.Sprintf("update rate for %s at %s exceeds %d/day (observed %d in window)",
+			prefix, pop, en.dailyLimit(), observed))
 	}
 	verdictAccept.Inc()
 	en.record(AuditEntry{Time: en.Now(), Experiment: expName, PoP: pop, Prefix: prefix, Action: ActionAccept})
 	return Result{Action: ActionAccept}
+}
+
+// dampKey keys the policy damper per (experiment, PoP, prefix): one
+// experiment flapping a prefix at one PoP must not suppress another
+// experiment's (or another PoP's) use of the same prefix.
+func dampKey(expName, pop string, prefix netip.Prefix) guard.Key {
+	return guard.Key{Peer: expName + "@" + pop, Prefix: prefix}
 }
 
 func (en *Engine) dailyLimit() int {
@@ -407,8 +452,10 @@ func (en *Engine) dailyLimit() int {
 }
 
 // admitRateLocked implements 24-hour sliding-window counters per
-// (prefix, PoP) and, when configured, per prefix across all PoPs.
-func (en *Engine) admitRateLocked(prefix netip.Prefix, pop string) bool {
+// (prefix, PoP) and, when configured, per prefix across all PoPs. On
+// rejection it reports the observed count in the window that tripped,
+// so the verdict and audit entry can show load, not just the limit.
+func (en *Engine) admitRateLocked(prefix netip.Prefix, pop string) (ok bool, observed int) {
 	now := en.Now()
 	cutoff := now.Add(-24 * time.Hour)
 
@@ -424,20 +471,20 @@ func (en *Engine) admitRateLocked(prefix netip.Prefix, pop string) bool {
 	key := rateKey{prefix, pop}
 	hist := prune(key)
 	if len(hist) >= en.dailyLimit() {
-		return false
+		return false, len(hist)
 	}
 	// AS-wide budget: the empty PoP name keys the synchronized counter.
 	globalKey := rateKey{prefix, ""}
 	if en.GlobalDailyLimit > 0 {
 		if g := prune(globalKey); len(g) >= en.GlobalDailyLimit {
-			return false
+			return false, len(g)
 		}
 	}
 	en.rate[key] = append(hist, now)
 	if en.GlobalDailyLimit > 0 {
 		en.rate[globalKey] = append(en.rate[globalKey], now)
 	}
-	return true
+	return true, len(hist) + 1
 }
 
 // RateBudgetRemaining reports how many updates remain in the current

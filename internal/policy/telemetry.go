@@ -12,6 +12,7 @@ var (
 	verdictReject         *telemetry.Counter
 	verdictRateLimited    *telemetry.Counter
 	verdictROVInvalid     *telemetry.Counter
+	verdictDamped         *telemetry.Counter
 	failClosedTrips       *telemetry.Counter
 	auditEvicted          *telemetry.Counter
 )
@@ -23,6 +24,7 @@ func init() {
 	verdictReject = reg.Counter("policy_verdicts_total", telemetry.L("action", "reject"))
 	verdictRateLimited = reg.Counter("policy_verdicts_total", telemetry.L("action", "rate-limited"))
 	verdictROVInvalid = reg.Counter("policy_verdicts_total", telemetry.L("action", "rov-invalid"))
+	verdictDamped = reg.Counter("policy_verdicts_total", telemetry.L("action", "damped"))
 	failClosedTrips = reg.Counter("policy_fail_closed_total")
 	auditEvicted = reg.Counter("policy_audit_evicted_total")
 }

@@ -1,0 +1,65 @@
+package rib
+
+import "net/netip"
+
+// Flap-damping suppression (RFC 2439): a suppressed route is withheld
+// from export but retained in the adj-RIB-in so the original
+// announcement survives the suppression window and can be re-exported
+// the moment the penalty decays below the reuse threshold. The guard
+// layer decides *when* a route is suppressed; these helpers record the
+// verdict on the stored paths.
+
+// MarkDamped sets or clears the Damped flag on every path for prefix
+// learned from peer, returning the number of paths whose flag changed.
+// Like MarkPeerStale it is copy-on-write: shared *Path values are never
+// mutated, so concurrent readers holding an old slice see consistent
+// state. Note that re-adding a path through Table.Add installs a fresh
+// (unmarked) copy; callers re-mark on each suppressed update.
+func (t *Table) MarkDamped(prefix netip.Prefix, peer string, damped bool) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	paths, ok := t.trie.Get(prefix)
+	if !ok {
+		return 0
+	}
+	changed := false
+	for _, e := range paths {
+		if e.Peer == peer && e.Damped != damped {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return 0
+	}
+	out := make([]*Path, len(paths))
+	copy(out, paths)
+	marked := 0
+	for i, e := range out {
+		if e.Peer == peer && e.Damped != damped {
+			c := *e
+			c.Damped = damped
+			out[i] = &c
+			marked++
+		}
+	}
+	t.trie.Insert(prefix, out)
+	return marked
+}
+
+// DampedCount returns how many paths are currently marked damped
+// (all peers, both families).
+func (t *Table) DampedCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	t.trie.Walk(func(_ netip.Prefix, paths []*Path) bool {
+		for _, e := range paths {
+			if e.Damped {
+				n++
+			}
+		}
+		return true
+	})
+	return n
+}

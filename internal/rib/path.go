@@ -39,6 +39,12 @@ type Path struct {
 	// it or SweepStale removes it. Re-adding the same (Peer, ID)
 	// replaces the stale copy, clearing the mark.
 	Stale bool
+	// Damped marks a path suppressed by RFC 2439 flap damping: it stays
+	// in the adj-RIB-in (so it can be reused when the penalty decays
+	// below the reuse threshold) but must not be exported. The guard
+	// layer owns the penalty state; the flag is bookkeeping for
+	// visibility and export filtering.
+	Damped bool
 }
 
 var seqCounter atomic.Uint64

@@ -55,6 +55,9 @@ const (
 	StatBytesIn        uint16 = 130
 	StatBytesOut       uint16 = 131
 	StatMRAISuppressed uint16 = 132
+	// StatDampingSuppressed is how many of the peer's routes RFC 2439
+	// flap damping is currently withholding from export.
+	StatDampingSuppressed uint16 = 133
 )
 
 // Event is one monitoring event emitted by a vBGP router. Field

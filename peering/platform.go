@@ -26,6 +26,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/inet"
+	"repro/internal/guard"
 	"repro/internal/netsim"
 	"repro/internal/policy"
 	"repro/internal/rpki"
@@ -58,6 +59,20 @@ type PlatformConfig struct {
 	// RPKIStaleExpiry overrides the RTR clients' freshness window after
 	// session loss (zero selects rpki.DefaultStaleExpiry).
 	RPKIStaleExpiry time.Duration
+	// Damping, when set, enables RFC 2439 route-flap damping at both
+	// layers: the enforcement engine suppresses flapping experiment
+	// announcements platform-wide, and every PoP router damps flapping
+	// neighbor routes (withheld from experiments, retained in the
+	// adj-RIB-in, re-exported when the penalty decays).
+	Damping *guard.DampingConfig
+	// NeighborMRAI paces UPDATE batches on every PoP's neighbor and
+	// backbone sessions (RFC 4271 §9.2.1.1 coalescing). Zero disables
+	// pacing.
+	NeighborMRAI time.Duration
+	// Guard, when set, runs the overload watchdog: per-PoP pressure
+	// sampling driving healthy → degraded → shedding transitions with
+	// hysteretic recovery. See GuardConfig and DefaultGuardConfig.
+	Guard *GuardConfig
 	// Logf receives platform event logs.
 	Logf func(format string, args ...any)
 }
@@ -84,6 +99,9 @@ type Platform struct {
 	bbLinks        map[[2]string]BackboneLink
 	v6AutoPool     netip.Prefix
 	v6AutoSeq      int
+
+	guardStop chan struct{}
+	guardOnce sync.Once
 }
 
 // NewPlatform creates a platform with an empty footprint.
@@ -111,6 +129,19 @@ func NewPlatform(cfg PlatformConfig) *Platform {
 		// routers sync their own caches over RTR (see AddPoP).
 		p.rpkiServer = rpki.NewServer(cfg.RPKI, 1)
 		p.Engine.SetValidator(cfg.RPKI)
+	}
+	if cfg.Damping != nil {
+		// The engine's damper is platform-wide (keyed experiment@pop) and
+		// separate from the per-router neighbor dampers AddPoP creates.
+		p.Engine.SetDamper(guard.NewDamper(*cfg.Damping))
+	}
+	if cfg.Guard != nil {
+		interval := cfg.Guard.SampleInterval
+		if interval <= 0 {
+			interval = 250 * time.Millisecond
+		}
+		p.guardStop = make(chan struct{})
+		go p.runGuard(interval)
 	}
 	return p
 }
@@ -283,6 +314,8 @@ func (p *Platform) AddPoP(cfg PoPConfig) (*PoP, error) {
 		Monitor:              p.monitor,
 		Validator:            validator,
 		MaintainDefaultTable: cfg.MaintainDefaultTable,
+		Damping:              p.cfg.Damping,
+		NeighborMRAI:         p.cfg.NeighborMRAI,
 		Logf:                 p.cfg.Logf,
 	})
 	if rtr != nil {
@@ -297,6 +330,25 @@ func (p *Platform) AddPoP(cfg PoPConfig) (*PoP, error) {
 		platform: p,
 		expLAN:   netsim.NewSegment(cfg.Name + "-exp-lan"),
 		expCIDR:  cfg.ExpLAN,
+	}
+	if p.cfg.Guard != nil {
+		// Chain the platform's shed actions before any user OnChange so
+		// state transitions always execute the ladder.
+		hc := p.cfg.Guard.Health
+		userChange := hc.OnChange
+		if hc.Logf == nil {
+			hc.Logf = p.cfg.Logf
+		}
+		hc.OnChange = func(from, to guard.State, why string) {
+			p.applyHealthState(pop, to)
+			if userChange != nil {
+				userChange(from, to, why)
+			}
+		}
+		pop.health = guard.NewHealth(cfg.Name, hc)
+		// Baseline the rate window at creation so a burst landing before
+		// the watchdog's first tick still registers.
+		pop.guardPrevAt = time.Now()
 	}
 	routerAddr := lastUsable(cfg.ExpLAN)
 	expIfc := router.AddInterface("exp0", "experiment", netip.PrefixFrom(routerAddr, cfg.ExpLAN.Bits()), pop.expLAN)

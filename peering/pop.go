@@ -5,10 +5,12 @@ import (
 	"net"
 	"net/netip"
 	"sync"
+	"time"
 
 	"repro/internal/bpf"
 	"repro/internal/core"
 	"repro/internal/ethernet"
+	"repro/internal/guard"
 	"repro/internal/inet"
 	"repro/internal/ixp"
 	"repro/internal/netsim"
@@ -33,11 +35,15 @@ type PoP struct {
 	expLAN   *netsim.Segment
 	expCIDR  netip.Prefix
 	bbAddr   netip.Addr
+	health   *guard.Health
 
-	mu       sync.Mutex
-	expHosts int
-	speakers []*inet.Speaker
-	servers  []*ixp.RouteServer
+	mu           sync.Mutex
+	expHosts     int
+	speakers     []*inet.Speaker
+	servers      []*ixp.RouteServer
+	guardPrev    uint64
+	guardPrevAt  time.Time
+	lastPressure guard.Pressure
 }
 
 // newConnPair returns both ends of an in-memory transport.
