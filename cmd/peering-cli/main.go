@@ -11,12 +11,15 @@
 //	ping <addr> [via <id>]
 //	neighbors
 //	health
+//	history stats|state|between|diff
 //	metrics [prefix]
 //	help | quit
 //
 // Invoked as `peering-cli metrics [address]` it instead fetches and
 // renders the plain-text exposition served by `peeringd -metrics`
-// (default address localhost:9179) and exits.
+// (default address localhost:9179) and exits. Invoked as `peering-cli
+// history <verb> [flags]` it queries the /history/* endpoints of a
+// `peeringd -history -metrics` instance (see runHistoryCommand).
 package main
 
 import (
@@ -32,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/guard"
+	"repro/internal/history"
 	"repro/internal/inet"
 	"repro/internal/telemetry"
 	"repro/peering"
@@ -50,10 +54,27 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "history" {
+		if err := runHistoryCommand(os.Args[2:]); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	cfg := inet.DefaultGenConfig()
 	cfg.Tier2 = 12
 	cfg.Edges = 60
 	topo := inet.Generate(cfg)
+	// The session's route events land in a throwaway history store so
+	// the history verb can time-travel over the REPL session itself.
+	histDir, err := os.MkdirTemp("", "peering-cli-history-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(histDir)
+	hist, err := history.Open(history.Config{Dir: histDir})
+	if err != nil {
+		log.Fatal(err)
+	}
 	// The interactive platform runs with the full convergence-safety
 	// layer on: flap damping, MRAI pacing, and the overload watchdog
 	// (inspect it with the health verb).
@@ -62,8 +83,9 @@ func main() {
 		Damping:      &guard.DampingConfig{},
 		NeighborMRAI: 50 * time.Millisecond,
 		Guard:        peering.DefaultGuardConfig(),
+		History:      hist,
 	})
-	defer platform.StopGuard()
+	defer platform.Close()
 	pop, err := platform.AddPoP(peering.PoPConfig{
 		Name: popName, RouterID: netip.MustParseAddr("198.51.100.1"),
 		LocalPool: netip.MustParsePrefix("127.65.0.0/16"),
@@ -127,6 +149,10 @@ func execute(c *peering.Client, pop *peering.PoP, platform *peering.Platform, li
 			"ping <addr> [via <id>]          data-plane probe",
 			"neighbors                       list PoP interconnections",
 			"health                          per-PoP watchdog state and pressure",
+			"history stats                   history store accounting",
+			"history state <prefix> [at]     routes alive at an instant (RFC 3339)",
+			"history between <prefix> [from [to]]  a prefix's event timeline",
+			"history diff <popA> <popB> [at] routes held at exactly one PoP",
 			"metrics [prefix]                dump platform metrics (optionally filtered)",
 			"quit",
 		}, "\n")
@@ -263,6 +289,11 @@ func execute(c *peering.Client, pop *peering.PoP, platform *peering.Platform, li
 				st.Pressure.QueueDepth, st.Pressure.LoopLag.Round(time.Microsecond))
 		}
 		return strings.TrimRight(b.String(), "\n")
+	case "history":
+		// The store ingests asynchronously; settle it so the query sees
+		// everything the session just did.
+		platform.WaitMonitorDrained(2 * time.Second)
+		return executeHistory(platform.History(), f)
 	case "metrics":
 		prefix := ""
 		if len(f) > 1 {

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -24,6 +25,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/guard"
+	"repro/internal/history"
 	"repro/internal/inet"
 	"repro/internal/ixp"
 	"repro/internal/rpki"
@@ -46,6 +48,8 @@ func main() {
 	dampingHalfLife := flag.Duration("damping", 0, "enable RFC 2439 route-flap damping with this half-life (e.g. 15s; 0 = off)")
 	mrai := flag.Duration("mrai", 0, "pace neighbor UPDATE batches at this minimum route advertisement interval (0 = off)")
 	guardOn := flag.Bool("guard", false, "run the overload watchdog: healthy/degraded/shedding states per PoP with load shedding")
+	historyDir := flag.String("history", "", "record every route event into a durable segment log under this directory, enabling time-travel queries (/history/* with -metrics, peering-cli history)")
+	historyRetention := flag.Duration("history-retention", 0, "delete sealed history segments older than this window (0 = keep everything)")
 	flag.Parse()
 
 	var injector *chaos.Injector
@@ -79,6 +83,18 @@ func main() {
 	}
 
 	pcfg := peering.PlatformConfig{ASN: 47065, Topology: topo, Chaos: injector, RPKI: roas, NeighborMRAI: *mrai}
+	var hist *history.Store
+	if *historyDir != "" {
+		var err error
+		hist, err = history.Open(history.Config{
+			Dir: *historyDir, Retention: *historyRetention, Logf: log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("opening history store: %v", err)
+		}
+		pcfg.History = hist
+		fmt.Printf("history: recording route events under %s (retention %v)\n", *historyDir, *historyRetention)
+	}
 	if *dampingHalfLife > 0 {
 		pcfg.Damping = &guard.DampingConfig{HalfLife: *dampingHalfLife}
 		fmt.Printf("damping: RFC 2439 flap damping on (half-life %s)\n", *dampingHalfLife)
@@ -175,6 +191,9 @@ func main() {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/metrics", serveMetrics)
 		mux.HandleFunc("/", serveMetrics)
+		if hist != nil {
+			registerHistoryHandlers(mux, hist)
+		}
 		fmt.Printf("serving metrics on http://%s/metrics (peering-cli metrics %s)\n", ln.Addr(), ln.Addr())
 		go func() {
 			if err := http.Serve(ln, mux); err != nil {
@@ -218,8 +237,111 @@ func main() {
 				fmt.Printf("%s(routes=%d fwd=%d) ", pop.Name, pop.Router.RouteCount(), pop.Router.Forwarded.Load())
 			}
 		}
+		if hist != nil {
+			st := hist.Stats()
+			fmt.Printf("history(stored=%d deduped=%d dropped=%d segs=%d) ",
+				st.Stored, st.Deduped, st.Dropped, st.Segments)
+		}
 		fmt.Println()
 	}
+}
+
+// registerHistoryHandlers mounts the history store's query layer on the
+// metrics mux as JSON endpoints, the transport peering-cli's history
+// verb speaks:
+//
+//	/history/state?prefix=P[&at=RFC3339]
+//	/history/between?prefix=P[&from=RFC3339][&to=RFC3339]
+//	/history/diff?a=POP&b=POP[&at=RFC3339]
+//	/history/stats
+func registerHistoryHandlers(mux *http.ServeMux, hist *history.Store) {
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+	parseTime := func(w http.ResponseWriter, r *http.Request, key string, fallback time.Time) (time.Time, bool) {
+		s := r.FormValue(key)
+		if s == "" {
+			return fallback, true
+		}
+		at, err := time.Parse(time.RFC3339Nano, s)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad %s: %v (want RFC 3339)", key, err), http.StatusBadRequest)
+			return time.Time{}, false
+		}
+		return at, true
+	}
+	parsePrefix := func(w http.ResponseWriter, r *http.Request) (netip.Prefix, bool) {
+		prefix, err := netip.ParsePrefix(r.FormValue("prefix"))
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad prefix: %v", err), http.StatusBadRequest)
+			return netip.Prefix{}, false
+		}
+		return prefix, true
+	}
+	mux.HandleFunc("/history/state", func(w http.ResponseWriter, r *http.Request) {
+		prefix, ok := parsePrefix(w, r)
+		if !ok {
+			return
+		}
+		at, ok := parseTime(w, r, "at", time.Now())
+		if !ok {
+			return
+		}
+		state, err := hist.StateAt(prefix, at)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, state)
+	})
+	mux.HandleFunc("/history/between", func(w http.ResponseWriter, r *http.Request) {
+		prefix, ok := parsePrefix(w, r)
+		if !ok {
+			return
+		}
+		from, ok := parseTime(w, r, "from", time.Time{})
+		if !ok {
+			return
+		}
+		to, ok := parseTime(w, r, "to", time.Now())
+		if !ok {
+			return
+		}
+		events, err := hist.Between(prefix, from, to)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, events)
+	})
+	mux.HandleFunc("/history/diff", func(w http.ResponseWriter, r *http.Request) {
+		a, b := r.FormValue("a"), r.FormValue("b")
+		if a == "" || b == "" {
+			http.Error(w, "want a=POP&b=POP", http.StatusBadRequest)
+			return
+		}
+		at, ok := parseTime(w, r, "at", time.Now())
+		if !ok {
+			return
+		}
+		diff, err := hist.DiffPoPs(a, b, at)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, diff)
+	})
+	mux.HandleFunc("/history/stats", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, struct {
+			history.Stats
+			Vantages []string `json:"vantages"`
+		}{hist.Stats(), hist.Vantages()})
+	})
 }
 
 // parseChaosSpec builds a fault injector from the -chaos flag, a

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// benchSample is one measured data point of a figure: a named value
+// with whichever of the canonical units applies.
+type benchSample struct {
+	Name string `json:"name"`
+	// NsPerOp is the per-operation latency, when the sample measures one.
+	NsPerOp float64 `json:"ns_per_op,omitempty"`
+	// RoutesPerSec is the route/event throughput, when the sample
+	// measures one.
+	RoutesPerSec float64 `json:"routes_per_s,omitempty"`
+	// Value carries any other measurement, described by Unit.
+	Value float64 `json:"value,omitempty"`
+	Unit  string  `json:"unit,omitempty"`
+}
+
+// record writes the figure's measurements to BENCH_<fig>.json in the
+// working directory (CI uploads these as artifacts), overwriting any
+// previous run. Recording is best-effort: a write failure is reported
+// but never fails the figure itself.
+func record(fig string, params map[string]any, samples ...benchSample) {
+	out := struct {
+		Fig     string         `json:"fig"`
+		Params  map[string]any `json:"params,omitempty"`
+		Samples []benchSample  `json:"samples"`
+	}{fig, params, samples}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench record %s: %v\n", fig, err)
+		return
+	}
+	path := "BENCH_" + fig + ".json"
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench record %s: %v\n", fig, err)
+		return
+	}
+	fmt.Printf("wrote %s\n", path)
+}

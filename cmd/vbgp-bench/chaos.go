@@ -142,13 +142,18 @@ func chaosSoak() error {
 	if err := await("post-fault recovery", 60*time.Second, recovered); err != nil {
 		return err
 	}
+	recovery := time.Since(recoverStart)
 	fmt.Printf("recovered: all sessions re-established, 0 stale paths, RIBs reconverged (%.2fs after last fault)\n",
-		time.Since(recoverStart).Seconds())
+		recovery.Seconds())
 	printMetricsSnapshot("chaos_", "bgp_reconnect", "bgp_session_recovery_seconds", "tunnel_")
 	reg := telemetry.Default()
 	fmt.Printf("\nreconnects: %.0f session(s) recovered over %.0f attempt(s); %.0f tunnel redial(s)\n",
 		reg.Value("bgp_reconnects_total"), reg.Value("bgp_reconnect_attempts_total"),
 		reg.Value("tunnel_reconnect_attempts_total"))
+	record("chaos", map[string]any{"seed": 1, "rate_per_min": 240, "soak_seconds": soakFor.Seconds()},
+		benchSample{Name: "faults", Value: float64(len(inj.Events())), Unit: "faults"},
+		benchSample{Name: "recovery", Value: recovery.Seconds(), Unit: "s"},
+		benchSample{Name: "reconnects", Value: reg.Value("bgp_reconnects_total"), Unit: "sessions"})
 	return nil
 }
 

@@ -87,6 +87,13 @@ func damping(scale int) error {
 		len(ladder) >= 2 && strings.Contains(ladder[len(ladder)-1], "-> healthy"))
 
 	printMetricsSnapshot("guard_")
+	samples := make([]benchSample, 0, len(configs))
+	for i, cfg := range configs {
+		samples = append(samples, benchSample{
+			Name: cfg.name, Value: float64(updatesOut[i]), Unit: "neighbor-updates",
+		})
+	}
+	record("damping", map[string]any{"prefixes": prefixes, "updates_per_prefix": 5}, samples...)
 	return nil
 }
 

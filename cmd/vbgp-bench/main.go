@@ -41,6 +41,7 @@ var figures = []struct {
 	{"chaos", func(int) error { return chaosSoak() }},
 	{"rov", func(int) error { return rov() }},
 	{"damping", damping},
+	{"history", func(int) error { return historyBench() }},
 }
 
 func figureNames() string {
@@ -104,6 +105,11 @@ func fig6a() error {
 		res.BytesPerRoute("per-interconnection-data-plane") < res.BytesPerRoute("per-interconnection-data-plane-with-default")
 	fmt.Printf("shape check (ordering holds): %v\n", ok)
 	printMetricsSnapshot("rib_")
+	samples := make([]benchSample, 0, len(eval.Fig6aConfigs))
+	for _, cfg := range eval.Fig6aConfigs {
+		samples = append(samples, benchSample{Name: cfg, Value: res.BytesPerRoute(cfg), Unit: "B/route"})
+	}
+	record("6a", map[string]any{"sizes": sizes, "trials": 20}, samples...)
 	return nil
 }
 
@@ -130,6 +136,14 @@ func fig6b() error {
 	fmt.Printf("max sustainable rate (single-router): %.0f updates/s on one core\n",
 		1/res.PerUpdate["single-router-vbgp"].Seconds())
 	printMetricsSnapshot("bgp_fsm_", "policy_", "rib_adds", "rib_withdraws", "core_nexthop_")
+	samples := make([]benchSample, 0, len(eval.Fig6bConfigs))
+	for _, cfg := range eval.Fig6bConfigs {
+		samples = append(samples, benchSample{
+			Name: cfg, NsPerOp: float64(res.PerUpdate[cfg].Nanoseconds()),
+			RoutesPerSec: 1 / res.PerUpdate[cfg].Seconds(),
+		})
+	}
+	record("6b", map[string]any{"updates": 1 << 17}, samples...)
 	return nil
 }
 
@@ -144,6 +158,10 @@ func backbone() error {
 	fmt.Printf("measured: min %.0f, avg %.0f, max %.0f Mbps\n", res.Min, res.Avg, res.Max)
 	fmt.Printf("shape check (within provisioned envelope 60-750): %v\n",
 		res.Min >= 60*0.5 && res.Max <= 750*1.01)
+	record("backbone", map[string]any{"pops": 13, "pairs": len(res.Pairs)},
+		benchSample{Name: "min", Value: res.Min, Unit: "Mbps"},
+		benchSample{Name: "avg", Value: res.Avg, Unit: "Mbps"},
+		benchSample{Name: "max", Value: res.Max, Unit: "Mbps"})
 	return nil
 }
 
@@ -160,6 +178,9 @@ func amsix(scale int) error {
 	fmt.Printf("heap: %.1f MB (%.0f B/route)\n", float64(res.HeapBytes)/1e6, res.BytesPerRoute)
 	fmt.Printf("extrapolated to the paper's 2.7M routes: %.1f GB (paper: fits a 32 GiB server)\n",
 		res.BytesPerRoute*2.7e6/1e9)
+	record("amsix", map[string]any{"scale": scale, "members": res.Members, "route_servers": res.RouteServers},
+		benchSample{Name: "routes", Value: float64(res.Routes), Unit: "routes"},
+		benchSample{Name: "bytes-per-route", Value: res.BytesPerRoute, Unit: "B/route"})
 	return nil
 }
 
@@ -170,6 +191,9 @@ func updates() error {
 	fmt.Printf("mean %.1f upd/s -> %.3f%% CPU; p99 %.0f upd/s -> %.2f%% CPU\n",
 		res.MeanRate, 100*res.MeanCPU, res.P99Rate, 100*res.P99CPU)
 	fmt.Printf("shape check (p99 well under one core): %v\n", res.P99CPU < 0.5)
+	record("updates", nil,
+		benchSample{Name: "mean", RoutesPerSec: res.MeanRate, Value: res.MeanCPU, Unit: "cpu-fraction"},
+		benchSample{Name: "p99", RoutesPerSec: res.P99Rate, Value: res.P99CPU, Unit: "cpu-fraction"})
 	return nil
 }
 
@@ -191,5 +215,10 @@ func footprint(scale int) error {
 	}
 	fmt.Println()
 	fmt.Printf("union of peers' customer cones: %d ASes (reach of peer announcements)\n", res.PeerConeUnion)
+	record("footprint", map[string]any{"scale": scale},
+		benchSample{Name: "pops", Value: float64(res.PoPs), Unit: "pops"},
+		benchSample{Name: "peers", Value: float64(res.TotalPeers), Unit: "peers"},
+		benchSample{Name: "bilateral", Value: float64(res.Bilateral), Unit: "peers"},
+		benchSample{Name: "peer-cone-union", Value: float64(res.PeerConeUnion), Unit: "ASes"})
 	return nil
 }

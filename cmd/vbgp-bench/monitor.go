@@ -81,6 +81,10 @@ func monitor() error {
 	fmt.Printf("\nevents: accepted %d, dropped %d, processed %d (queue cap %d)\n",
 		em.Accepted(), em.Dropped(), st.Processed(), telemetry.DefaultQueueSize)
 	printMetricsSnapshot("telemetry_")
+	record("monitor", map[string]any{"queue_cap": telemetry.DefaultQueueSize},
+		benchSample{Name: "accepted", Value: float64(em.Accepted()), Unit: "events"},
+		benchSample{Name: "dropped", Value: float64(em.Dropped()), Unit: "events"},
+		benchSample{Name: "processed", Value: float64(st.Processed()), Unit: "events"})
 	return nil
 }
 

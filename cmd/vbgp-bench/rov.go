@@ -106,5 +106,12 @@ func rov() error {
 	fmt.Printf("shape check (full deployment confines the hijack to its origin): %v\n", full)
 	fmt.Printf("shape check (Peerlock blocks the origin-valid leak at every fraction): %v\n", leakBlockedEverywhere)
 	printMetricsSnapshot("rpki_")
+	samples := make([]benchSample, 0, len(fractions))
+	for i, f := range fractions {
+		samples = append(samples, benchSample{
+			Name: fmt.Sprintf("catchment@%.2f", f), Value: float64(catchments[i]), Unit: "ASes",
+		})
+	}
+	record("rov", map[string]any{"fractions": fractions}, samples...)
 	return nil
 }

@@ -13,14 +13,19 @@
 //     a rogue AS in the wild rather than through the platform, is
 //     dropped at import by ROV-deploying ASes and its catchment
 //     collapses as deployment grows.
+//  5. Forensics replay — the whole study streams into the durable
+//     history store; after the platform shuts down, the hijack timeline
+//     is reconstructed from the on-disk segment log alone.
 package main
 
 import (
 	"fmt"
 	"log"
 	"net/netip"
+	"os"
 	"time"
 
+	"repro/internal/history"
 	"repro/internal/inet"
 	"repro/internal/policy"
 	"repro/internal/rpki"
@@ -33,7 +38,17 @@ func main() {
 	cfg.Edges = 80
 	topo := inet.Generate(cfg)
 
-	platform := peering.NewPlatform(peering.PlatformConfig{ASN: 47065, Topology: topo})
+	histDir, err := os.MkdirTemp("", "hijack-history-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(histDir)
+	hist, err := history.Open(history.Config{Dir: histDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	platform := peering.NewPlatform(peering.PlatformConfig{ASN: 47065, Topology: topo, History: hist})
 	popA := mustPoP(platform, "amsix", "127.65.0.0/16", "100.65.0.0/24", "198.51.100.1")
 	popB := mustPoP(platform, "seattle", "127.66.0.0/16", "100.66.0.0/24", "198.51.100.2")
 	if _, err := popA.ConnectTransit(1000, 40); err != nil {
@@ -213,6 +228,61 @@ func main() {
 	}
 	fmt.Printf("victim's legitimate %s remains reachable everywhere (Valid under its ROA)\n", foreign)
 	fmt.Println("security study complete")
+
+	// Part 5: forensics replay. Every announcement above flowed through
+	// the monitoring tee into the history store. Shut the platform down
+	// (draining the tail of the event stream into the log), then reopen
+	// the store from disk and reconstruct the hijack with nothing but
+	// the sealed segments — the post-incident workflow an operator runs.
+	platform.WaitMonitorDrained(3 * time.Second)
+	now := time.Now()
+	if err := platform.Close(); err != nil {
+		log.Fatal(err)
+	}
+	replay, err := history.Open(history.Config{Dir: histDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer replay.Close()
+	st := replay.Stats()
+	fmt.Printf("\nforensics: %d records across %d sealed segments, vantages %v\n",
+		st.Records, st.Segments, replay.Vantages())
+
+	timeline, err := replay.Between(specific, time.Time{}, now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(timeline) == 0 {
+		log.Fatal("forensics: the hijacked /25 left no trace in the log")
+	}
+	fmt.Printf("timeline of the hijacked %s:\n", specific)
+	for _, ev := range timeline {
+		verb := "announce"
+		if ev.Withdraw {
+			verb = "withdraw"
+		}
+		fmt.Printf("  %s  %-8s path %v, seen at %v (x%d)\n",
+			ev.Time.Format("15:04:05.000"), verb, ev.ASPath, ev.VantageNames, ev.Dups)
+		if len(ev.VantageNames) != 1 || ev.VantageNames[0] != "seattle" {
+			log.Fatalf("forensics: /25 event attributed to %v, want seattle only", ev.VantageNames)
+		}
+	}
+
+	divs, err := replay.DiffPoPs("amsix", "seattle", now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	attributed := false
+	for _, d := range divs {
+		if d.Prefix == specific && d.OnlyAt == "seattle" {
+			attributed = true
+		}
+	}
+	if !attributed {
+		log.Fatal("forensics: DiffPoPs did not attribute the /25 to seattle")
+	}
+	fmt.Printf("DiffPoPs(amsix, seattle) at the hijack instant: %d divergences, /25 held only at seattle\n", len(divs))
+	fmt.Println("forensics replay complete — timeline reconstructed from disk alone")
 }
 
 func mustPoP(p *peering.Platform, name, pool, lan, id string) *peering.PoP {

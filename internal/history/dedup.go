@@ -1,0 +1,98 @@
+package history
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// The deduper collapses identical route events observed via multiple
+// PoPs/collectors into one stored record. "Identical" is defined by a
+// content hash over the protocol-level route event — kind, peer,
+// prefix, path — and deliberately excludes:
+//
+//   - PoP: that is the vantage, the very dimension being merged;
+//   - Time: two collectors see the same event microseconds apart; the
+//     DedupWindow bounds the allowed skew instead;
+//   - NextHop: the platform rewrites next hops per PoP (§3.2.1), so the
+//     same announcement legitimately differs in next hop by vantage.
+//
+// A merge is only taken when the new observation comes from a vantage
+// the record has not seen: the same vantage repeating identical content
+// is a real protocol event (a flap leg) and must stay on the timeline.
+// Records seal with their segment, so the merge horizon is the shorter
+// of the dedup window and the segment's life.
+
+// dedupEntry locates a mergeable record in the active segment.
+type dedupEntry struct {
+	time    time.Time
+	seq     uint64 // segment sequence the record lives in
+	off     uint32 // record offset in the segment buffer
+	vantage uint64 // bitmap already merged into the record
+}
+
+type deduper struct {
+	window  time.Duration
+	entries map[uint64]dedupEntry
+}
+
+func newDeduper(window time.Duration) *deduper {
+	return &deduper{window: window, entries: make(map[uint64]dedupEntry)}
+}
+
+// lookup finds a mergeable record for hash h: it must live in the
+// current active segment and be within the window of t.
+func (d *deduper) lookup(h uint64, t time.Time, activeSeq uint64) (off uint32, vantage uint64, ok bool) {
+	e, found := d.entries[h]
+	if !found || e.seq != activeSeq {
+		return 0, 0, false
+	}
+	if dt := t.Sub(e.time); dt > d.window || dt < -d.window {
+		return 0, 0, false
+	}
+	return e.off, e.vantage, true
+}
+
+// store records a freshly appended record as the merge target for h.
+func (d *deduper) store(h uint64, t time.Time, seq uint64, off uint32, vantage uint64) {
+	d.entries[h] = dedupEntry{time: t, seq: seq, off: off, vantage: vantage}
+}
+
+// merge marks bit as merged into h's record.
+func (d *deduper) merge(h uint64, bit uint64) {
+	e := d.entries[h]
+	e.vantage |= bit
+	d.entries[h] = e
+}
+
+// reset forgets every entry (called when the active segment seals — the
+// records can no longer be patched).
+func (d *deduper) reset() {
+	clear(d.entries)
+}
+
+// contentHash is the FNV-1a 64 content hash of a route event.
+func contentHash(e telemetry.Event) uint64 {
+	h := fnv.New64a()
+	var scratch [8]byte
+	scratch[0] = byte(e.Kind)
+	if e.Withdraw {
+		scratch[1] = 1
+	}
+	h.Write(scratch[:2])
+	h.Write([]byte(e.Peer))
+	binary.BigEndian.PutUint32(scratch[:4], e.PeerASN)
+	binary.BigEndian.PutUint32(scratch[4:8], e.PathID)
+	h.Write(scratch[:8])
+	addr := e.Prefix.Addr().As16()
+	h.Write(addr[:])
+	scratch[0] = byte(e.Prefix.Bits())
+	h.Write(scratch[:1])
+	for _, asn := range e.ASPath {
+		binary.BigEndian.PutUint32(scratch[:4], asn)
+		h.Write(scratch[:4])
+	}
+	return h.Sum64()
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/history"
 	"repro/internal/inet"
 	"repro/internal/guard"
 	"repro/internal/netsim"
@@ -73,6 +74,11 @@ type PlatformConfig struct {
 	// sampling driving healthy → degraded → shedding transitions with
 	// hysteretic recovery. See GuardConfig and DefaultGuardConfig.
 	Guard *GuardConfig
+	// History, when set, receives a copy of every monitoring event the
+	// station consumes: route events land in the durable segment log for
+	// time-travel queries and post-hoc forensics. The caller opens the
+	// store (history.Open) and the platform adopts it; Close closes it.
+	History *history.Store
 	// Logf receives platform event logs.
 	Logf func(format string, args ...any)
 }
@@ -100,8 +106,9 @@ type Platform struct {
 	v6AutoPool     netip.Prefix
 	v6AutoSeq      int
 
-	guardStop chan struct{}
-	guardOnce sync.Once
+	guardStop   chan struct{}
+	guardOnce   sync.Once
+	monitorDone chan struct{}
 }
 
 // NewPlatform creates a platform with an empty footprint.
@@ -121,8 +128,21 @@ func NewPlatform(cfg PlatformConfig) *Platform {
 		proposals:  make(map[string]*Proposal),
 	}
 	// The platform-wide monitoring station consumes every router's
-	// BMP-style event feed for the life of the platform.
-	go p.station.Run(p.monitor)
+	// BMP-style event feed for the life of the platform. With a history
+	// store configured the feed is teed: the station folds live state,
+	// the store appends the durable timeline. History ingestion is
+	// non-blocking on its own bounded queue, so a slow disk drops
+	// history (with accounting) instead of stalling the station.
+	p.monitorDone = make(chan struct{})
+	go func() {
+		defer close(p.monitorDone)
+		for e := range p.monitor.Events() {
+			p.station.Handle(e)
+			if cfg.History != nil {
+				cfg.History.Observe(e)
+			}
+		}
+	}()
 	if cfg.RPKI != nil {
 		// The controller holds the authoritative trust-anchor view: the
 		// enforcement engine validates against it directly, while PoP
@@ -168,9 +188,14 @@ func (p *Platform) Monitor() *telemetry.Emitter { return p.monitor }
 // Station returns the platform's BMP-style monitoring station.
 func (p *Platform) Station() *telemetry.Station { return p.station }
 
+// History returns the platform's durable RIB history store, or nil.
+func (p *Platform) History() *history.Store { return p.cfg.History }
+
 // WaitMonitorDrained blocks until the station has applied every event
 // accepted so far (or the timeout lapses), for tests and report
 // generation that read station state right after control-plane churn.
+// With a history store configured it also waits for the store to apply
+// its share of the feed, so queries issued next see the same events.
 func (p *Platform) WaitMonitorDrained(timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for p.station.Processed() < p.monitor.Accepted() {
@@ -179,7 +204,26 @@ func (p *Platform) WaitMonitorDrained(timeout time.Duration) bool {
 		}
 		time.Sleep(time.Millisecond)
 	}
+	if p.cfg.History != nil {
+		return p.cfg.History.Drain(time.Until(deadline))
+	}
 	return true
+}
+
+// Close shuts the platform's shared services down: the guard watchdog,
+// the monitoring feed, and — when configured — the history store, whose
+// active segment is sealed so the on-disk log alone reconstructs the
+// run. Routers keep working; their subsequent monitor emissions drop.
+func (p *Platform) Close() error {
+	p.StopGuard()
+	p.monitor.Close()
+	// Wait for the station/history tee to drain the monitor queue before
+	// closing the store, so the tail of the feed reaches the log.
+	<-p.monitorDone
+	if p.cfg.History != nil {
+		return p.cfg.History.Close()
+	}
+	return nil
 }
 
 // ASN returns the platform AS number.
