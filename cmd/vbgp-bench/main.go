@@ -42,6 +42,7 @@ var figures = []struct {
 	{"rov", func(int) error { return rov() }},
 	{"damping", damping},
 	{"history", func(int) error { return historyBench() }},
+	{"ribscale", ribscale},
 }
 
 func figureNames() string {

@@ -1,0 +1,311 @@
+package main
+
+import (
+	"fmt"
+	"math/bits"
+	"net/netip"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/pipe"
+	"repro/internal/rib"
+)
+
+// ribscale measures the million-route table architecture: sharded RIB
+// install throughput, end-to-end convergence (install + batched
+// propagation over a live session), and concurrent lookups against the
+// lock-free FIB snapshot. The shards=1 / per-route samples reproduce
+// the pre-sharding architecture as the baseline of the speedup figures.
+func ribscale(int) error {
+	header("RIB scale — sharded tables, batched propagation, FIB snapshots",
+		"AMS-IX PoP holds 2.7M routes (§6); table and export paths must scale past 1M routes")
+	return ribscaleSweep(ribscaleParams{
+		Shards:    []int{1, 16},
+		Routes:    []int{1 << 18, 1 << 20},
+		Writers:   []int{1, 8},
+		LookupOps: 1 << 21,
+	})
+}
+
+// ribscaleParams sizes one sweep; TestBenchSanity runs a small one.
+type ribscaleParams struct {
+	Shards    []int
+	Routes    []int
+	Writers   []int
+	LookupOps int
+}
+
+// ribscalePrefixes generates n distinct /24s whose leading bits are
+// uniform (bit-reversed counter), so every shard count sees an even
+// spread.
+func ribscalePrefixes(n int) []netip.Prefix {
+	out := make([]netip.Prefix, n)
+	for i := range out {
+		v := bits.Reverse32(uint32(i))
+		a := netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), 0})
+		out[i] = netip.PrefixFrom(a, 24)
+	}
+	return out
+}
+
+// ribscalePaths builds one path per prefix, slab-backed so the fixture
+// is a handful of large heap objects instead of a million small ones —
+// GC cycles during the timed phases then spend their time on the table
+// under test, not on scanning the test inputs.
+func ribscalePaths(pfx []netip.Prefix, attrs *bgp.PathAttrs) []*rib.Path {
+	slab := make([]rib.Path, len(pfx))
+	out := make([]*rib.Path, len(pfx))
+	for i, p := range pfx {
+		slab[i] = rib.Path{Prefix: p, Peer: "bench", Attrs: attrs, EBGP: true, Seq: uint64(i + 1)}
+		out[i] = &slab[i]
+	}
+	return out
+}
+
+// ribscaleBatch is the route-block size of the batched paths: AddBatch
+// chunks and SendBatch blocks (the latter packs them further into
+// 4096-byte UPDATE frames).
+const ribscaleBatch = 2048
+
+// ribscaleTrials runs fn that many times and keeps the best throughput;
+// back-to-back trials bound scheduler and GC noise on a busy host.
+const ribscaleTrials = 2
+
+func ribscaleSweep(p ribscaleParams) error {
+	maxRoutes := p.Routes[len(p.Routes)-1]
+	pfx := ribscalePrefixes(maxRoutes)
+	attrs := &bgp.PathAttrs{
+		Origin: bgp.OriginIGP, HasOrigin: true,
+		ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{65010}}},
+		NextHop: netip.MustParseAddr("10.0.0.2"),
+	}
+	var samples []benchSample
+
+	// Phase 1 — install throughput: batched adds across the shard ×
+	// routes × writers grid, plus the pre-sharding per-route baseline.
+	install := make(map[[2]int]float64) // [shards, routes] at max writers
+	var baseline1 float64
+	for _, routes := range p.Routes {
+		basePaths := ribscalePaths(pfx[:routes], attrs)
+		runtime.GC()
+		t0 := time.Now()
+		tbl := rib.NewTableShards("ribscale-base", 1)
+		for _, path := range basePaths {
+			tbl.Add(path)
+		}
+		baseline1 = float64(routes) / time.Since(t0).Seconds()
+		samples = append(samples, benchSample{
+			Name: fmt.Sprintf("conv-install-baseline/routes=%d", routes), RoutesPerSec: baseline1,
+		})
+		for _, shards := range p.Shards {
+			for _, writers := range p.Writers {
+				paths := ribscalePaths(pfx[:routes], attrs)
+				tbl := rib.NewTableShards("ribscale", shards)
+				runtime.GC()
+				t0 := time.Now()
+				var wg sync.WaitGroup
+				per := routes / writers
+				for w := 0; w < writers; w++ {
+					wg.Add(1)
+					go func(chunk []*rib.Path) {
+						defer wg.Done()
+						for i := 0; i < len(chunk); i += ribscaleBatch {
+							tbl.AddBatch(chunk[i:min(i+ribscaleBatch, len(chunk))])
+						}
+					}(paths[w*per : (w+1)*per])
+				}
+				wg.Wait()
+				rps := float64(routes) / time.Since(t0).Seconds()
+				install[[2]int{shards, routes}] = max(install[[2]int{shards, routes}], rps)
+				samples = append(samples, benchSample{
+					Name:         fmt.Sprintf("conv-install/shards=%d/routes=%d/writers=%d", shards, routes, writers),
+					RoutesPerSec: rps,
+				})
+				if tbl.PathCount() != routes {
+					return fmt.Errorf("ribscale: installed %d of %d routes (shards=%d writers=%d)",
+						tbl.PathCount(), routes, shards, writers)
+				}
+			}
+		}
+	}
+
+	// Phase 2 — end-to-end convergence: full table installed AND
+	// propagated to an established peer session. Baseline is the
+	// pre-batching path (per-route Add + per-route Send on shards=1);
+	// the batched path installs shard-bucketed blocks and ships pooled
+	// SendBatch blocks.
+	converge := func(shards int, batched bool) (float64, error) {
+		best := 0.0
+		for trial := 0; trial < ribscaleTrials; trial++ {
+			runtime.GC()
+			rps, err := ribscaleConverge(pfx[:maxRoutes], attrs, shards, batched)
+			if err != nil {
+				return 0, err
+			}
+			best = max(best, rps)
+		}
+		return best, nil
+	}
+	e2eBase, err := converge(1, false)
+	if err != nil {
+		return err
+	}
+	e2eBatched, err := converge(p.Shards[len(p.Shards)-1], true)
+	if err != nil {
+		return err
+	}
+	samples = append(samples,
+		benchSample{Name: fmt.Sprintf("conv-e2e-baseline/shards=1/routes=%d", maxRoutes), RoutesPerSec: e2eBase},
+		benchSample{Name: fmt.Sprintf("conv-e2e-batched/shards=%d/routes=%d", p.Shards[len(p.Shards)-1], maxRoutes), RoutesPerSec: e2eBatched},
+		benchSample{Name: "convergence-speedup", Value: e2eBatched / e2eBase, Unit: "x"},
+	)
+
+	// Phase 3 — concurrent lookups at the largest table: the locked
+	// pre-sharding path (shards=1, no snapshot) vs the FIB-snapshot
+	// path. The write-lock counter delta across both measurements is
+	// the satellite guard: pure lookups must never take a shard write
+	// lock.
+	readers := runtime.GOMAXPROCS(0)
+	addrs := make([]netip.Addr, maxRoutes)
+	for i, pf := range pfx[:maxRoutes] {
+		raw := pf.Addr().As4()
+		raw[3] = 9
+		addrs[i] = netip.AddrFrom4(raw)
+	}
+	lockedTbl := rib.NewTableShards("ribscale-locked", 1)
+	snapTbl := rib.NewTableShards("ribscale-snap", p.Shards[len(p.Shards)-1])
+	for i := 0; i < maxRoutes; i += ribscaleBatch {
+		chunk := ribscalePaths(pfx[i:min(i+ribscaleBatch, maxRoutes)], attrs)
+		lockedTbl.AddBatch(chunk)
+		snapTbl.AddBatch(chunk)
+	}
+	snapTbl.BuildSnapshot()
+	wlBefore := lockedTbl.Stats().WriteLocks + snapTbl.Stats().WriteLocks
+
+	measure := func(tbl *rib.Table) float64 {
+		var wg sync.WaitGroup
+		per := p.LookupOps / readers
+		t0 := time.Now()
+		for w := 0; w < readers; w++ {
+			wg.Add(1)
+			go func(idx int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					if tbl.Lookup(addrs[idx&(maxRoutes-1)]) == nil {
+						panic("ribscale: lookup miss")
+					}
+					idx += 2654435761 // Fibonacci-hash stride: full-period pseudo-random order
+				}
+			}(w * 131)
+		}
+		wg.Wait()
+		return float64(per*readers) / time.Since(t0).Seconds()
+	}
+	measureBest := func(tbl *rib.Table) float64 {
+		best := 0.0
+		for trial := 0; trial < ribscaleTrials; trial++ {
+			runtime.GC()
+			best = max(best, measure(tbl))
+		}
+		return best
+	}
+	lockedRPS := measureBest(lockedTbl)
+	snapRPS := measureBest(snapTbl)
+	wlDelta := lockedTbl.Stats().WriteLocks + snapTbl.Stats().WriteLocks - wlBefore
+	if st := snapTbl.Stats(); st.SnapshotLookups == 0 {
+		return fmt.Errorf("ribscale: snapshot table served no snapshot lookups (version %d, snap %d)",
+			st.Version, st.SnapshotVersion)
+	}
+	samples = append(samples,
+		benchSample{Name: fmt.Sprintf("lookup-locked/shards=1/routes=%d", maxRoutes), RoutesPerSec: lockedRPS},
+		benchSample{Name: fmt.Sprintf("lookup-snapshot/shards=%d/routes=%d", p.Shards[len(p.Shards)-1], maxRoutes), RoutesPerSec: snapRPS},
+		benchSample{Name: "lookup-speedup", Value: snapRPS / lockedRPS, Unit: "x"},
+		benchSample{Name: "lookup-write-locks", Value: float64(wlDelta), Unit: "locks"},
+	)
+
+	fmt.Printf("install: per-route S=1 %.0f routes/s; batched S=%d %.0f routes/s\n",
+		baseline1, p.Shards[len(p.Shards)-1], install[[2]int{p.Shards[len(p.Shards)-1], maxRoutes}])
+	fmt.Printf("convergence (install+propagate %d routes): baseline %.0f routes/s, batched %.0f routes/s (%.2fx)\n",
+		maxRoutes, e2eBase, e2eBatched, e2eBatched/e2eBase)
+	fmt.Printf("lookups (%d readers, %d routes): locked %.0f/s, snapshot %.0f/s (%.2fx), write-locks during lookups: %d\n",
+		readers, maxRoutes, lockedRPS, snapRPS, snapRPS/lockedRPS, wlDelta)
+	fmt.Printf("shape check (>=2x convergence and lookup speedups, zero lookup write-locks): %v\n",
+		e2eBatched/e2eBase >= 2 && snapRPS/lockedRPS >= 2 && wlDelta == 0)
+
+	record("ribscale", map[string]any{
+		"shards": p.Shards, "routes": p.Routes, "writers": p.Writers,
+		"lookup_ops": p.LookupOps, "readers": readers,
+	}, samples...)
+	return nil
+}
+
+// ribscaleConverge installs every prefix into a table and propagates it
+// over an established BGP session, returning routes/s from start to the
+// peer having decoded the full table. batched selects the sharded
+// AddBatch + SendBatch path; false replays the pre-batching per-route
+// architecture.
+func ribscaleConverge(pfx []netip.Prefix, attrs *bgp.PathAttrs, shards int, batched bool) (float64, error) {
+	ca, cb := pipe.New()
+	var established sync.WaitGroup
+	established.Add(2)
+	var got atomic.Int64
+	done := make(chan struct{})
+	total := int64(len(pfx))
+	sa := bgp.NewSession(ca, bgp.Config{
+		LocalASN: 65001, RemoteASN: 65010, LocalID: netip.MustParseAddr("10.0.0.1"),
+		OnEstablished: func() { established.Done() },
+	})
+	sb := bgp.NewSession(cb, bgp.Config{
+		LocalASN: 65010, RemoteASN: 65001, LocalID: netip.MustParseAddr("10.0.0.2"),
+		OnEstablished: func() { established.Done() },
+		OnUpdate: func(u *bgp.Update) {
+			if got.Add(int64(len(u.NLRI))) == total {
+				close(done)
+			}
+		},
+	})
+	go sa.Run()
+	go sb.Run()
+	defer sa.Close()
+	defer sb.Close()
+	established.Wait()
+
+	updates := make([]*bgp.Update, len(pfx))
+	updSlab := make([]bgp.Update, len(pfx))
+	nlriSlab := make([]bgp.NLRI, len(pfx))
+	for i, p := range pfx {
+		nlriSlab[i] = bgp.NLRI{Prefix: p}
+		updSlab[i] = bgp.Update{Attrs: attrs, NLRI: nlriSlab[i : i+1 : i+1]}
+		updates[i] = &updSlab[i]
+	}
+	paths := ribscalePaths(pfx, attrs)
+	tbl := rib.NewTableShards("ribscale-e2e", shards)
+
+	runtime.GC()
+	t0 := time.Now()
+	if batched {
+		for i := 0; i < len(pfx); i += ribscaleBatch {
+			end := min(i+ribscaleBatch, len(pfx))
+			tbl.AddBatch(paths[i:end])
+			if err := sa.SendBatch(updates[i:end]); err != nil {
+				return 0, fmt.Errorf("ribscale: batched send: %w", err)
+			}
+		}
+	} else {
+		for i := range pfx {
+			tbl.Add(paths[i])
+			if err := sa.Send(updates[i]); err != nil {
+				return 0, fmt.Errorf("ribscale: send: %w", err)
+			}
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Minute):
+		return 0, fmt.Errorf("ribscale: convergence stalled at %d/%d routes", got.Load(), total)
+	}
+	return float64(total) / time.Since(t0).Seconds(), nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestBenchSanity runs a scaled-down ribscale sweep end to end and
+// parses the BENCH_ribscale.json it writes. It is the harness lock on
+// the benchmark itself: the artifact must exist, carry the speedup
+// samples the acceptance gate reads, and — the hard invariant that
+// holds at any problem size — report zero shard write-lock acquisitions
+// during the pure-lookup phase. Throughput ratios are NOT asserted
+// here; at toy sizes they are noise, and the full-size run gates them.
+func TestBenchSanity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a live convergence sweep")
+	}
+	t.Chdir(t.TempDir())
+	err := ribscaleSweep(ribscaleParams{
+		Shards:    []int{1, 4},
+		Routes:    []int{1 << 10, 1 << 12},
+		Writers:   []int{1, 2},
+		LookupOps: 1 << 14,
+	})
+	if err != nil {
+		t.Fatalf("ribscaleSweep: %v", err)
+	}
+
+	data, err := os.ReadFile("BENCH_ribscale.json")
+	if err != nil {
+		t.Fatalf("benchmark artifact missing: %v", err)
+	}
+	var out struct {
+		Fig     string        `json:"fig"`
+		Samples []benchSample `json:"samples"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("BENCH_ribscale.json does not parse: %v", err)
+	}
+	if out.Fig != "ribscale" {
+		t.Fatalf("fig = %q, want ribscale", out.Fig)
+	}
+
+	byName := map[string]benchSample{}
+	for _, s := range out.Samples {
+		byName[s.Name] = s
+	}
+	wl, ok := byName["lookup-write-locks"]
+	if !ok {
+		t.Fatal("lookup-write-locks sample missing: the contention guard did not run")
+	}
+	if wl.Value != 0 {
+		t.Fatalf("lookups acquired %v shard write locks; the read path must be lock-free", wl.Value)
+	}
+	for _, name := range []string{"convergence-speedup", "lookup-speedup"} {
+		s, ok := byName[name]
+		if !ok {
+			t.Fatalf("%s sample missing", name)
+		}
+		if s.Value <= 0 || s.Unit != "x" {
+			t.Fatalf("%s = %v %q, want a positive ratio in x", name, s.Value, s.Unit)
+		}
+	}
+	throughput := 0
+	for _, s := range out.Samples {
+		if s.RoutesPerSec < 0 {
+			t.Fatalf("%s: negative throughput %v", s.Name, s.RoutesPerSec)
+		}
+		if s.RoutesPerSec > 0 {
+			throughput++
+		}
+	}
+	if throughput < 4 {
+		t.Fatalf("only %d throughput samples recorded; sweep incomplete", throughput)
+	}
+}

@@ -341,12 +341,18 @@ func parseASPath(data []byte, as4 bool) ([]ASPathSegment, error) {
 	return segs, nil
 }
 
-// marshalAttrs encodes the attribute set. as4 selects 4-octet AS_PATH
-// encoding (negotiated via capability). mpNLRI, when non-empty, is encoded
-// into an MP_REACH_NLRI attribute for IPv6 along with MPNextHop; addPath
-// controls path-ID encoding inside MP_REACH.
+// marshalAttrs encodes the attribute set into a fresh slice; see
+// appendAttrs.
 func marshalAttrs(a *PathAttrs, as4 bool, mpNLRI []NLRI, mpWithdraw []NLRI, addPath bool) []byte {
-	var b []byte
+	return appendAttrs(nil, a, as4, mpNLRI, mpWithdraw, addPath)
+}
+
+// appendAttrs appends the encoded attribute set to b in place (the hot
+// path encodes straight into a pooled frame buffer). as4 selects
+// 4-octet AS_PATH encoding (negotiated via capability). mpNLRI, when
+// non-empty, is encoded into an MP_REACH_NLRI attribute for IPv6 along
+// with MPNextHop; addPath controls path-ID encoding inside MP_REACH.
+func appendAttrs(b []byte, a *PathAttrs, as4 bool, mpNLRI []NLRI, mpWithdraw []NLRI, addPath bool) []byte {
 	if a == nil {
 		a = &PathAttrs{}
 	}

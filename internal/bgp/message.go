@@ -1,6 +1,7 @@
 package bgp
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -11,9 +12,11 @@ import (
 type Message interface {
 	// Type returns the message type code.
 	Type() uint8
-	// body encodes the message payload (everything after the header).
+	// appendBody appends the message payload (everything after the
+	// header) to b in place and returns the extended slice, so batched
+	// encodes reuse one pooled buffer instead of allocating per message.
 	// opts carries per-session negotiation state that affects encoding.
-	body(opts *codecOpts) []byte
+	appendBody(b []byte, opts *codecOpts) []byte
 }
 
 // codecOpts carries session-negotiated options that change message wire
@@ -36,8 +39,8 @@ type Open struct {
 // Type implements Message.
 func (*Open) Type() uint8 { return MsgOpen }
 
-func (m *Open) body(*codecOpts) []byte {
-	b := []byte{m.Version}
+func (m *Open) appendBody(b []byte, _ *codecOpts) []byte {
+	b = append(b, m.Version)
 	b = binary.BigEndian.AppendUint16(b, m.ASN)
 	b = binary.BigEndian.AppendUint16(b, m.HoldTime)
 	id := m.BGPID.As4()
@@ -103,20 +106,23 @@ func (m *Update) EndOfRIBFamily() (AFISAFI, bool) {
 // Type implements Message.
 func (*Update) Type() uint8 { return MsgUpdate }
 
-func (m *Update) body(opts *codecOpts) []byte {
-	var wd []byte
+func (m *Update) appendBody(b []byte, opts *codecOpts) []byte {
+	// Both variable-length sections are appended in place and their
+	// two-byte length prefixes patched afterwards.
+	wdAt := len(b)
+	b = append(b, 0, 0)
 	for _, n := range m.Withdrawn {
-		wd = appendNLRI(wd, n, opts.addPathV4)
+		b = appendNLRI(b, n, opts.addPathV4)
 	}
-	attrs := marshalAttrs(m.Attrs, opts.as4, m.MPReach, m.MPUnreach, opts.addPathV6)
+	binary.BigEndian.PutUint16(b[wdAt:], uint16(len(b)-wdAt-2))
+	attrAt := len(b)
+	b = append(b, 0, 0)
+	b = appendAttrs(b, m.Attrs, opts.as4, m.MPReach, m.MPUnreach, opts.addPathV6)
 	if m.eorV6 {
 		// Empty MP_UNREACH_NLRI: AFI=2, SAFI=unicast, zero routes.
-		attrs = append(attrs, FlagOptional, AttrMPUnreach, 3, 0, 2, SAFIUnicast)
+		b = append(b, FlagOptional, AttrMPUnreach, 3, 0, 2, SAFIUnicast)
 	}
-	b := binary.BigEndian.AppendUint16(nil, uint16(len(wd)))
-	b = append(b, wd...)
-	b = binary.BigEndian.AppendUint16(b, uint16(len(attrs)))
-	b = append(b, attrs...)
+	binary.BigEndian.PutUint16(b[attrAt:], uint16(len(b)-attrAt-2))
 	for _, n := range m.NLRI {
 		b = appendNLRI(b, n, opts.addPathV4)
 	}
@@ -134,8 +140,8 @@ type Notification struct {
 // Type implements Message.
 func (*Notification) Type() uint8 { return MsgNotification }
 
-func (m *Notification) body(*codecOpts) []byte {
-	b := []byte{m.Code, m.Subcode}
+func (m *Notification) appendBody(b []byte, _ *codecOpts) []byte {
+	b = append(b, m.Code, m.Subcode)
 	return append(b, m.Data...)
 }
 
@@ -150,7 +156,7 @@ type Keepalive struct{}
 // Type implements Message.
 func (*Keepalive) Type() uint8 { return MsgKeepalive }
 
-func (*Keepalive) body(*codecOpts) []byte { return nil }
+func (*Keepalive) appendBody(b []byte, _ *codecOpts) []byte { return b }
 
 // RouteRefresh is an RFC 2918 ROUTE-REFRESH message.
 type RouteRefresh struct {
@@ -160,23 +166,48 @@ type RouteRefresh struct {
 // Type implements Message.
 func (*RouteRefresh) Type() uint8 { return MsgRouteRefresh }
 
-func (m *RouteRefresh) body(*codecOpts) []byte {
-	b := binary.BigEndian.AppendUint16(nil, m.Family.AFI)
+func (m *RouteRefresh) appendBody(b []byte, _ *codecOpts) []byte {
+	b = binary.BigEndian.AppendUint16(b, m.Family.AFI)
 	return append(b, 0, m.Family.SAFI)
+}
+
+// appendMessage appends m, framed with the BGP header, to dst and
+// returns the extended slice. dst is truncated back to its original
+// length on error, so callers accumulating a batched block keep the
+// valid prefix.
+func appendMessage(dst []byte, m Message, opts *codecOpts) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, marker[:]...)
+	dst = append(dst, 0, 0, m.Type())
+	dst = m.appendBody(dst, opts)
+	total := len(dst) - start
+	if total > MaxMessageLen {
+		return dst[:start], fmt.Errorf("bgp: message length %d exceeds maximum %d", total, MaxMessageLen)
+	}
+	binary.BigEndian.PutUint16(dst[start+16:], uint16(total))
+	return dst, nil
 }
 
 // marshalMessage frames a message with the BGP header.
 func marshalMessage(m Message, opts *codecOpts) ([]byte, error) {
-	body := m.body(opts)
-	total := HeaderLen + len(body)
-	if total > MaxMessageLen {
-		return nil, fmt.Errorf("bgp: message length %d exceeds maximum %d", total, MaxMessageLen)
+	return appendMessage(make([]byte, 0, HeaderLen+64), m, opts)
+}
+
+// decodeBlock decodes a contiguous concatenation of framed BGP messages
+// — the wire image of one batched write (Session.SendBatch). It returns
+// the messages decoded before the first error, if any; a trailing
+// partial frame is an error.
+func decodeBlock(data []byte, opts *codecOpts) ([]Message, error) {
+	var msgs []Message
+	r := bytes.NewReader(data)
+	for r.Len() > 0 {
+		m, err := readMessage(r, opts)
+		if err != nil {
+			return msgs, err
+		}
+		msgs = append(msgs, m)
 	}
-	b := make([]byte, 0, total)
-	b = append(b, marker[:]...)
-	b = binary.BigEndian.AppendUint16(b, uint16(total))
-	b = append(b, m.Type())
-	return append(b, body...), nil
+	return msgs, nil
 }
 
 // readMessage reads and decodes one message from r.

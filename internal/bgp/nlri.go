@@ -86,7 +86,23 @@ func decodeNLRI(data []byte, addPath, v6 bool) (NLRI, int, error) {
 
 // decodeNLRIList parses a sequence of NLRI entries occupying all of data.
 func decodeNLRIList(data []byte, addPath, v6 bool) ([]NLRI, error) {
-	var out []NLRI
+	if len(data) == 0 {
+		return nil, nil
+	}
+	// Pre-count the entries so a packed thousand-route block decodes
+	// into one exactly-sized allocation. Malformed data only skews the
+	// capacity; the decode loop below reports the error.
+	count := 0
+	for off := 0; off < len(data); count++ {
+		if addPath {
+			off += 4
+		}
+		if off >= len(data) {
+			break
+		}
+		off += 1 + (int(data[off])+7)/8
+	}
+	out := make([]NLRI, 0, count)
 	for len(data) > 0 {
 		n, used, err := decodeNLRI(data, addPath, v6)
 		if err != nil {

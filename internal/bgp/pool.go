@@ -1,0 +1,47 @@
+package bgp
+
+import "sync"
+
+// Pooled UPDATE encode buffers. Every outbound message — single sends
+// and batched blocks alike — is framed into a checked-out buffer, so a
+// busy session reuses the same backing array instead of allocating per
+// message. Buffers are reset (length zero) before they re-enter the
+// pool; one that has grown past maxPooledEncodeCap is dropped for the
+// GC instead, so a single giant table dump doesn't pin its high-water
+// mark for the life of the process.
+
+const (
+	// encodeBufCap is the capacity new pooled buffers start with:
+	// enough for several coalesced UPDATEs without growing.
+	encodeBufCap = 4096
+	// maxPooledEncodeCap is the largest buffer release will return to
+	// the pool.
+	maxPooledEncodeCap = 1 << 20
+)
+
+var encPool = sync.Pool{
+	New: func() any { return &encodeBuffer{buf: make([]byte, 0, encodeBufCap)} },
+}
+
+// encodeBuffer is a reusable message-framing scratch buffer.
+type encodeBuffer struct{ buf []byte }
+
+// getEncodeBuffer checks a buffer out of the pool. The returned buffer
+// always has length zero.
+func getEncodeBuffer() *encodeBuffer {
+	e := encPool.Get().(*encodeBuffer)
+	e.buf = e.buf[:0]
+	return e
+}
+
+// release resets the buffer and returns it to the pool, reporting
+// whether it was pooled (false for oversized buffers, which are left to
+// the GC). The caller must not touch e afterwards.
+func (e *encodeBuffer) release() bool {
+	if cap(e.buf) > maxPooledEncodeCap {
+		return false
+	}
+	e.buf = e.buf[:0]
+	encPool.Put(e)
+	return true
+}

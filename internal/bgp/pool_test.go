@@ -1,0 +1,386 @@
+package bgp
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestEncodeBufferPool is the table-driven pool contract: checkout
+// always yields an empty buffer, in-range buffers are recycled, and
+// oversized ones are dropped for the GC instead of pinning their
+// high-water mark in the pool.
+func TestEncodeBufferPool(t *testing.T) {
+	cases := []struct {
+		name       string
+		grow       int
+		wantPooled bool
+	}{
+		{"small", 100, true},
+		{"exactly at cap", maxPooledEncodeCap, true},
+		{"oversized", maxPooledEncodeCap + 1, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eb := getEncodeBuffer()
+			if len(eb.buf) != 0 {
+				t.Fatalf("checkout yielded %d bytes of stale data", len(eb.buf))
+			}
+			eb.buf = append(eb.buf, make([]byte, tc.grow)...)
+			if pooled := eb.release(); pooled != tc.wantPooled {
+				t.Fatalf("release() after growing to %d = %v, want %v", tc.grow, pooled, tc.wantPooled)
+			}
+			// Whatever the pool hands out next must be reset.
+			next := getEncodeBuffer()
+			defer next.release()
+			if len(next.buf) != 0 {
+				t.Fatalf("pooled buffer not reset: len %d", len(next.buf))
+			}
+		})
+	}
+}
+
+// TestEncodeBufferConcurrentCheckout hammers the pool from several
+// goroutines; under -race this is the checkout/release soak. Each
+// goroutine writes a distinct pattern and verifies it before release,
+// catching any buffer handed to two owners at once.
+func TestEncodeBufferConcurrentCheckout(t *testing.T) {
+	const workers, iters = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pat := byte(w + 1)
+			for i := 0; i < iters; i++ {
+				eb := getEncodeBuffer()
+				if len(eb.buf) != 0 {
+					t.Errorf("worker %d: checkout yielded non-empty buffer", w)
+					return
+				}
+				for j := 0; j < 64; j++ {
+					eb.buf = append(eb.buf, pat)
+				}
+				for j, b := range eb.buf {
+					if b != pat {
+						t.Errorf("worker %d: byte %d corrupted: %d", w, j, b)
+						return
+					}
+				}
+				eb.release()
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// perRouteAdverts builds n single-NLRI updates sharing one attribute
+// set — the shape table dumps and batched propagation emit.
+func perRouteAdverts(n int, attrs *PathAttrs) []*Update {
+	out := make([]*Update, n)
+	for i := range out {
+		out[i] = &Update{Attrs: attrs, NLRI: []NLRI{{Prefix: pfx(fmt.Sprintf("10.%d.%d.0/24", i>>8, i&0xff))}}}
+	}
+	return out
+}
+
+// flattenRoutes reduces a slice of updates to the ordered route
+// sequence it carries: advertised NLRI (keyed by the attrs that carried
+// them) and withdrawals, ignoring frame boundaries.
+type flatRoute struct {
+	prefix   string
+	withdraw bool
+	firstASN uint32
+}
+
+func flattenRoutes(updates []*Update) []flatRoute {
+	var out []flatRoute
+	for _, u := range updates {
+		for _, n := range u.Withdrawn {
+			out = append(out, flatRoute{prefix: n.Prefix.String(), withdraw: true})
+		}
+		for _, n := range u.NLRI {
+			out = append(out, flatRoute{prefix: n.Prefix.String(), firstASN: u.Attrs.FirstASN()})
+		}
+	}
+	return out
+}
+
+func baseAttrsASN(asn uint32) *PathAttrs {
+	return &PathAttrs{
+		Origin: OriginIGP, HasOrigin: true,
+		ASPath:  []ASPathSegment{{Type: ASSequence, ASNs: []uint32{asn}}},
+		NextHop: ip("192.0.2.1"),
+	}
+}
+
+// TestPackBatchMergesSharedAttrRun checks a run of per-route updates
+// under one *PathAttrs collapses into a single multi-NLRI frame with
+// route order intact.
+func TestPackBatchMergesSharedAttrRun(t *testing.T) {
+	s := &Session{}
+	attrs := baseAttrsASN(65001)
+	in := perRouteAdverts(100, attrs)
+	packed := s.packBatch(in)
+	if len(packed) != 1 {
+		t.Fatalf("packed %d updates into %d frames, want 1", len(in), len(packed))
+	}
+	if packed[0].Attrs != attrs {
+		t.Fatal("packed frame does not share the run's attribute set")
+	}
+	got, want := flattenRoutes(packed), flattenRoutes(in)
+	if len(got) != len(want) {
+		t.Fatalf("flattened %d routes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("route[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPackBatchBudgetSplit checks a run too large for one message
+// splits into frames that each encode within MaxMessageLen.
+func TestPackBatchBudgetSplit(t *testing.T) {
+	s := &Session{}
+	in := perRouteAdverts(1500, baseAttrsASN(65001)) // ~6000 B of NLRI, > one 4096 B frame
+	packed := s.packBatch(in)
+	if len(packed) < 2 {
+		t.Fatalf("1500 routes packed into %d frame(s), expected a split", len(packed))
+	}
+	total := 0
+	for i, u := range packed {
+		b, err := appendMessage(nil, u, &s.enc)
+		if err != nil {
+			t.Fatalf("frame %d does not encode: %v", i, err)
+		}
+		if len(b) > MaxMessageLen {
+			t.Fatalf("frame %d encodes to %d bytes, over the %d limit", i, len(b), MaxMessageLen)
+		}
+		total += len(u.NLRI)
+	}
+	if total != len(in) {
+		t.Fatalf("packed frames carry %d routes, want %d", total, len(in))
+	}
+}
+
+// TestPackBatchBoundaries checks what packing must NOT merge: runs
+// under different attribute pointers (even if equal by value), and
+// non-packable shapes, which pass through in place.
+func TestPackBatchBoundaries(t *testing.T) {
+	s := &Session{}
+	a1, a2 := baseAttrsASN(65001), baseAttrsASN(65001) // equal value, distinct pointers
+	wd := func(p string) *Update { return &Update{Withdrawn: []NLRI{{Prefix: pfx(p)}}} }
+	mixed := &Update{Attrs: a1, NLRI: []NLRI{{Prefix: pfx("192.0.2.0/24")}}, Withdrawn: []NLRI{{Prefix: pfx("198.51.100.0/24")}}}
+	eor := EndOfRIB(IPv6Unicast)
+	in := []*Update{
+		perRouteAdverts(2, a1)[0], perRouteAdverts(2, a1)[1], // run 1: a1
+		{Attrs: a2, NLRI: []NLRI{{Prefix: pfx("172.16.0.0/24")}}}, // pointer boundary
+		wd("203.0.113.0/24"), wd("203.0.113.64/26"),              // withdraw run
+		mixed, // advert+withdraw in one update: passthrough
+		eor,   // IPv6 End-of-RIB: passthrough
+	}
+	packed := s.packBatch(in)
+	want := []*Update{
+		{Attrs: a1}, // merged run 1 (2 NLRI)
+		in[2],
+		{Withdrawn: []NLRI{{Prefix: pfx("203.0.113.0/24")}, {Prefix: pfx("203.0.113.64/26")}}},
+		mixed,
+		eor,
+	}
+	if len(packed) != len(want) {
+		t.Fatalf("packed into %d frames, want %d", len(packed), len(want))
+	}
+	if len(packed[0].NLRI) != 2 || packed[0].Attrs != a1 {
+		t.Fatalf("run 1 not merged under a1: %d NLRI", len(packed[0].NLRI))
+	}
+	if packed[1] != in[2] {
+		t.Fatal("distinct-pointer update was merged across the attrs boundary")
+	}
+	if len(packed[2].Withdrawn) != 2 {
+		t.Fatalf("withdraw run not merged: %d prefixes", len(packed[2].Withdrawn))
+	}
+	if packed[3] != mixed || packed[4] != eor {
+		t.Fatal("non-packable updates did not pass through in place")
+	}
+	// Flattened route sequence is invariant under packing.
+	got, wantFlat := flattenRoutes(packed), flattenRoutes(in)
+	if len(got) != len(wantFlat) {
+		t.Fatalf("flattened %d routes, want %d", len(got), len(wantFlat))
+	}
+	for i := range wantFlat {
+		if got[i] != wantFlat[i] {
+			t.Fatalf("route[%d] = %+v, want %+v", i, got[i], wantFlat[i])
+		}
+	}
+}
+
+// TestSendBatchSemanticEquality sends the same per-route update
+// sequence through SendBatch on one session pair and through sequential
+// Sends on another, and checks the receivers decode identical route
+// sequences — same prefixes, same attributes, same order. Frame
+// boundaries are allowed to differ; the routes are not.
+func TestSendBatchSemanticEquality(t *testing.T) {
+	build := func() []*Update {
+		var in []*Update
+		in = append(in, perRouteAdverts(600, baseAttrsASN(65001))...) // splits across frames
+		in = append(in, perRouteAdverts(5, baseAttrsASN(65002))...)   // new attrs run
+		for i := 0; i < 3; i++ {
+			in = append(in, &Update{Withdrawn: []NLRI{{Prefix: pfx(fmt.Sprintf("203.0.113.%d/32", i))}}})
+		}
+		in = append(in, perRouteAdverts(5, baseAttrsASN(65003))...)
+		return in
+	}
+	run := func(batched bool) []flatRoute {
+		var mu sync.Mutex
+		var recv []*Update
+		total := 0
+		for _, u := range build() {
+			total += len(u.NLRI) + len(u.Withdrawn)
+		}
+		sa, _ := startPair(t,
+			Config{LocalASN: 65001, RemoteASN: 65002, LocalID: ip("10.0.0.1")},
+			Config{LocalASN: 65002, RemoteASN: 65001, LocalID: ip("10.0.0.2"),
+				OnUpdate: func(u *Update) { mu.Lock(); recv = append(recv, u); mu.Unlock() }},
+		)
+		in := build()
+		if batched {
+			if err := sa.SendBatch(in); err != nil {
+				t.Fatalf("SendBatch: %v", err)
+			}
+		} else {
+			for _, u := range in {
+				if err := sa.Send(u); err != nil {
+					t.Fatalf("Send: %v", err)
+				}
+			}
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			mu.Lock()
+			n := 0
+			for _, u := range recv {
+				n += len(u.NLRI) + len(u.Withdrawn)
+			}
+			mu.Unlock()
+			if n == total {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("batched=%v: received %d of %d routes", batched, n, total)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return flattenRoutes(recv)
+	}
+	sequential := run(false)
+	batched := run(true)
+	if len(sequential) != len(batched) {
+		t.Fatalf("route counts differ: sequential %d, batched %d", len(sequential), len(batched))
+	}
+	for i := range sequential {
+		if sequential[i] != batched[i] {
+			t.Fatalf("route[%d]: sequential %+v, batched %+v", i, sequential[i], batched[i])
+		}
+	}
+}
+
+// TestDecodeBlockRoundTrip frames a packed block the way SendBatch does
+// and checks decodeBlock recovers every message.
+func TestDecodeBlockRoundTrip(t *testing.T) {
+	s := &Session{}
+	packed := s.packBatch(perRouteAdverts(1200, baseAttrsASN(65001)))
+	packed = append(packed, &Update{Withdrawn: []NLRI{{Prefix: pfx("203.0.113.0/24")}}})
+	var block []byte
+	for _, u := range packed {
+		var err error
+		if block, err = appendMessage(block, u, &s.enc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msgs, err := decodeBlock(block, &s.enc)
+	if err != nil {
+		t.Fatalf("decodeBlock: %v", err)
+	}
+	if len(msgs) != len(packed) {
+		t.Fatalf("decoded %d messages, want %d", len(msgs), len(packed))
+	}
+	var got []*Update
+	for _, m := range msgs {
+		got = append(got, m.(*Update))
+	}
+	flat, want := flattenRoutes(got), flattenRoutes(packed)
+	for i := range want {
+		if flat[i] != want[i] {
+			t.Fatalf("route[%d] = %+v, want %+v", i, flat[i], want[i])
+		}
+	}
+	// A truncated block reports an error instead of inventing a message.
+	if _, err := decodeBlock(block[:len(block)-3], &s.enc); err == nil {
+		t.Fatal("truncated block decoded without error")
+	}
+}
+
+// FuzzDecodeBlock throws arbitrary byte blocks at the batched-block
+// decoder: it must never panic, and whatever decodes must re-encode.
+// Seeds include real packed blocks in several codec configurations.
+func FuzzDecodeBlock(f *testing.F) {
+	s := &Session{}
+	seed := func(updates []*Update, opts *codecOpts) {
+		var block []byte
+		for _, u := range updates {
+			b, err := appendMessage(block, u, opts)
+			if err != nil {
+				return
+			}
+			block = b
+		}
+		f.Add(block)
+	}
+	seed(s.packBatch(perRouteAdverts(1200, baseAttrsASN(65001))), &codecOpts{})
+	seed(s.packBatch(perRouteAdverts(10, baseAttrsASN(4200000001))), &codecOpts{as4: true})
+	seed([]*Update{
+		{Withdrawn: []NLRI{{Prefix: pfx("203.0.113.0/24")}, {Prefix: pfx("0.0.0.0/0")}}},
+		EndOfRIB(IPv4Unicast),
+	}, &codecOpts{as4: true, addPathV4: true})
+	// A block with a trailing partial frame.
+	b, _ := marshalMessage(&Keepalive{}, &codecOpts{})
+	f.Add(append(b, b[:HeaderLen-1]...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, o := range []*codecOpts{{}, {as4: true}, {as4: true, addPathV4: true, addPathV6: true}} {
+			msgs, err := decodeBlock(data, o)
+			for _, m := range msgs {
+				// Prefix-of-error messages must individually re-encode (or
+				// fail cleanly on legal oversize), even when the block as a
+				// whole errored.
+				_, _ = marshalMessage(m, o)
+			}
+			if err == nil && len(data) > 0 {
+				// A clean block must round-trip to the same byte image.
+				var re []byte
+				reErr := false
+				for _, m := range msgs {
+					r, err := appendMessage(re, m, o)
+					if err != nil {
+						reErr = true
+						break
+					}
+					re = r
+				}
+				if !reErr && !bytes.Equal(re, data) {
+					// Non-canonical but decodable inputs (e.g. unmasked
+					// prefixes) legally re-encode differently; only flag
+					// length mismatches that indicate dropped messages.
+					if len(re) == 0 {
+						t.Fatalf("decoded %d messages re-encoded to nothing", len(msgs))
+					}
+				}
+			}
+		}
+	})
+}

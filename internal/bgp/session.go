@@ -617,14 +617,201 @@ func (s *Session) SendRouteRefresh(f AFISAFI) error {
 func (s *Session) write(m Message) error {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	b, err := marshalMessage(m, &s.enc)
+	eb := getEncodeBuffer()
+	defer eb.release()
+	b, err := appendMessage(eb.buf, m, &s.enc)
 	if err != nil {
 		return err
 	}
+	eb.buf = b
 	s.metrics.countOut(m)
 	outBytes.Observe(float64(len(b)))
 	s.BytesOut.Add(uint64(len(b)))
 	_, err = s.conn.Write(b)
+	return err
+}
+
+// sendBlockFlush is the encoded-size threshold at which SendBatch
+// flushes mid-block, bounding pooled-buffer growth on full-table dumps.
+const sendBlockFlush = 256 << 10
+
+// nlriWireSize returns the encoded size of one NLRI entry: optional
+// 4-byte ADD-PATH id, length octet, minimal prefix octets.
+func nlriWireSize(n NLRI, addPath bool) int {
+	sz := 1 + (n.Prefix.Bits()+7)/8
+	if addPath {
+		sz += 4
+	}
+	return sz
+}
+
+// packable reports whether u is a pure IPv4 advertisement (resp. pure
+// IPv4 withdrawal) that packBatch may merge with its neighbors.
+func packableAdvert(u *Update) bool {
+	return u.Attrs != nil && len(u.NLRI) > 0 && !u.eorV6 &&
+		len(u.Withdrawn) == 0 && len(u.MPReach) == 0 && len(u.MPUnreach) == 0
+}
+
+func packableWithdraw(u *Update) bool {
+	return u.Attrs == nil && len(u.Withdrawn) > 0 && !u.eorV6 &&
+		len(u.NLRI) == 0 && len(u.MPReach) == 0 && len(u.MPUnreach) == 0
+}
+
+// packBatch merges runs of per-route updates into packed route blocks —
+// one UPDATE carrying many NLRI under a shared attribute set, filled to
+// the 4096-byte message limit — so a million-route flood crosses the
+// wire (and the peer's decoder) in thousands of frames instead of a
+// million. Only two shapes are packed, and only across consecutive
+// updates so inter-route ordering is preserved exactly: pure IPv4
+// advertisements sharing the same *PathAttrs (pointer identity — the
+// shape table dumps and batched propagation emit), and pure IPv4
+// withdrawals. Everything else passes through unchanged.
+func (s *Session) packBatch(updates []*Update) []*Update {
+	packed := make([]*Update, 0, len(updates))
+	for i := 0; i < len(updates); {
+		u := updates[i]
+		switch {
+		case packableAdvert(u):
+			j := i + 1
+			for j < len(updates) && packableAdvert(updates[j]) && updates[j].Attrs == u.Attrs {
+				j++
+			}
+			if j == i+1 {
+				packed = append(packed, u)
+				i = j
+				continue
+			}
+			// Exact size accounting: attrs encode deterministically, so a
+			// frame filled against this budget never exceeds MaxMessageLen.
+			budget := MaxMessageLen - HeaderLen - 4 -
+				len(appendAttrs(nil, u.Attrs, s.enc.as4, nil, nil, s.enc.addPathV6))
+			remaining := 0
+			for _, v := range updates[i:j] {
+				remaining += len(v.NLRI)
+			}
+			newFrame := func() *Update {
+				return &Update{Attrs: u.Attrs, NLRI: make([]NLRI, 0, min(remaining, budget/4+8))}
+			}
+			frame := newFrame()
+			used := 0
+			for _, v := range updates[i:j] {
+				for _, n := range v.NLRI {
+					sz := nlriWireSize(n, s.enc.addPathV4)
+					if used+sz > budget && len(frame.NLRI) > 0 {
+						packed = append(packed, frame)
+						frame = newFrame()
+						used = 0
+					}
+					frame.NLRI = append(frame.NLRI, n)
+					used += sz
+					remaining--
+				}
+			}
+			if len(frame.NLRI) > 0 {
+				packed = append(packed, frame)
+			}
+			i = j
+		case packableWithdraw(u):
+			j := i + 1
+			for j < len(updates) && packableWithdraw(updates[j]) {
+				j++
+			}
+			if j == i+1 {
+				packed = append(packed, u)
+				i = j
+				continue
+			}
+			budget := MaxMessageLen - HeaderLen - 4
+			frame := &Update{}
+			used := 0
+			for _, v := range updates[i:j] {
+				for _, n := range v.Withdrawn {
+					sz := nlriWireSize(n, s.enc.addPathV4)
+					if used+sz > budget && len(frame.Withdrawn) > 0 {
+						packed = append(packed, frame)
+						frame = &Update{}
+						used = 0
+					}
+					frame.Withdrawn = append(frame.Withdrawn, n)
+					used += sz
+				}
+			}
+			if len(frame.Withdrawn) > 0 {
+				packed = append(packed, frame)
+			}
+			i = j
+		default:
+			packed = append(packed, u)
+			i++
+		}
+	}
+	return packed
+}
+
+// SendBatch transmits a block of UPDATEs as contiguous writes: runs of
+// per-route updates are packed into shared-attribute route blocks
+// (packBatch), the whole block is framed into one pooled buffer under a
+// single acquisition of the session write lock, and delivered with one
+// transport write (chunked at sendBlockFlush) — so per-prefix lock,
+// encode, and per-frame decode costs on both ends are amortized over
+// the block. The receiver sees the same routes with the same attributes
+// in the same order as len(updates) sequential Sends, though frame
+// boundaries differ. MRAI coalescing (when configured) is applied per
+// update exactly as Send applies it. If one update fails to encode, the
+// block's earlier messages are still delivered and the encode error is
+// returned.
+func (s *Session) SendBatch(updates []*Update) error {
+	if s.State() != StateEstablished {
+		return fmt.Errorf("bgp: session not established (state %s)", s.State())
+	}
+	if s.cfg.MRAI > 0 {
+		admitted := make([]*Update, 0, len(updates))
+		for _, u := range updates {
+			if u = s.coalesce(u); u != nil {
+				admitted = append(admitted, u)
+			}
+		}
+		updates = admitted
+	}
+	if len(updates) == 0 {
+		return nil
+	}
+	updates = s.packBatch(updates)
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	eb := getEncodeBuffer()
+	defer eb.release()
+	for _, u := range updates {
+		prev := len(eb.buf)
+		b, err := appendMessage(eb.buf, u, &s.enc)
+		if err != nil {
+			if ferr := s.flushBlockLocked(eb); ferr != nil {
+				return ferr
+			}
+			return err
+		}
+		eb.buf = b
+		s.metrics.countOut(u)
+		outBytes.Observe(float64(len(b) - prev))
+		s.BytesOut.Add(uint64(len(b) - prev))
+		s.UpdatesOut.Add(1)
+		if len(eb.buf) >= sendBlockFlush {
+			if err := s.flushBlockLocked(eb); err != nil {
+				return err
+			}
+		}
+	}
+	return s.flushBlockLocked(eb)
+}
+
+// flushBlockLocked writes the accumulated block and resets the buffer
+// for further framing. Called with writeMu held.
+func (s *Session) flushBlockLocked(eb *encodeBuffer) error {
+	if len(eb.buf) == 0 {
+		return nil
+	}
+	_, err := s.conn.Write(eb.buf)
+	eb.buf = eb.buf[:0]
 	return err
 }
 

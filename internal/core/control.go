@@ -36,6 +36,11 @@ type expRouteKey struct {
 // LocalIP and the neighbor's ID as the ADD-PATH identifier (§3.2.1,
 // Fig. 2a), and relays them into the backbone mesh with the neighbor's
 // GlobalIP as next hop (§4.4).
+//
+// RIB mutations and downstream exports are batched: the UPDATE's NLRIs
+// are installed/removed with one shard-lock acquisition per shard
+// (rib.Table.AddBatch/WithdrawBatch), and all resulting exports leave
+// as one block per destination session (exportCollector).
 func (r *Router) handleNeighborUpdate(n *Neighbor, u *bgp.Update) {
 	r.updatesProcessed.Add(1)
 	defer r.syncNeighborRoutesGauge(n)
@@ -43,32 +48,51 @@ func (r *Router) handleNeighborUpdate(n *Neighbor, u *bgp.Update) {
 	if sess := n.Session(); sess != nil {
 		remoteID = sess.RemoteID()
 	}
-	for _, w := range append(append([]bgp.NLRI(nil), u.Withdrawn...), u.MPUnreach...) {
-		if n.Table.Withdraw(w.Prefix, n.Name, w.ID) == nil {
-			continue
+	col := r.newCollector()
+	defer col.flush()
+
+	withdrawn := append(append([]bgp.NLRI(nil), u.Withdrawn...), u.MPUnreach...)
+	if len(withdrawn) > 0 {
+		reqs := make([]rib.WithdrawRequest, len(withdrawn))
+		for i, w := range withdrawn {
+			reqs[i] = rib.WithdrawRequest{Prefix: w.Prefix, Peer: n.Name, ID: w.ID}
 		}
-		suppressed, _ := r.dampNeighborRoute(n, w.Prefix, false)
-		r.emit(telemetry.Event{
-			Kind: telemetry.EventRouteMonitoring, Peer: n.Name, PeerASN: n.ASN,
-			Prefix: w.Prefix, PathID: uint32(w.ID), Withdraw: true,
-		})
-		if r.defaultTable != nil {
-			r.defaultTable.Withdraw(w.Prefix, n.Name, w.ID)
-		}
-		// Export the surviving best path (route servers hold several
-		// paths per prefix), or a withdrawal if none remains — or if
-		// damping suppressed the route, in which case downstream must
-		// stop using it even though the adj-RIB-in keeps what's left.
-		if best := n.Table.Best(w.Prefix); best != nil && !suppressed {
-			r.exportToExperiments(n, w.Prefix, best.Attrs, false)
-			r.exportToMesh(n, w.Prefix, best.Attrs, false)
-		} else {
-			r.exportToExperiments(n, w.Prefix, nil, true)
-			r.exportToMesh(n, w.Prefix, nil, true)
+		removed := n.Table.WithdrawBatch(reqs)
+		for i, w := range withdrawn {
+			if removed[i] == nil {
+				continue
+			}
+			suppressed, _ := r.dampNeighborRoute(n, w.Prefix, false)
+			r.emit(telemetry.Event{
+				Kind: telemetry.EventRouteMonitoring, Peer: n.Name, PeerASN: n.ASN,
+				Prefix: w.Prefix, PathID: uint32(w.ID), Withdraw: true,
+			})
+			if r.defaultTable != nil {
+				r.defaultTable.Withdraw(w.Prefix, n.Name, w.ID)
+			}
+			// Export the surviving best path (route servers hold several
+			// paths per prefix), or a withdrawal if none remains — or if
+			// damping suppressed the route, in which case downstream must
+			// stop using it even though the adj-RIB-in keeps what's left.
+			if best := n.Table.Best(w.Prefix); best != nil && !suppressed {
+				col.exportToExperiments(n, w.Prefix, best.Attrs, false)
+				col.exportToMesh(n, w.Prefix, best.Attrs, false)
+			} else {
+				col.exportToExperiments(n, w.Prefix, nil, true)
+				col.exportToMesh(n, w.Prefix, nil, true)
+			}
 		}
 	}
 
-	process := func(nlri bgp.NLRI, attrs *bgp.PathAttrs) {
+	// Announcements: filter and build the accepted paths first, install
+	// them as one batch per table, then run damping, telemetry, and
+	// export per NLRI against the settled table state.
+	type accepted struct {
+		nlri bgp.NLRI
+		path *rib.Path
+	}
+	var adds []accepted
+	admit := func(nlri bgp.NLRI, attrs *bgp.PathAttrs) {
 		if attrs == nil {
 			return
 		}
@@ -88,43 +112,56 @@ func (r *Router) handleNeighborUpdate(n *Neighbor, u *bgp.Update) {
 		if nlri.Prefix.Addr().Is4() && !n.RouteServer {
 			stored.NextHop = n.Addr
 		}
-		p := &rib.Path{
+		adds = append(adds, accepted{nlri, &rib.Path{
 			Prefix: nlri.Prefix, ID: nlri.ID, Peer: n.Name, Attrs: stored,
 			EBGP: true, Seq: rib.NextSeq(),
 			PeerAddr: n.Addr, PeerRouterID: remoteID,
+		}})
+	}
+	for _, nlri := range u.NLRI {
+		admit(nlri, u.Attrs)
+	}
+	for _, nlri := range u.MPReach {
+		admit(nlri, u.Attrs)
+	}
+	if len(adds) == 0 {
+		return
+	}
+	batch := make([]*rib.Path, len(adds))
+	for i, a := range adds {
+		batch[i] = a.path
+	}
+	n.Table.AddBatch(batch)
+	if r.defaultTable != nil {
+		mirror := make([]*rib.Path, len(adds))
+		for i, a := range adds {
+			dp := *a.path
+			mirror[i] = &dp
 		}
-		n.Table.Add(p)
-		suppressed, entered := r.dampNeighborRoute(n, nlri.Prefix, true)
+		r.defaultTable.AddBatch(mirror)
+	}
+	for _, a := range adds {
+		suppressed, entered := r.dampNeighborRoute(n, a.nlri.Prefix, true)
 		r.emit(telemetry.Event{
 			Kind: telemetry.EventRouteMonitoring, Peer: n.Name, PeerASN: n.ASN,
-			Prefix: nlri.Prefix, PathID: uint32(nlri.ID),
-			NextHop: stored.NextHop, ASPath: stored.ASPathFlat(),
+			Prefix: a.nlri.Prefix, PathID: uint32(a.nlri.ID),
+			NextHop: a.path.Attrs.NextHop, ASPath: a.path.Attrs.ASPathFlat(),
 		})
-		if r.defaultTable != nil {
-			dp := *p
-			r.defaultTable.Add(&dp)
-		}
 		switch {
 		case suppressed && entered:
 			// The flap that crossed the suppress threshold: retract the
 			// route downstream; the adj-RIB-in copy stays for reuse.
-			r.logf("damping: suppressing %s from %s", nlri.Prefix, n.Name)
-			r.exportToExperiments(n, nlri.Prefix, nil, true)
-			r.exportToMesh(n, nlri.Prefix, nil, true)
+			r.logf("damping: suppressing %s from %s", a.nlri.Prefix, n.Name)
+			col.exportToExperiments(n, a.nlri.Prefix, nil, true)
+			col.exportToMesh(n, a.nlri.Prefix, nil, true)
 		case suppressed:
 			// Still suppressed: withhold, and spare downstream the churn.
 		default:
-			if best := n.Table.Best(nlri.Prefix); best != nil {
-				r.exportToExperiments(n, nlri.Prefix, best.Attrs, false)
-				r.exportToMesh(n, nlri.Prefix, best.Attrs, false)
+			if best := n.Table.Best(a.nlri.Prefix); best != nil {
+				col.exportToExperiments(n, a.nlri.Prefix, best.Attrs, false)
+				col.exportToMesh(n, a.nlri.Prefix, best.Attrs, false)
 			}
 		}
-	}
-	for _, nlri := range u.NLRI {
-		process(nlri, u.Attrs)
-	}
-	for _, nlri := range u.MPReach {
-		process(nlri, u.Attrs)
 	}
 }
 
@@ -151,28 +188,100 @@ func (r *Router) dampNeighborRoute(n *Neighbor, prefix netip.Prefix, announce bo
 	return suppressed, suppressed && !was
 }
 
-// exportToExperiments sends one route (or withdrawal) from neighbor n to
-// every connected experiment.
-func (r *Router) exportToExperiments(n *Neighbor, prefix netip.Prefix, attrs *bgp.PathAttrs, withdraw bool) {
-	r.mu.Lock()
-	sessions := make([]*bgp.Session, 0, len(r.experiments))
-	for _, e := range r.experiments {
-		sessions = append(sessions, e.session)
+// exportCollector accumulates the experiment- and mesh-facing UPDATEs
+// produced while processing one inbound event, then delivers each
+// destination its whole block with a single batched write
+// (bgp.Session.SendBatch) at flush, so per-prefix exports stop paying a
+// session write lock and an encode allocation each.
+type exportCollector struct {
+	r    *Router
+	exp  []*bgp.Update
+	mesh []*bgp.Update
+	// Destination existence is checked once per collection so a fan-out
+	// with no experiments (or no mesh peers) costs nothing per route.
+	expChecked, meshChecked bool
+	haveExp, haveMesh       bool
+}
+
+func (r *Router) newCollector() *exportCollector { return &exportCollector{r: r} }
+
+// exportToExperiments queues one route (or withdrawal) from neighbor n
+// for every connected experiment.
+func (c *exportCollector) exportToExperiments(n *Neighbor, prefix netip.Prefix, attrs *bgp.PathAttrs, withdraw bool) {
+	if !c.expChecked {
+		c.expChecked = true
+		c.r.mu.Lock()
+		c.haveExp = len(c.r.experiments) > 0
+		c.r.mu.Unlock()
 	}
-	r.mu.Unlock()
-	if len(sessions) == 0 {
+	if !c.haveExp {
 		return
 	}
-	u := r.experimentUpdate(n, prefix, attrs, withdraw)
-	for _, s := range sessions {
-		if s.State() == bgp.StateEstablished {
-			if err := s.Send(u); err != nil {
+	c.exp = append(c.exp, c.r.experimentUpdate(n, prefix, attrs, withdraw))
+}
+
+// exportToMesh queues one locally learned neighbor route (or
+// withdrawal) for every backbone peer.
+func (c *exportCollector) exportToMesh(n *Neighbor, prefix netip.Prefix, attrs *bgp.PathAttrs, withdraw bool) {
+	if !c.meshChecked {
+		c.meshChecked = true
+		c.r.mu.Lock()
+		c.haveMesh = len(c.r.meshPeers) > 0
+		c.r.mu.Unlock()
+	}
+	if !c.haveMesh {
+		return
+	}
+	c.mesh = append(c.mesh, c.r.meshUpdate(n, prefix, attrs, withdraw))
+}
+
+// flush delivers the accumulated blocks and resets the collector.
+func (c *exportCollector) flush() {
+	r := c.r
+	if len(c.exp) > 0 {
+		r.mu.Lock()
+		sessions := make([]*bgp.Session, 0, len(r.experiments))
+		for _, e := range r.experiments {
+			sessions = append(sessions, e.session)
+		}
+		r.mu.Unlock()
+		for _, s := range sessions {
+			if s.State() != bgp.StateEstablished {
+				continue
+			}
+			if err := s.SendBatch(c.exp); err != nil {
 				r.logf("export to experiment: %v", err)
 				continue
 			}
-			r.metrics.addPathExports.Inc()
+			r.metrics.addPathExports.Add(uint64(len(c.exp)))
 		}
+		c.exp = c.exp[:0]
 	}
+	if len(c.mesh) > 0 {
+		r.mu.Lock()
+		peers := make([]*meshPeer, 0, len(r.meshPeers))
+		for _, p := range r.meshPeers {
+			peers = append(peers, p)
+		}
+		r.mu.Unlock()
+		for _, p := range peers {
+			if s := p.sess(); s != nil && s.State() == bgp.StateEstablished {
+				if err := s.SendBatch(c.mesh); err != nil {
+					r.logf("mesh export to %s: %v", p.name, err)
+				}
+			}
+		}
+		c.mesh = c.mesh[:0]
+	}
+}
+
+// exportToExperiments sends one route (or withdrawal) from neighbor n to
+// every connected experiment (a batch of one; multi-route callers hold
+// their own collector).
+func (r *Router) exportToExperiments(n *Neighbor, prefix netip.Prefix, attrs *bgp.PathAttrs, withdraw bool) {
+	c := r.newCollector()
+	c.exportToExperiments(n, prefix, attrs, withdraw)
+	c.flush()
 }
 
 // experimentUpdate builds the experiment-facing UPDATE for one route of
@@ -209,38 +318,28 @@ func localIP6(globalIP netip.Addr) netip.Addr {
 	return netip.AddrFrom16(raw)
 }
 
-// exportToMesh relays a locally learned neighbor route to every backbone
-// peer with the neighbor's GlobalIP as next hop and its platform ID as
-// the path ID, so remote PoPs can reconstruct per-neighbor tables
-// (Fig. 5).
-func (r *Router) exportToMesh(n *Neighbor, prefix netip.Prefix, attrs *bgp.PathAttrs, withdraw bool) {
-	r.mu.Lock()
-	peers := make([]*meshPeer, 0, len(r.meshPeers))
-	for _, p := range r.meshPeers {
-		peers = append(peers, p)
-	}
-	r.mu.Unlock()
-	if len(peers) == 0 {
-		return
-	}
-	var u *bgp.Update
+// meshUpdate builds the backbone-facing UPDATE for one neighbor route
+// or its withdrawal.
+func (r *Router) meshUpdate(n *Neighbor, prefix netip.Prefix, attrs *bgp.PathAttrs, withdraw bool) *bgp.Update {
 	if withdraw {
 		nlri := bgp.NLRI{Prefix: prefix, ID: bgp.PathID(n.ID)}
 		if prefix.Addr().Is6() {
-			u = &bgp.Update{Attrs: &bgp.PathAttrs{}, MPUnreach: []bgp.NLRI{nlri}}
-		} else {
-			u = &bgp.Update{Withdrawn: []bgp.NLRI{nlri}}
+			return &bgp.Update{Attrs: &bgp.PathAttrs{}, MPUnreach: []bgp.NLRI{nlri}}
 		}
-	} else {
-		u = r.meshUpdateForNeighborRoute(n, prefix, attrs)
+		return &bgp.Update{Withdrawn: []bgp.NLRI{nlri}}
 	}
-	for _, p := range peers {
-		if s := p.sess(); s != nil && s.State() == bgp.StateEstablished {
-			if err := s.Send(u); err != nil {
-				r.logf("mesh export to %s: %v", p.name, err)
-			}
-		}
-	}
+	return r.meshUpdateForNeighborRoute(n, prefix, attrs)
+}
+
+// exportToMesh relays a locally learned neighbor route to every backbone
+// peer with the neighbor's GlobalIP as next hop and its platform ID as
+// the path ID, so remote PoPs can reconstruct per-neighbor tables
+// (Fig. 5). A batch of one; multi-route callers hold their own
+// collector.
+func (r *Router) exportToMesh(n *Neighbor, prefix netip.Prefix, attrs *bgp.PathAttrs, withdraw bool) {
+	c := r.newCollector()
+	c.exportToMesh(n, prefix, attrs, withdraw)
+	c.flush()
 }
 
 // experimentGRTime is the graceful-restart window advertised on
@@ -298,8 +397,13 @@ func (r *Router) ConnectExperiment(name string, expASN uint32, conn net.Conn) (*
 	return sess, nil
 }
 
+// dumpBlockSize bounds how many UPDATEs a table replay hands to one
+// SendBatch call, so a million-route dump streams in blocks instead of
+// materializing one giant frame run.
+const dumpBlockSize = 128
+
 // dumpTablesToExperiment replays every neighbor's routes to a newly
-// established experiment session.
+// established experiment session in batched blocks.
 func (r *Router) dumpTablesToExperiment(e *expConn) {
 	r.logf("experiment %s established, dumping tables", e.name)
 	r.mu.Lock()
@@ -316,17 +420,24 @@ func (r *Router) dumpTablesToExperiment(e *expConn) {
 		var entries []entry
 		// One route per prefix per neighbor: the decision-process best,
 		// matching what incremental exports deliver (route servers hold
-		// several member paths per prefix).
+		// several member paths per prefix). Entries are collected first —
+		// experimentUpdate may take router locks, which must not nest
+		// inside the table's shard locks.
 		n.Table.WalkBest(func(prefix netip.Prefix, best *rib.Path) bool {
 			entries = append(entries, entry{prefix, best.Attrs})
 			return true
 		})
-		for _, en := range entries {
-			if err := e.session.Send(r.experimentUpdate(n, en.prefix, en.attrs, false)); err != nil {
+		for start := 0; start < len(entries); start += dumpBlockSize {
+			end := min(start+dumpBlockSize, len(entries))
+			us := make([]*bgp.Update, 0, end-start)
+			for _, en := range entries[start:end] {
+				us = append(us, r.experimentUpdate(n, en.prefix, en.attrs, false))
+			}
+			if err := e.session.SendBatch(us); err != nil {
 				r.logf("table dump to %s: %v", e.name, err)
 				return
 			}
-			r.metrics.addPathExports.Inc()
+			r.metrics.addPathExports.Add(uint64(end - start))
 		}
 	}
 	// End-of-RIB after the initial dump (RFC 4724 §3): lets a restarting
@@ -699,13 +810,15 @@ func (r *Router) neighborDown(n *Neighbor, err error) {
 	r.emit(telemetry.Event{Kind: telemetry.EventPeerDown, Peer: n.Name, PeerASN: n.ASN, Reason: closeReason(err)})
 	removed := n.Table.WithdrawPeer(n.Name)
 	r.syncNeighborRoutesGauge(n)
+	col := r.newCollector()
 	for _, p := range removed {
 		if r.defaultTable != nil {
 			r.defaultTable.Withdraw(p.Prefix, n.Name, 0)
 		}
-		r.exportToExperiments(n, p.Prefix, nil, true)
-		r.exportToMesh(n, p.Prefix, nil, true)
+		col.exportToExperiments(n, p.Prefix, nil, true)
+		col.exportToMesh(n, p.Prefix, nil, true)
 	}
+	col.flush()
 	r.mu.Lock()
 	delete(r.byRealMAC, n.realMAC)
 	r.mu.Unlock()

@@ -151,9 +151,13 @@ func (r *Router) dumpToMeshPeer(p *meshPeer) {
 			}
 			return true
 		})
-		for _, en := range entries {
-			u := r.meshUpdateForNeighborRoute(n, en.prefix, en.attrs)
-			if err := s.Send(u); err != nil {
+		for start := 0; start < len(entries); start += dumpBlockSize {
+			end := min(start+dumpBlockSize, len(entries))
+			us := make([]*bgp.Update, 0, end-start)
+			for _, en := range entries[start:end] {
+				us = append(us, r.meshUpdateForNeighborRoute(n, en.prefix, en.attrs))
+			}
+			if err := s.SendBatch(us); err != nil {
 				r.logf("mesh dump to %s: %v", p.name, err)
 				return
 			}
@@ -200,6 +204,7 @@ func (r *Router) dumpToMeshPeer(p *meshPeer) {
 			return
 		}
 	}
+	expUpdates := make([]*bgp.Update, 0, len(expEntries))
 	for _, en := range expEntries {
 		out := en.attrs.Clone()
 		ts := targets[expRouteKey{en.prefix, en.owner, en.id}]
@@ -214,7 +219,11 @@ func (r *Router) dumpToMeshPeer(p *meshPeer) {
 			out.NextHop = bb.PrimaryAddr()
 			u = &bgp.Update{Attrs: out, NLRI: []bgp.NLRI{nlri}}
 		}
-		if err := s.Send(u); err != nil {
+		expUpdates = append(expUpdates, u)
+	}
+	for start := 0; start < len(expUpdates); start += dumpBlockSize {
+		end := min(start+dumpBlockSize, len(expUpdates))
+		if err := s.SendBatch(expUpdates[start:end]); err != nil {
 			r.logf("mesh dump to %s: %v", p.name, err)
 			return
 		}
@@ -334,6 +343,7 @@ func (r *Router) remoteNeighbor(globalIP netip.Addr, id uint32, asn uint32) (*Ne
 		routesGauge: telemetry.Default().Gauge("core_neighbor_routes",
 			telemetry.L("pop", r.cfg.Name), telemetry.L("neighbor", name)),
 	}
+	n.Table.EnableAutoSnapshot(r.snapshotEvery())
 	r.neighbors[name] = n
 	r.byLocalMAC[n.LocalMAC] = n
 	if r.expIfc != nil {
@@ -440,9 +450,11 @@ func (r *Router) meshPeerDown(p *meshPeer, err error) {
 	// remote tables; peers still up will re-announce (route refresh).
 	for _, n := range remotes {
 		removed := n.Table.WithdrawPeer(n.Name)
+		col := r.newCollector()
 		for _, pt := range removed {
-			r.exportToExperiments(n, pt.Prefix, nil, true)
+			col.exportToExperiments(n, pt.Prefix, nil, true)
 		}
+		col.flush()
 	}
 	owner := "mesh:" + p.name
 	var prefixes []netip.Prefix

@@ -64,6 +64,12 @@ type Config struct {
 	// does not need it because experiments pick their own routes. This
 	// is the third curve of Fig. 6a.
 	MaintainDefaultTable bool
+	// SnapshotInterval sets rib.Table auto-snapshotting on every table
+	// the router creates: after this many table versions a compressed
+	// read-only FIB snapshot is rebuilt, letting data-plane lookups run
+	// lock-free. Zero applies DefaultSnapshotInterval; negative disables
+	// snapshots entirely.
+	SnapshotInterval int
 	// Logf, when set, receives router event logs.
 	Logf func(format string, args ...any)
 }
@@ -242,6 +248,10 @@ type Router struct {
 	metrics routerMetrics
 }
 
+// DefaultSnapshotInterval is the table-version stride between FIB
+// snapshot rebuilds when Config.SnapshotInterval is zero.
+const DefaultSnapshotInterval = 1024
+
 // NewRouter creates a vBGP router.
 func NewRouter(cfg Config) *Router {
 	if !cfg.LocalPool.IsValid() {
@@ -267,8 +277,10 @@ func NewRouter(cfg Config) *Router {
 		expRoutes:   rib.NewTable(cfg.Name + ":exp-routes"),
 		metrics:     newRouterMetrics(cfg.Name),
 	}
+	r.expRoutes.EnableAutoSnapshot(r.snapshotEvery())
 	if cfg.MaintainDefaultTable {
 		r.defaultTable = rib.NewTable(cfg.Name + ":default")
+		r.defaultTable.EnableAutoSnapshot(r.snapshotEvery())
 	}
 	if cfg.Damping != nil {
 		dc := *cfg.Damping
@@ -276,6 +288,20 @@ func NewRouter(cfg Config) *Router {
 		r.damper = guard.NewDamper(dc)
 	}
 	return r
+}
+
+// snapshotEvery resolves Config.SnapshotInterval to the value handed to
+// rib.Table.EnableAutoSnapshot: the default stride when unset, 0
+// (disabled) when negative.
+func (r *Router) snapshotEvery() int {
+	switch {
+	case r.cfg.SnapshotInterval < 0:
+		return 0
+	case r.cfg.SnapshotInterval == 0:
+		return DefaultSnapshotInterval
+	default:
+		return r.cfg.SnapshotInterval
+	}
 }
 
 // Name returns the router's PoP name.
@@ -452,6 +478,7 @@ func (r *Router) AddNeighbor(cfg NeighborConfig) (*Neighbor, error) {
 		routesGauge: telemetry.Default().Gauge("core_neighbor_routes",
 			telemetry.L("pop", r.cfg.Name), telemetry.L("neighbor", cfg.Name)),
 	}
+	n.Table.EnableAutoSnapshot(r.snapshotEvery())
 	r.neighbors[cfg.Name] = n
 	r.byLocalMAC[n.LocalMAC] = n
 	r.byGlobalIP[globalIP] = n

@@ -16,9 +16,10 @@ import "net/netip"
 // state. Note that re-adding a path through Table.Add installs a fresh
 // (unmarked) copy; callers re-mark on each suppressed update.
 func (t *Table) MarkDamped(prefix netip.Prefix, peer string, damped bool) int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	paths, ok := t.trie.Get(prefix)
+	sh := t.shardFor(prefix)
+	t.lockWrite(sh)
+	defer sh.mu.Unlock()
+	paths, ok := sh.trie.Get(prefix)
 	if !ok {
 		return 0
 	}
@@ -43,17 +44,17 @@ func (t *Table) MarkDamped(prefix netip.Prefix, peer string, damped bool) int {
 			marked++
 		}
 	}
-	t.trie.Insert(prefix, out)
+	sh.trie.Insert(prefix, out)
 	return marked
 }
 
 // DampedCount returns how many paths are currently marked damped
 // (all peers, both families).
 func (t *Table) DampedCount() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	n := 0
-	t.trie.Walk(func(_ netip.Prefix, paths []*Path) bool {
+	t.rlockAll()
+	defer t.runlockAll()
+	t.walkLocked(func(_ netip.Prefix, paths []*Path) bool {
 		for _, e := range paths {
 			if e.Damped {
 				n++

@@ -1,0 +1,398 @@
+package rib
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"testing"
+)
+
+// shardCounts is the grid the sharding invariant tests sweep: the
+// pre-sharding single-lock layout, a non-default power of two, the
+// default, and an oversized count that forces short prefixes into the
+// spill shard at several shardBits values.
+var shardCounts = []int{1, 2, 16, 64}
+
+// shardTestPrefixes returns a mixed prefix set that exercises every
+// sharding corner: default routes and other prefixes too short to be
+// sharded (spill), host routes, both address families, and a spread of
+// /24s and /48s landing in many different shards.
+func shardTestPrefixes() []netip.Prefix {
+	ps := []netip.Prefix{
+		pfx("0.0.0.0/0"), pfx("0.0.0.0/3"), pfx("128.0.0.0/1"), pfx("10.0.0.0/7"),
+		pfx("::/0"), pfx("2000::/3"), pfx("2001:db8::/32"), pfx("2001:db8:1::/48"),
+		pfx("203.0.113.7/32"), pfx("2001:db8::1/128"),
+	}
+	for i := 0; i < 64; i++ {
+		a := netip.AddrFrom4([4]byte{byte(i * 37), byte(i * 11), byte(i), 0})
+		ps = append(ps, netip.PrefixFrom(a, 24).Masked())
+		b6 := pfx("2001:db8::/32").Addr().As16()
+		b6[4], b6[5] = byte(i*53), byte(i)
+		ps = append(ps, netip.PrefixFrom(netip.AddrFrom16(b6), 48).Masked())
+	}
+	seen := map[netip.Prefix]bool{}
+	out := ps[:0]
+	for _, p := range ps {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// bruteLookup is the reference longest-prefix match over a plain map.
+func bruteLookup(set map[netip.Prefix]*Path, addr netip.Addr) *Path {
+	var best *Path
+	bestBits := -1
+	for p, pa := range set {
+		if p.Contains(addr) && p.Bits() > bestBits {
+			best, bestBits = pa, p.Bits()
+		}
+	}
+	return best
+}
+
+// TestShardInvariants checks that every shard count yields the same
+// table semantics: counts, exact-match paths, best selection, and LPM
+// lookups (including spill fallbacks for short prefixes).
+func TestShardInvariants(t *testing.T) {
+	prefixes := shardTestPrefixes()
+	addrs := []netip.Addr{
+		ip("0.0.0.1"), ip("9.255.255.255"), ip("10.1.2.3"), ip("129.0.0.1"),
+		ip("203.0.113.7"), ip("203.0.113.8"), ip("255.255.255.255"),
+		ip("::1"), ip("2001:db8::1"), ip("2001:db8::2"), ip("2001:db8:1::9"),
+		ip("fe80::1"),
+	}
+	for _, p := range prefixes {
+		if p.Addr().Is4() {
+			addrs = append(addrs, p.Addr())
+		}
+	}
+	for _, shards := range shardCounts {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			tb := NewTableShards("inv", shards)
+			ref := map[netip.Prefix]*Path{}
+			for i, p := range prefixes {
+				best := &Path{Prefix: p, Peer: "a", Attrs: attrsVia(65001), EBGP: true, Seq: uint64(2*i + 1)}
+				worse := &Path{Prefix: p, Peer: "b", Attrs: attrsVia(65002, 65003), EBGP: true, Seq: uint64(2*i + 2)}
+				tb.Add(worse)
+				tb.Add(best)
+				ref[p] = best
+			}
+			if got := tb.Prefixes(); got != len(prefixes) {
+				t.Fatalf("Prefixes() = %d, want %d", got, len(prefixes))
+			}
+			if got := tb.PathCount(); got != 2*len(prefixes) {
+				t.Fatalf("PathCount() = %d, want %d", got, 2*len(prefixes))
+			}
+			for p, want := range ref {
+				if got := len(tb.Paths(p)); got != 2 {
+					t.Fatalf("%s: %d paths, want 2", p, got)
+				}
+				if got := tb.Best(p); got != want {
+					t.Errorf("Best(%s) = %v, want path via a", p, got)
+				}
+			}
+			for _, a := range addrs {
+				if got, want := tb.Lookup(a), bruteLookup(ref, a); got != want {
+					t.Errorf("Lookup(%s) = %v, want %v", a, got, want)
+				}
+			}
+			// Withdrawing the winners leaves the runners-up in place.
+			for p := range ref {
+				if tb.Withdraw(p, "a", 0) == nil {
+					t.Fatalf("withdraw %s from a returned nil", p)
+				}
+			}
+			if got := tb.PathCount(); got != len(prefixes) {
+				t.Fatalf("PathCount() after withdraw = %d, want %d", got, len(prefixes))
+			}
+			for p := range ref {
+				if got := tb.Best(p); got == nil || got.Peer != "b" {
+					t.Fatalf("Best(%s) after withdraw = %v, want path via b", p, got)
+				}
+			}
+		})
+	}
+}
+
+// TestWalkDeterministicAcrossShards locks in the cross-shard Walk
+// contract: the visit order is (family, address, prefix length) —
+// identical for every shard count and independent of insertion order.
+func TestWalkDeterministicAcrossShards(t *testing.T) {
+	prefixes := shardTestPrefixes()
+	var want []netip.Prefix // collected from shards=1, then verified sorted
+	for _, shards := range shardCounts {
+		rng := rand.New(rand.NewSource(int64(shards)))
+		order := rng.Perm(len(prefixes))
+		tb := NewTableShards("walk", shards)
+		for _, i := range order {
+			tb.Add(&Path{Prefix: prefixes[i], Peer: "a", Attrs: attrsVia(65001), Seq: uint64(i + 1)})
+		}
+		var got []netip.Prefix
+		tb.Walk(func(p netip.Prefix, paths []*Path) bool {
+			got = append(got, p)
+			return true
+		})
+		if len(got) != len(prefixes) {
+			t.Fatalf("shards=%d: walked %d prefixes, want %d", shards, len(got), len(prefixes))
+		}
+		for i := 1; i < len(got); i++ {
+			a, b := got[i-1], got[i]
+			if a.Addr().Is4() && b.Addr().Is6() {
+				continue // family boundary
+			}
+			if a.Addr().Is6() && b.Addr().Is4() {
+				t.Fatalf("shards=%d: IPv4 %s after IPv6 %s", shards, b, a)
+			}
+			if cmpPrefix(a, b) >= 0 {
+				t.Fatalf("shards=%d: walk order not strictly increasing: %s then %s", shards, a, b)
+			}
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: walk[%d] = %s, want %s (differs from shards=1)", shards, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentShardSoak hammers one table with concurrent adds,
+// withdraws, lookups, walks, and snapshot builds. Run under -race this
+// is the shard-locking soak; the final state check catches lost updates.
+func TestConcurrentShardSoak(t *testing.T) {
+	tb := NewTableShards("soak", 16)
+	tb.EnableAutoSnapshot(64)
+	const writers, perWriter, iters = 4, 64, 40
+	var wg, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			peer := fmt.Sprintf("peer%d", w)
+			prefixes := make([]netip.Prefix, perWriter)
+			for i := range prefixes {
+				prefixes[i] = netip.PrefixFrom(netip.AddrFrom4([4]byte{byte(w*64 + i), byte(i), 0, 0}), 24)
+			}
+			for it := 0; it < iters; it++ {
+				batch := make([]*Path, len(prefixes))
+				for i, p := range prefixes {
+					batch[i] = &Path{Prefix: p, Peer: peer, Attrs: attrsVia(65001), Seq: uint64(it + 1)}
+				}
+				tb.AddBatch(batch)
+				if it == iters-1 {
+					break // leave the last generation installed
+				}
+				reqs := make([]WithdrawRequest, len(prefixes))
+				for i, p := range prefixes {
+					reqs[i] = WithdrawRequest{Prefix: p, Peer: peer}
+				}
+				for i, rm := range tb.WithdrawBatch(reqs) {
+					if rm == nil {
+						t.Errorf("writer %d iter %d: withdraw %s lost", w, it, prefixes[i])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tb.Lookup(netip.AddrFrom4([4]byte{byte(i), byte(i >> 8), 1, 1}))
+				if i%64 == 0 {
+					tb.Walk(func(netip.Prefix, []*Path) bool { return true })
+					tb.BuildSnapshot()
+					if s := tb.ReadSnapshot(); s == nil {
+						t.Error("ReadSnapshot returned nil after BuildSnapshot")
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if got, want := tb.PathCount(), writers*perWriter; got != want {
+		t.Fatalf("PathCount after soak = %d, want %d", got, want)
+	}
+	if got, want := tb.Prefixes(), writers*perWriter; got != want {
+		t.Fatalf("Prefixes after soak = %d, want %d", got, want)
+	}
+}
+
+// TestCountersRace verifies the churn counters are exact under
+// concurrent mutation — the atomics fix for the former read-modify-write
+// race on Adds/Withdraws.
+func TestCountersRace(t *testing.T) {
+	tb := NewTable("counters")
+	const workers, iters = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(w), 0, 0}), 24)
+			peer := fmt.Sprintf("peer%d", w)
+			for i := 0; i < iters; i++ {
+				tb.Add(&Path{Prefix: p, Peer: peer, Attrs: attrsVia(65001), Seq: uint64(i + 1)})
+				tb.Withdraw(p, peer, 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := tb.Stats()
+	if st.Adds != workers*iters || st.Withdraws != workers*iters {
+		t.Fatalf("Adds=%d Withdraws=%d, want %d each", st.Adds, st.Withdraws, workers*iters)
+	}
+	if tb.PathCount() != 0 || tb.Prefixes() != 0 {
+		t.Fatalf("table not empty: paths=%d prefixes=%d", tb.PathCount(), tb.Prefixes())
+	}
+	if st.WriteLocks != 2*workers*iters {
+		t.Fatalf("WriteLocks=%d, want %d", st.WriteLocks, 2*workers*iters)
+	}
+}
+
+// TestLookupTakesNoWriteLocks is the in-package version of the bench
+// guard: a pure lookup phase must leave the write-lock counter unchanged
+// whether served from the snapshot or the locked fallback.
+func TestLookupTakesNoWriteLocks(t *testing.T) {
+	for _, snap := range []bool{false, true} {
+		tb := NewTableShards("ro", 16)
+		for i := 0; i < 256; i++ {
+			p := netip.PrefixFrom(netip.AddrFrom4([4]byte{byte(i), 1, 0, 0}), 24)
+			tb.Add(&Path{Prefix: p, Peer: "a", Attrs: attrsVia(65001), Seq: uint64(i + 1)})
+		}
+		if snap {
+			tb.BuildSnapshot()
+		}
+		before := tb.Stats().WriteLocks
+		for i := 0; i < 1024; i++ {
+			tb.Lookup(netip.AddrFrom4([4]byte{byte(i), 1, 0, 9}))
+		}
+		st := tb.Stats()
+		if st.WriteLocks != before {
+			t.Fatalf("snapshot=%v: lookups took %d write locks", snap, st.WriteLocks-before)
+		}
+		if snap && st.SnapshotLookups == 0 {
+			t.Fatalf("no lookups served from the fresh snapshot")
+		}
+	}
+}
+
+// TestTrieUpsertSingleDescent covers the read-modify-write entry point
+// the add path uses: insert-if-absent, in-place replace, and size
+// accounting.
+func TestTrieUpsertSingleDescent(t *testing.T) {
+	tr := NewTrie[int](false)
+	tr.Upsert(pfx("10.0.0.0/24"), func(old int, ok bool) int {
+		if ok {
+			t.Fatalf("first upsert saw existing value %d", old)
+		}
+		return 1
+	})
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after insert", tr.Len())
+	}
+	tr.Upsert(pfx("10.0.0.0/24"), func(old int, ok bool) int {
+		if !ok || old != 1 {
+			t.Fatalf("second upsert saw (%d, %v)", old, ok)
+		}
+		return 2
+	})
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after replace", tr.Len())
+	}
+	if v, ok := tr.Get(pfx("10.0.0.0/24")); !ok || v != 2 {
+		t.Fatalf("Get = (%d, %v)", v, ok)
+	}
+	// A branch-prefix upsert (the split where p is the common prefix).
+	tr.Insert(pfx("10.0.1.0/24"), 3)
+	tr.Upsert(pfx("10.0.0.0/23"), func(_ int, ok bool) int {
+		if ok {
+			t.Fatal("branch prefix reported as existing")
+		}
+		return 4
+	})
+	if v, ok := tr.Get(pfx("10.0.0.0/23")); !ok || v != 4 {
+		t.Fatalf("branch Get = (%d, %v)", v, ok)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+}
+
+// TestTrieNodeRecycling checks that pruned nodes go through the arena
+// freelist and get reused by later inserts, and that churned tries stay
+// correct.
+func TestTrieNodeRecycling(t *testing.T) {
+	tr := NewTrie[int](false)
+	tr.Insert(pfx("10.0.0.0/24"), 1)
+	tr.Insert(pfx("10.0.1.0/24"), 2)
+	if tr.free != nil {
+		t.Fatal("freelist non-empty before any removal")
+	}
+	if !tr.Remove(pfx("10.0.1.0/24")) {
+		t.Fatal("Remove returned false")
+	}
+	if tr.free == nil {
+		t.Fatal("pruned leaf was not recycled onto the freelist")
+	}
+	tr.Insert(pfx("192.168.0.0/16"), 3)
+	if tr.free != nil {
+		t.Fatal("insert did not consume the recycled node")
+	}
+	// Churn a window of prefixes and verify contents survive reuse.
+	for it := 0; it < 10; it++ {
+		for i := 0; i < 32; i++ {
+			tr.Insert(netip.PrefixFrom(netip.AddrFrom4([4]byte{172, 16, byte(i), 0}), 24), it*100+i)
+		}
+		for i := 0; i < 32; i++ {
+			p := netip.PrefixFrom(netip.AddrFrom4([4]byte{172, 16, byte(i), 0}), 24)
+			if v, ok := tr.Get(p); !ok || v != it*100+i {
+				t.Fatalf("iter %d: Get(%s) = (%d, %v)", it, p, v, ok)
+			}
+			if !tr.Remove(p) {
+				t.Fatalf("iter %d: Remove(%s) failed", it, p)
+			}
+		}
+	}
+	if v, ok := tr.Get(pfx("10.0.0.0/24")); !ok || v != 1 {
+		t.Fatalf("survivor lost after churn: (%d, %v)", v, ok)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+}
+
+// TestTrieLookupFamilyMismatch pins the integer-key subtlety: the root
+// node's key (/0) matches any 128-bit value, so Lookup must reject the
+// wrong address family explicitly rather than serve a cross-family
+// default route.
+func TestTrieLookupFamilyMismatch(t *testing.T) {
+	tr := NewTrie[int](false)
+	tr.Insert(pfx("0.0.0.0/0"), 1)
+	if _, _, ok := tr.Lookup(ip("2001:db8::1")); ok {
+		t.Fatal("IPv4 trie answered an IPv6 lookup")
+	}
+	tr6 := NewTrie[int](true)
+	tr6.Insert(pfx("::/0"), 1)
+	if _, _, ok := tr6.Lookup(ip("10.0.0.1")); ok {
+		t.Fatal("IPv6 trie answered an IPv4 lookup")
+	}
+}

@@ -12,46 +12,44 @@ import "net/netip"
 // MarkPeerStale marks every path learned from peer as stale, returning
 // the number marked. Marking is copy-on-write: shared *Path values are
 // never mutated, each marked slot gets a stale copy, so concurrent
-// readers holding the old slice see consistent state.
+// readers holding the old slice see consistent state. Shards are marked
+// one at a time; readers may briefly see a partially marked table.
 func (t *Table) MarkPeerStale(peer string) int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	var updates []struct {
-		p     netip.Prefix
-		paths []*Path
-	}
 	marked := 0
-	t.trie.Walk(func(p netip.Prefix, paths []*Path) bool {
-		changed := false
-		for _, e := range paths {
-			if e.Peer == peer && !e.Stale {
-				changed = true
-				break
+	t.eachShard(func(sh *shard) {
+		t.lockWrite(sh)
+		defer sh.mu.Unlock()
+		var updates []tableEntry
+		sh.trie.Walk(func(p netip.Prefix, paths []*Path) bool {
+			changed := false
+			for _, e := range paths {
+				if e.Peer == peer && !e.Stale {
+					changed = true
+					break
+				}
 			}
-		}
-		if !changed {
+			if !changed {
+				return true
+			}
+			out := make([]*Path, len(paths))
+			copy(out, paths)
+			for i, e := range out {
+				if e.Peer == peer && !e.Stale {
+					c := *e
+					c.Stale = true
+					out[i] = &c
+					marked++
+				}
+			}
+			updates = append(updates, tableEntry{p, out})
 			return true
+		})
+		for _, u := range updates {
+			sh.trie.Insert(u.prefix, u.paths)
 		}
-		out := make([]*Path, len(paths))
-		copy(out, paths)
-		for i, e := range out {
-			if e.Peer == peer && !e.Stale {
-				c := *e
-				c.Stale = true
-				out[i] = &c
-				marked++
-			}
-		}
-		updates = append(updates, struct {
-			p     netip.Prefix
-			paths []*Path
-		}{p, out})
-		return true
 	})
-	for _, u := range updates {
-		t.trie.Insert(u.p, u.paths)
-	}
 	ribStaleMarked.Add(uint64(marked))
+	t.maybeSnapshot(0)
 	return marked
 }
 
@@ -60,55 +58,31 @@ func (t *Table) MarkPeerStale(peer string) int {
 // Paths re-learned since MarkPeerStale were replaced by fresh copies and
 // survive. Safe to call late: it only ever removes paths still marked.
 func (t *Table) SweepStale(peer string, v6 bool) []*Path {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	var removed []*Path
-	var updates []struct {
-		p    netip.Prefix
-		left []*Path
-	}
-	t.trie.Walk(func(p netip.Prefix, paths []*Path) bool {
-		if p.Addr().Is6() != v6 {
-			return true
-		}
-		var left []*Path
-		for _, e := range paths {
-			if e.Peer == peer && e.Stale {
-				removed = append(removed, e)
-			} else {
-				left = append(left, e)
-			}
-		}
-		if len(left) != len(paths) {
-			updates = append(updates, struct {
-				p    netip.Prefix
-				left []*Path
-			}{p, left})
-		}
-		return true
+	t.eachShard(func(sh *shard) {
+		t.lockWrite(sh)
+		removed = append(removed, t.removeMatchingLocked(sh, func(p netip.Prefix, e *Path) bool {
+			return p.Addr().Is6() == v6 && e.Peer == peer && e.Stale
+		})...)
+		sh.mu.Unlock()
 	})
-	for _, u := range updates {
-		if len(u.left) == 0 {
-			t.trie.Remove(u.p)
-		} else {
-			t.trie.Insert(u.p, u.left)
-		}
-	}
-	t.paths -= len(removed)
-	t.Withdraws += uint64(len(removed))
-	ribWithdraws.Add(uint64(len(removed)))
-	ribStaleSwept.Add(uint64(len(removed)))
-	ribPaths.Add(-int64(len(removed)))
+	n := len(removed)
+	t.paths.Add(-int64(n))
+	t.withdraws.Add(uint64(n))
+	ribWithdraws.Add(uint64(n))
+	ribStaleSwept.Add(uint64(n))
+	ribPaths.Add(-int64(n))
+	t.maybeSnapshot(0)
 	return removed
 }
 
 // StaleCount returns how many of peer's paths are currently stale
 // (both families).
 func (t *Table) StaleCount(peer string) int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	n := 0
-	t.trie.Walk(func(_ netip.Prefix, paths []*Path) bool {
+	t.rlockAll()
+	defer t.runlockAll()
+	t.walkLocked(func(_ netip.Prefix, paths []*Path) bool {
 		for _, e := range paths {
 			if e.Peer == peer && e.Stale {
 				n++

@@ -3,8 +3,8 @@ package rib
 import "repro/internal/telemetry"
 
 // Route-churn counters aggregated across every table in the process
-// (per-table Adds/Withdraws stay on the Table for the Fig. 6b
-// accounting). ribPaths tracks live paths; tables that are dropped
+// (per-table counts stay on the Table — see Table.Stats — for the
+// Fig. 6b accounting). ribPaths tracks live paths; tables that are dropped
 // wholesale (e.g. a neighbor removed with its Adj-RIBs) leave their
 // residue in the gauge, which is acceptable for an occupancy signal.
 var (
@@ -17,6 +17,9 @@ var (
 	// re-advertisement.
 	ribStaleMarked *telemetry.Counter
 	ribStaleSwept  *telemetry.Counter
+	// ribSnapshotBuilds counts FIB-snapshot rebuilds (explicit and
+	// auto-maintained) across every table.
+	ribSnapshotBuilds *telemetry.Counter
 )
 
 func init() {
@@ -26,4 +29,5 @@ func init() {
 	ribPaths = reg.Gauge("rib_paths")
 	ribStaleMarked = reg.Counter("rib_stale_marked_total")
 	ribStaleSwept = reg.Counter("rib_stale_swept_total")
+	ribSnapshotBuilds = reg.Counter("rib_snapshot_builds_total")
 }

@@ -6,14 +6,23 @@
 package rib
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"net/netip"
 )
 
 // trieNode is a node in a binary radix trie. Nodes with value==nil are
-// internal branching points.
+// internal branching points. The prefix is stored as its address
+// normalized into the 128-bit space (IPv4 in the top 32 bits of hi, see
+// addrHalves) plus the prefix length — 48 bytes per node instead of the
+// 112 a netip.Prefix-keyed node costs, so a million-route trie fits
+// twice as many nodes per cache line, allocates half the memory, and
+// descents compare and branch on integers. The netip form is
+// reconstructed on demand (nodePrefix) for walks and lookup results.
 type trieNode[V any] struct {
-	prefix   netip.Prefix
+	hi, lo   uint64
+	bits     uint8
 	value    *V
 	children [2]*trieNode[V]
 }
@@ -25,51 +34,112 @@ type Trie[V any] struct {
 	root *trieNode[V]
 	v6   bool
 	size int
+	// Nodes are carved out of chunked arenas (amortizing allocator and
+	// GC-mark work over thousands of nodes) and recycled through a
+	// freelist threaded via children[0] when pruned. Old chunks stay
+	// reachable through the tree itself; arena holds only the chunk
+	// currently being filled.
+	arena []trieNode[V]
+	free  *trieNode[V]
 }
+
+// trieArenaMax caps arena chunk size; chunks double from 8 up to this,
+// so small tries stay small and million-node tries allocate rarely.
+const trieArenaMax = 4096
 
 // NewTrie creates a trie for IPv4 (v6=false) or IPv6 (v6=true) prefixes.
 func NewTrie[V any](v6 bool) *Trie[V] {
-	bits := 0
-	var addr netip.Addr
-	if v6 {
-		addr = netip.IPv6Unspecified()
-	} else {
-		addr = netip.IPv4Unspecified()
+	t := &Trie[V]{v6: v6}
+	t.root = t.newNode(0, 0, 0)
+	return t
+}
+
+// newNode returns a valueless node keyed (hi, lo, nb), reusing a pruned
+// node when one is free.
+func (t *Trie[V]) newNode(hi, lo uint64, nb int) *trieNode[V] {
+	if n := t.free; n != nil {
+		t.free = n.children[0]
+		*n = trieNode[V]{hi: hi, lo: lo, bits: uint8(nb)}
+		return n
 	}
-	return &Trie[V]{root: &trieNode[V]{prefix: netip.PrefixFrom(addr, bits)}, v6: v6}
+	if len(t.arena) == cap(t.arena) {
+		next := 2 * cap(t.arena)
+		if next < 8 {
+			next = 8
+		}
+		if next > trieArenaMax {
+			next = trieArenaMax
+		}
+		t.arena = make([]trieNode[V], 0, next)
+	}
+	t.arena = t.arena[:len(t.arena)+1]
+	n := &t.arena[len(t.arena)-1]
+	n.hi, n.lo, n.bits = hi, lo, uint8(nb)
+	return n
+}
+
+// freeNode recycles a detached node into the freelist.
+func (t *Trie[V]) freeNode(n *trieNode[V]) {
+	*n = trieNode[V]{}
+	n.children[0] = t.free
+	t.free = n
+}
+
+// nodePrefix reconstructs the netip form of a node's key.
+func (t *Trie[V]) nodePrefix(n *trieNode[V]) netip.Prefix {
+	if t.v6 {
+		var raw [16]byte
+		binary.BigEndian.PutUint64(raw[:8], n.hi)
+		binary.BigEndian.PutUint64(raw[8:], n.lo)
+		return netip.PrefixFrom(netip.AddrFrom16(raw), int(n.bits))
+	}
+	var raw [4]byte
+	binary.BigEndian.PutUint32(raw[:], uint32(n.hi>>32))
+	return netip.PrefixFrom(netip.AddrFrom4(raw), int(n.bits))
 }
 
 // Len returns the number of prefixes with values in the trie.
 func (t *Trie[V]) Len() int { return t.size }
 
-// bitAt returns bit i (0 = most significant) of the address.
-func bitAt(a netip.Addr, i int) int {
-	raw := a.AsSlice()
-	return int(raw[i/8]>>(7-i%8)) & 1
+// bit128 returns bit i (0 = most significant) of a normalized 128-bit
+// address.
+func bit128(hi, lo uint64, i int) int {
+	if i < 64 {
+		return int(hi>>(63-i)) & 1
+	}
+	return int(lo>>(127-i)) & 1
 }
 
-// commonBits returns the length of the longest common prefix of a and b,
-// capped at max.
-func commonBits(a, b netip.Addr, max int) int {
-	ra, rb := a.AsSlice(), b.AsSlice()
-	n := 0
-	for i := 0; i < len(ra) && n < max; i++ {
-		x := ra[i] ^ rb[i]
-		if x == 0 {
-			n += 8
-			continue
-		}
-		for m := byte(0x80); m != 0 && n < max; m >>= 1 {
-			if x&m != 0 {
-				return n
-			}
-			n++
-		}
+// common128 returns the length of the longest common prefix of two
+// normalized addresses, capped at max.
+func common128(ahi, alo, bhi, blo uint64, max int) int {
+	n := bits.LeadingZeros64(ahi ^ bhi)
+	if n == 64 {
+		n += bits.LeadingZeros64(alo ^ blo)
 	}
 	if n > max {
 		n = max
 	}
 	return n
+}
+
+// contains128 reports whether the nbits-long prefix keyed (nhi, nlo)
+// contains the normalized address (hi, lo). Shifts of 64 or more are
+// zero in Go, so nbits 0, 64, and 128 all fall out correctly.
+func contains128(nhi, nlo uint64, nbits int, hi, lo uint64) bool {
+	if nbits <= 64 {
+		return (nhi^hi)>>(64-uint(nbits)) == 0
+	}
+	return nhi == hi && (nlo^lo)>>(128-uint(nbits)) == 0
+}
+
+// mask128 returns the netmask of an nbits-long prefix in normalized
+// form.
+func mask128(nbits int) (maskHi, maskLo uint64) {
+	if nbits <= 64 {
+		return ^uint64(0) << (64 - uint(nbits)), 0 // nbits==0 shifts out to 0
+	}
+	return ^uint64(0), ^uint64(0) << (128 - uint(nbits))
 }
 
 func (t *Trie[V]) check(p netip.Prefix) netip.Prefix {
@@ -81,40 +151,61 @@ func (t *Trie[V]) check(p netip.Prefix) netip.Prefix {
 
 // Insert sets the value for prefix p, replacing any existing value.
 func (t *Trie[V]) Insert(p netip.Prefix, v V) {
+	t.Upsert(p, func(V, bool) V { return v })
+}
+
+// Upsert sets the value for prefix p to fn(old, existed) in a single
+// descent — the read-modify-write the RIB's add path performs per
+// route, without paying for a Get descent followed by an Insert
+// descent.
+func (t *Trie[V]) Upsert(p netip.Prefix, fn func(old V, ok bool) V) {
 	p = t.check(p)
-	n := t.root
-	for {
-		if n.prefix == p {
-			if n.value == nil {
-				t.size++
-			}
+	hi, lo, _ := addrHalves(p.Addr())
+	pb := p.Bits()
+	set := func(n *trieNode[V]) {
+		if n.value == nil {
+			t.size++
+			v := fn(*new(V), false)
 			n.value = &v
 			return
 		}
-		b := bitAt(p.Addr(), n.prefix.Bits())
-		child := n.children[b]
-		if child == nil {
-			t.size++
-			n.children[b] = &trieNode[V]{prefix: p, value: &v}
+		v := fn(*n.value, true)
+		n.value = &v
+	}
+	n := t.root
+	for {
+		if int(n.bits) == pb && n.hi == hi && n.lo == lo {
+			set(n)
 			return
 		}
-		cb := commonBits(p.Addr(), child.prefix.Addr(), min(p.Bits(), child.prefix.Bits()))
-		if cb >= child.prefix.Bits() {
+		b := bit128(hi, lo, int(n.bits))
+		child := n.children[b]
+		if child == nil {
+			leaf := t.newNode(hi, lo, pb)
+			set(leaf)
+			n.children[b] = leaf
+			return
+		}
+		cb := common128(hi, lo, child.hi, child.lo, min(pb, int(child.bits)))
+		if cb >= int(child.bits) {
 			// child's prefix contains p: descend.
 			n = child
 			continue
 		}
 		// Split: insert a branching node covering the common bits.
-		branch := &trieNode[V]{prefix: netip.PrefixFrom(child.prefix.Addr(), cb).Masked()}
+		bmHi, bmLo := mask128(cb)
+		branch := t.newNode(child.hi&bmHi, child.lo&bmLo, cb)
 		n.children[b] = branch
-		branch.children[bitAt(child.prefix.Addr(), cb)] = child
-		if branch.prefix == p {
-			t.size++
-			branch.value = &v
+		branch.children[bit128(child.hi, child.lo, cb)] = child
+		if cb == pb {
+			// p itself is the branch prefix (keys already match: cb bits
+			// are common with p and p has exactly cb bits).
+			set(branch)
 			return
 		}
-		t.size++
-		branch.children[bitAt(p.Addr(), cb)] = &trieNode[V]{prefix: p, value: &v}
+		leaf := t.newNode(hi, lo, pb)
+		set(leaf)
+		branch.children[bit128(hi, lo, cb)] = leaf
 		return
 	}
 }
@@ -124,11 +215,14 @@ func (t *Trie[V]) Insert(p netip.Prefix, v V) {
 // branch nodes are collapsed.
 func (t *Trie[V]) Remove(p netip.Prefix) bool {
 	p = t.check(p)
+	hi, lo, _ := addrHalves(p.Addr())
+	pb := p.Bits()
 	var parent *trieNode[V]
 	var parentIdx int
 	n := t.root
 	for n != nil {
-		if n.prefix == p {
+		nb := int(n.bits)
+		if nb == pb && n.hi == hi && n.lo == lo {
 			if n.value == nil {
 				return false
 			}
@@ -137,16 +231,16 @@ func (t *Trie[V]) Remove(p netip.Prefix) bool {
 			t.prune(parent, parentIdx, n)
 			return true
 		}
-		if n.prefix.Bits() >= p.Bits() || !n.prefix.Contains(p.Addr()) {
+		if nb >= pb || !contains128(n.hi, n.lo, nb, hi, lo) {
 			return false
 		}
-		parent, parentIdx = n, bitAt(p.Addr(), n.prefix.Bits())
+		parent, parentIdx = n, bit128(hi, lo, nb)
 		n = n.children[parentIdx]
 	}
 	return false
 }
 
-// prune removes or collapses a now-valueless node.
+// prune removes or collapses a now-valueless node, recycling it.
 func (t *Trie[V]) prune(parent *trieNode[V], idx int, n *trieNode[V]) {
 	if parent == nil || n.value != nil {
 		return
@@ -158,25 +252,30 @@ func (t *Trie[V]) prune(parent *trieNode[V], idx int, n *trieNode[V]) {
 		parent.children[idx] = n.children[1]
 	case n.children[1] == nil:
 		parent.children[idx] = n.children[0]
+	default:
+		return // both children present: n stays as a branch point
 	}
+	t.freeNode(n)
 }
 
 // Get returns the value stored for exactly prefix p.
 func (t *Trie[V]) Get(p netip.Prefix) (V, bool) {
 	p = t.check(p)
+	hi, lo, _ := addrHalves(p.Addr())
+	pb := p.Bits()
 	n := t.root
 	for n != nil {
-		if n.prefix == p {
+		nb := int(n.bits)
+		if nb == pb && n.hi == hi && n.lo == lo {
 			if n.value != nil {
 				return *n.value, true
 			}
-			var zero V
-			return zero, false
-		}
-		if n.prefix.Bits() >= p.Bits() || !n.prefix.Contains(p.Addr()) {
 			break
 		}
-		n = n.children[bitAt(p.Addr(), n.prefix.Bits())]
+		if nb >= pb || !contains128(n.hi, n.lo, nb, hi, lo) {
+			break
+		}
+		n = n.children[bit128(hi, lo, nb)]
 	}
 	var zero V
 	return zero, false
@@ -184,23 +283,31 @@ func (t *Trie[V]) Get(p netip.Prefix) (V, bool) {
 
 // Lookup returns the value of the longest prefix containing addr.
 func (t *Trie[V]) Lookup(addr netip.Addr) (netip.Prefix, V, bool) {
-	var bestP netip.Prefix
-	var bestV *V
-	n := t.root
-	for n != nil && n.prefix.Contains(addr) {
-		if n.value != nil {
-			bestP, bestV = n.prefix, n.value
-		}
-		if n.prefix.Bits() == addr.BitLen() {
-			break
-		}
-		n = n.children[bitAt(addr, n.prefix.Bits())]
-	}
-	if bestV == nil {
+	if addr.Is6() != t.v6 {
 		var zero V
 		return netip.Prefix{}, zero, false
 	}
-	return bestP, *bestV, true
+	hi, lo, maxBits := addrHalves(addr)
+	var best *trieNode[V]
+	n := t.root
+	for n != nil {
+		nb := int(n.bits)
+		if !contains128(n.hi, n.lo, nb, hi, lo) {
+			break
+		}
+		if n.value != nil {
+			best = n
+		}
+		if nb == int(maxBits) {
+			break
+		}
+		n = n.children[bit128(hi, lo, nb)]
+	}
+	if best == nil {
+		var zero V
+		return netip.Prefix{}, zero, false
+	}
+	return t.nodePrefix(best), *best.value, true
 }
 
 // Walk visits every stored prefix/value pair in depth-first order; the
@@ -211,7 +318,7 @@ func (t *Trie[V]) Walk(fn func(p netip.Prefix, v V) bool) {
 		if n == nil {
 			return true
 		}
-		if n.value != nil && !fn(n.prefix, *n.value) {
+		if n.value != nil && !fn(t.nodePrefix(n), *n.value) {
 			return false
 		}
 		return rec(n.children[0]) && rec(n.children[1])
@@ -239,6 +346,11 @@ func (d *DualTrie[V]) pick(is6 bool) *Trie[V] {
 // Insert sets the value for p.
 func (d *DualTrie[V]) Insert(p netip.Prefix, v V) { d.pick(p.Addr().Is6()).Insert(p, v) }
 
+// Upsert sets the value for p to fn(old, existed) in one descent.
+func (d *DualTrie[V]) Upsert(p netip.Prefix, fn func(old V, ok bool) V) {
+	d.pick(p.Addr().Is6()).Upsert(p, fn)
+}
+
 // Remove deletes p, reporting whether it was present.
 func (d *DualTrie[V]) Remove(p netip.Prefix) bool { return d.pick(p.Addr().Is6()).Remove(p) }
 
@@ -252,6 +364,20 @@ func (d *DualTrie[V]) Lookup(a netip.Addr) (netip.Prefix, V, bool) {
 
 // Len returns the number of stored prefixes across both families.
 func (d *DualTrie[V]) Len() int { return d.v4.Len() + d.v6.Len() }
+
+// walkFamily visits one family's entries in depth-first order,
+// reporting whether the walk ran to completion.
+func (d *DualTrie[V]) walkFamily(v6 bool, fn func(p netip.Prefix, v V) bool) bool {
+	done := true
+	d.pick(v6).Walk(func(p netip.Prefix, v V) bool {
+		if !fn(p, v) {
+			done = false
+			return false
+		}
+		return true
+	})
+	return done
+}
 
 // Walk visits IPv4 entries then IPv6 entries.
 func (d *DualTrie[V]) Walk(fn func(p netip.Prefix, v V) bool) {

@@ -31,6 +31,12 @@ type Client struct {
 	conns     map[string]*popConn
 }
 
+// clientSnapshotInterval is the table-version stride between FIB
+// snapshot rebuilds on a client's per-PoP route table. Client tables
+// are small next to a PoP's adj-RIBs, so a tight stride keeps the
+// packet path on the lock-free snapshot almost immediately.
+const clientSnapshotInterval = 64
+
 // popConn is the client's state for one PoP.
 type popConn struct {
 	// popName and platformASN identify the PoP; pop is set only for
@@ -146,6 +152,9 @@ func (c *Client) newPopConn(popName string, platformASN uint32, tun *tunnel.Tunn
 		estCh:    make(chan struct{}),
 		anns:     make(map[annKey]announcement),
 	}
+	// Data-plane lookups (pathFor) run per packet: keep a FIB snapshot
+	// maintained so they bypass the table's shard locks.
+	pc.table.EnableAutoSnapshot(clientSnapshotInterval)
 	var bits int
 	var ipStr, rtrStr string
 	if _, err := fmt.Sscanf(string(tun.Payload), "%s %d %s", &ipStr, &bits, &rtrStr); err != nil {
