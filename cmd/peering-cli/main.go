@@ -20,6 +20,10 @@
 // (default address localhost:9179) and exits. Invoked as `peering-cli
 // history <verb> [flags]` it queries the /history/* endpoints of a
 // `peeringd -history -metrics` instance (see runHistoryCommand).
+// Invoked as `peering-cli catchment [flags]` or `peering-cli te status
+// [flags]` it queries the /catchment and /te/status endpoints of a
+// `peeringd -te -metrics` instance (see runCatchmentCommand and
+// runTECommand).
 package main
 
 import (
@@ -56,6 +60,18 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "history" {
 		if err := runHistoryCommand(os.Args[2:]); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "catchment" {
+		if err := runCatchmentCommand(os.Args[2:]); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "te" {
+		if err := runTECommand(os.Args[2:]); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -50,7 +50,18 @@ func main() {
 	guardOn := flag.Bool("guard", false, "run the overload watchdog: healthy/degraded/shedding states per PoP with load shedding")
 	historyDir := flag.String("history", "", "record every route event into a durable segment log under this directory, enabling time-travel queries (/history/* with -metrics, peering-cli history)")
 	historyRetention := flag.Duration("history-retention", 0, "delete sealed history segments older than this window (0 = keep everything)")
+	tePrefix := flag.String("te", "", "run closed-loop traffic engineering on this anycast prefix (e.g. 184.164.224.0/24): announce it at every PoP, resolve the catchment of -clients weighted clients, and steer per-PoP load to equal targets; serves /catchment and /te/status with -metrics (peering-cli catchment|te)")
+	teClients := flag.Int("clients", 100000, "weighted clients placed across the synthetic Internet for -te catchment resolution")
 	flag.Parse()
+
+	var teAnycast netip.Prefix
+	if *tePrefix != "" {
+		p, err := netip.ParsePrefix(*tePrefix)
+		if err != nil {
+			log.Fatalf("bad -te prefix: %v", err)
+		}
+		teAnycast = p
+	}
 
 	var injector *chaos.Injector
 	if *chaosSpec != "" {
@@ -83,6 +94,9 @@ func main() {
 	}
 
 	pcfg := peering.PlatformConfig{ASN: 47065, Topology: topo, Chaos: injector, RPKI: roas, NeighborMRAI: *mrai}
+	if teAnycast.IsValid() {
+		pcfg.TE = &peering.TEConfig{Prefix: teAnycast, Clients: *teClients, Seed: 47065}
+	}
 	var hist *history.Store
 	if *historyDir != "" {
 		var err error
@@ -182,6 +196,29 @@ func main() {
 		defer injector.Stop()
 	}
 
+	var te *peering.TEController
+	if teAnycast.IsValid() {
+		var err error
+		te, err = setupTE(platform, popList, teAnycast)
+		if err != nil {
+			log.Fatalf("te setup: %v", err)
+		}
+		fmt.Printf("te: steering %s across %d PoPs (%d weighted clients); inspect /te/status\n",
+			teAnycast, len(popList), *teClients)
+		go func() {
+			res, err := te.Run()
+			if err != nil {
+				log.Printf("te: %v", err)
+				return
+			}
+			if res.Converged {
+				fmt.Printf("te: converged in %d rounds\n", len(res.Rounds))
+			} else if res.Certificate != nil {
+				fmt.Printf("te: infeasible after %d rounds: %s\n", len(res.Rounds), res.Certificate.Reason)
+			}
+		}()
+	}
+
 	serving := false
 	if *metrics != "" {
 		ln, err := net.Listen("tcp", *metrics)
@@ -193,6 +230,9 @@ func main() {
 		mux.HandleFunc("/", serveMetrics)
 		if hist != nil {
 			registerHistoryHandlers(mux, hist)
+		}
+		if te != nil {
+			registerTEHandlers(mux, platform, te)
 		}
 		fmt.Printf("serving metrics on http://%s/metrics (peering-cli metrics %s)\n", ln.Addr(), ln.Addr())
 		go func() {

@@ -43,6 +43,7 @@ var figures = []struct {
 	{"damping", damping},
 	{"history", func(int) error { return historyBench() }},
 	{"ribscale", ribscale},
+	{"catchment", catchmentFig},
 }
 
 func figureNames() string {

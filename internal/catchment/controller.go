@@ -1,0 +1,462 @@
+package catchment
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/telemetry"
+)
+
+// ActionKind enumerates the platform knobs the controller may pull
+// (Table 1: community-steered export, AS-path manipulation,
+// announce/withdraw).
+type ActionKind uint8
+
+const (
+	// ActionNoExport stops exporting the prefix to one neighbor at one
+	// PoP (community steering: the NoExportTo control community).
+	ActionNoExport ActionKind = iota + 1
+	// ActionReExport undoes a NoExport.
+	ActionReExport
+	// ActionPrepend sets the PoP's AS-path prepend count, deflecting
+	// multi-homed choosers away from (higher count) or back toward it.
+	ActionPrepend
+	// ActionWithdraw retracts the prefix from a PoP entirely.
+	ActionWithdraw
+	// ActionAnnounce re-announces the prefix at a withdrawn PoP.
+	ActionAnnounce
+)
+
+func (k ActionKind) String() string {
+	switch k {
+	case ActionNoExport:
+		return "no-export"
+	case ActionReExport:
+		return "re-export"
+	case ActionPrepend:
+		return "prepend"
+	case ActionWithdraw:
+		return "withdraw"
+	case ActionAnnounce:
+		return "announce"
+	}
+	return fmt.Sprintf("ActionKind(%d)", uint8(k))
+}
+
+// MarshalJSON renders the kind by name: the status surfaces are
+// read-only inspection, where "prepend" beats a bare enum value.
+func (k ActionKind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// Action is one steering decision.
+type Action struct {
+	Kind ActionKind `json:"kind"`
+	PoP  string     `json:"pop"`
+	// Via is the neighbor ASN for NoExport/ReExport.
+	Via uint32 `json:"via,omitempty"`
+	// Prepend is the PoP's new prepend count for ActionPrepend.
+	Prepend int `json:"prepend,omitempty"`
+	// Reason explains the decision for the round history and audit.
+	Reason string `json:"reason"`
+}
+
+func (a Action) String() string {
+	switch a.Kind {
+	case ActionNoExport, ActionReExport:
+		return fmt.Sprintf("%s %s via AS%d (%s)", a.Kind, a.PoP, a.Via, a.Reason)
+	case ActionPrepend:
+		return fmt.Sprintf("prepend %s x%d (%s)", a.PoP, a.Prepend, a.Reason)
+	}
+	return fmt.Sprintf("%s %s (%s)", a.Kind, a.PoP, a.Reason)
+}
+
+// Actuator applies a steering action to the platform. The peering
+// package's implementation re-announces per-PoP versions with adjusted
+// target communities and prepends through a Client, so every action
+// lands in the policy engine's audit log.
+type Actuator interface {
+	Apply(Action) error
+}
+
+// Observation is one round's measurement: the resolved catchment map
+// and, when a traffic model is wired in, the achieved load per PoP.
+type Observation struct {
+	Map *Map
+	// LoadBps is the measured per-PoP goodput from the traffic model
+	// (informational; decisions use client weights, which are exact).
+	LoadBps map[string]float64
+}
+
+// Observer measures the current catchment. Implementations should wait
+// for routing to settle (e.g. resolve until two consecutive identical
+// maps) before returning.
+type Observer func() (Observation, error)
+
+// Config parameterizes the control loop.
+type Config struct {
+	// Targets is the desired share of client weight per PoP. Shares
+	// are normalized against reachable clients; targets should sum to
+	// ~1.
+	Targets map[string]float64
+	// Tolerance is the convergence bound on Imbalance (default 0.10:
+	// every PoP within 10% of its target).
+	Tolerance float64
+	// MaxRounds bounds the loop (default 64).
+	MaxRounds int
+	// MaxPrepend caps the per-PoP prepend knob (default 5).
+	MaxPrepend int
+	// Patience is how many rounds without a new best imbalance the
+	// loop tolerates before declaring infeasibility (default 8).
+	Patience int
+	// Populations weights the ViaWeightsOf computations; required.
+	Populations []Population
+	// Registry receives te_* and catchment_* metrics (default
+	// telemetry.Default()).
+	Registry *telemetry.Registry
+	// Logf, when set, narrates decisions.
+	Logf func(format string, args ...any)
+}
+
+// Round records one observe→decide→act iteration.
+type Round struct {
+	N         int                `json:"n"`
+	Imbalance float64            `json:"imbalance"`
+	Shares    map[string]float64 `json:"shares"`
+	LoadBps   map[string]float64 `json:"load_bps,omitempty"`
+	Actions   []Action           `json:"actions"`
+}
+
+// Certificate explains why the targets are unreachable with the
+// available knobs: the knob state at the best round reached, so an
+// operator can audit exactly what was tried.
+type Certificate struct {
+	Reason        string            `json:"reason"`
+	Rounds        int               `json:"rounds"`
+	BestImbalance float64           `json:"best_imbalance"`
+	KnobState     map[string]string `json:"knob_state"`
+}
+
+// Result is the controller's outcome.
+type Result struct {
+	Converged   bool         `json:"converged"`
+	Rounds      []Round      `json:"rounds"`
+	FinalMap    *Map         `json:"-"`
+	Certificate *Certificate `json:"certificate,omitempty"`
+}
+
+// Controller runs the closed loop. It is single-goroutine; Run blocks
+// until convergence, infeasibility, or the round bound.
+type Controller struct {
+	cfg Config
+	obs Observer
+	act Actuator
+
+	// knob state
+	noExport  map[string]map[uint32]bool // pop -> via ASNs shed
+	prepend   map[string]int             // pop -> prepend count
+	withdrawn map[string]bool
+
+	metrics *metrics
+}
+
+// NewController validates cfg and builds a controller.
+func NewController(cfg Config, obs Observer, act Actuator) (*Controller, error) {
+	if len(cfg.Targets) == 0 {
+		return nil, fmt.Errorf("catchment: no targets")
+	}
+	if obs == nil || act == nil {
+		return nil, fmt.Errorf("catchment: observer and actuator required")
+	}
+	if cfg.Tolerance <= 0 {
+		cfg.Tolerance = 0.10
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 64
+	}
+	if cfg.MaxPrepend <= 0 {
+		cfg.MaxPrepend = 5
+	}
+	if cfg.Patience <= 0 {
+		cfg.Patience = 8
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.Default()
+	}
+	return &Controller{
+		cfg:       cfg,
+		obs:       obs,
+		act:       act,
+		noExport:  make(map[string]map[uint32]bool),
+		prepend:   make(map[string]int),
+		withdrawn: make(map[string]bool),
+		metrics:   newMetrics(cfg.Registry),
+	}, nil
+}
+
+func (c *Controller) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Run executes observe→decide→act until every PoP is within Tolerance
+// of its target, the knobs are exhausted, or progress stalls. It
+// returns the round history either way; on infeasibility the Result
+// carries a Certificate instead of Converged.
+func (c *Controller) Run() (*Result, error) {
+	res := &Result{}
+	best := -1.0
+	bestRound := 0
+	for n := 1; n <= c.cfg.MaxRounds; n++ {
+		obs, err := c.obs()
+		if err != nil {
+			return res, fmt.Errorf("catchment: observe round %d: %w", n, err)
+		}
+		m := obs.Map
+		res.FinalMap = m
+		imb := m.Imbalance(c.cfg.Targets)
+		round := Round{N: n, Imbalance: imb, Shares: m.Shares(), LoadBps: obs.LoadBps}
+		c.metrics.observe(m, obs.LoadBps, imb)
+
+		if best < 0 || imb < best-1e-9 {
+			best = imb
+			bestRound = n
+		}
+		if imb <= c.cfg.Tolerance {
+			res.Rounds = append(res.Rounds, round)
+			res.Converged = true
+			c.metrics.setConverged(true)
+			c.logf("catchment: converged after %d rounds (imbalance %.3f)", n, imb)
+			return res, nil
+		}
+		if n-bestRound >= c.cfg.Patience {
+			res.Rounds = append(res.Rounds, round)
+			res.Certificate = c.certificate("no imbalance improvement in "+
+				fmt.Sprintf("%d rounds", c.cfg.Patience), n, best)
+			c.logf("catchment: infeasible: %s", res.Certificate.Reason)
+			return res, nil
+		}
+
+		actions := c.decide(m)
+		if len(actions) == 0 {
+			res.Rounds = append(res.Rounds, round)
+			res.Certificate = c.certificate("steering knobs exhausted", n, best)
+			c.logf("catchment: infeasible: %s", res.Certificate.Reason)
+			return res, nil
+		}
+		for _, a := range actions {
+			if err := c.act.Apply(a); err != nil {
+				return res, fmt.Errorf("catchment: apply %s: %w", a, err)
+			}
+			c.commit(a)
+			c.metrics.action(a)
+			c.logf("catchment: round %d: %s", n, a)
+		}
+		round.Actions = actions
+		res.Rounds = append(res.Rounds, round)
+		c.metrics.round()
+	}
+	res.Certificate = c.certificate("round budget exhausted", c.cfg.MaxRounds, best)
+	c.logf("catchment: infeasible: %s", res.Certificate.Reason)
+	return res, nil
+}
+
+// decide picks at most one action per off-target PoP for this round:
+// underloaded PoPs first give back shed capacity (re-export, prepend
+// relief, re-announce), then overloaded PoPs escalate (no-export the
+// best-fitting via group, then prepend, then withdraw when the target
+// is zero). Working both ends at once halves convergence time without
+// sacrificing the audit trail: every Action carries its reason.
+func (c *Controller) decide(m *Map) []Action {
+	type dev struct {
+		pop    string
+		excess float64 // share - target, in absolute share units
+	}
+	shares := m.Shares()
+	var devs []dev
+	for pop, target := range c.cfg.Targets {
+		d := shares[pop] - target
+		tolAbs := c.cfg.Tolerance * target
+		if d > tolAbs || -d > tolAbs {
+			devs = append(devs, dev{pop, d})
+		}
+	}
+	// Most-overloaded first; deterministic tie-break on name.
+	sort.Slice(devs, func(i, j int) bool {
+		if devs[i].excess != devs[j].excess {
+			return devs[i].excess > devs[j].excess
+		}
+		return devs[i].pop < devs[j].pop
+	})
+
+	reachable := m.Total - m.Unreachable
+	var actions []Action
+	for _, d := range devs {
+		var a *Action
+		if d.excess > 0 {
+			a = c.shed(m, d.pop, d.excess, reachable)
+		} else {
+			a = c.restore(m, d.pop, -d.excess, reachable)
+		}
+		if a != nil {
+			actions = append(actions, *a)
+		}
+	}
+	if len(actions) == 0 && len(devs) > 0 {
+		// Deadlock breaker: every off-target PoP is out of knobs —
+		// typically a starved PoP with nothing to restore while the
+		// weight it needs sits at PoPs just inside tolerance. Push weight
+		// downhill by shedding from the richest PoP, sized to the worst
+		// deficit.
+		deficit := 0.0
+		for _, d := range devs {
+			if -d.excess > deficit {
+				deficit = -d.excess
+			}
+		}
+		if deficit > 0 {
+			type rich struct {
+				pop   string
+				share float64
+			}
+			var order []rich
+			for pop, target := range c.cfg.Targets {
+				if shares[pop] > target {
+					order = append(order, rich{pop, shares[pop]})
+				}
+			}
+			sort.Slice(order, func(i, j int) bool {
+				if order[i].share != order[j].share {
+					return order[i].share > order[j].share
+				}
+				return order[i].pop < order[j].pop
+			})
+			for _, r := range order {
+				if a := c.shed(m, r.pop, deficit, reachable); a != nil {
+					a.Reason += " (donating to starved PoP)"
+					actions = append(actions, *a)
+					break
+				}
+			}
+		}
+	}
+	return actions
+}
+
+// shed picks the escalation step for an overloaded PoP.
+func (c *Controller) shed(m *Map, pop string, excess float64, reachable int) *Action {
+	weights := m.ViaWeightsOf(pop, c.cfg.Populations)
+	// Knob 1: community steering. Shed the via group whose weight best
+	// matches the excess, never the last one serving the PoP (that
+	// would be a withdraw in disguise).
+	if len(weights) > 1 {
+		excessClients := excess * float64(reachable)
+		bestVia := uint32(0)
+		bestDiff := 0.0
+		for via, w := range weights {
+			if c.noExport[pop][via] {
+				continue
+			}
+			diff := abs(float64(w) - excessClients)
+			if bestVia == 0 || diff < bestDiff || (diff == bestDiff && via < bestVia) {
+				bestVia, bestDiff = via, diff
+			}
+		}
+		if bestVia != 0 {
+			return &Action{
+				Kind: ActionNoExport, PoP: pop, Via: bestVia,
+				Reason: fmt.Sprintf("shed %d clients against excess %.0f", weights[bestVia], excessClients),
+			}
+		}
+	}
+	// Knob 2: prepending deflects multi-homed choosers.
+	if c.prepend[pop] < c.cfg.MaxPrepend {
+		n := c.prepend[pop] + 1
+		return &Action{
+			Kind: ActionPrepend, PoP: pop, Prepend: n,
+			Reason: fmt.Sprintf("excess %.3f with no sheddable via group", excess),
+		}
+	}
+	// Knob 3: withdraw, only when the PoP should serve nothing.
+	if c.cfg.Targets[pop] <= 0 && !c.withdrawn[pop] {
+		return &Action{Kind: ActionWithdraw, PoP: pop, Reason: "target is zero"}
+	}
+	return nil
+}
+
+// restore picks the de-escalation step for an underloaded PoP.
+func (c *Controller) restore(m *Map, pop string, deficit float64, reachable int) *Action {
+	if c.withdrawn[pop] {
+		return &Action{Kind: ActionAnnounce, PoP: pop, Reason: "re-announce withdrawn PoP"}
+	}
+	// Undo the no-export whose group historically carried the weight
+	// closest to the deficit. Weight information for shed groups is
+	// gone from the current map (they moved), so undo the lowest ASN
+	// first: deterministic, and the loop re-measures anyway.
+	if shed := c.noExport[pop]; len(shed) > 0 {
+		vias := make([]uint32, 0, len(shed))
+		for via := range shed {
+			vias = append(vias, via)
+		}
+		sort.Slice(vias, func(i, j int) bool { return vias[i] < vias[j] })
+		return &Action{
+			Kind: ActionReExport, PoP: pop, Via: vias[0],
+			Reason: fmt.Sprintf("deficit %.3f", deficit),
+		}
+	}
+	if c.prepend[pop] > 0 {
+		n := c.prepend[pop] - 1
+		return &Action{
+			Kind: ActionPrepend, PoP: pop, Prepend: n,
+			Reason: fmt.Sprintf("relieve prepend against deficit %.3f", deficit),
+		}
+	}
+	return nil
+}
+
+// commit records an applied action in the controller's knob state.
+func (c *Controller) commit(a Action) {
+	switch a.Kind {
+	case ActionNoExport:
+		if c.noExport[a.PoP] == nil {
+			c.noExport[a.PoP] = make(map[uint32]bool)
+		}
+		c.noExport[a.PoP][a.Via] = true
+	case ActionReExport:
+		delete(c.noExport[a.PoP], a.Via)
+	case ActionPrepend:
+		c.prepend[a.PoP] = a.Prepend
+	case ActionWithdraw:
+		c.withdrawn[a.PoP] = true
+	case ActionAnnounce:
+		delete(c.withdrawn, a.PoP)
+	}
+}
+
+// certificate snapshots the knob state for the infeasibility report.
+func (c *Controller) certificate(reason string, rounds int, best float64) *Certificate {
+	state := make(map[string]string)
+	pops := make([]string, 0, len(c.cfg.Targets))
+	for pop := range c.cfg.Targets {
+		pops = append(pops, pop)
+	}
+	sort.Strings(pops)
+	for _, pop := range pops {
+		shed := make([]uint32, 0, len(c.noExport[pop]))
+		for via := range c.noExport[pop] {
+			shed = append(shed, via)
+		}
+		sort.Slice(shed, func(i, j int) bool { return shed[i] < shed[j] })
+		state[pop] = fmt.Sprintf("no-export=%v prepend=%d withdrawn=%v",
+			shed, c.prepend[pop], c.withdrawn[pop])
+	}
+	c.metrics.setConverged(false)
+	return &Certificate{
+		Reason:        reason,
+		Rounds:        rounds,
+		BestImbalance: best,
+		KnobState:     state,
+	}
+}

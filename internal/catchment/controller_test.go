@@ -1,0 +1,267 @@
+package catchment
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// modelGroup is one steerable unit of client weight in the synthetic
+// steering model: it serves from its home PoP unless shed, in which
+// case it lands at the model's fallback PoP.
+type modelGroup struct {
+	via    uint32
+	home   string
+	weight int
+}
+
+// steerModel is a closed-form stand-in for the platform: no-exporting a
+// group's (home, via) moves it to the fallback PoP, mimicking how shed
+// clients re-route through the next-best transit at another site.
+type steerModel struct {
+	groups    []modelGroup
+	noExport  map[string]map[uint32]bool
+	withdrawn map[string]bool
+	pops      []string
+	applied   []Action
+}
+
+func (sm *steerModel) fallback(home string) string {
+	for i := len(sm.pops) - 1; i >= 0; i-- {
+		if p := sm.pops[i]; p != home && !sm.withdrawn[p] {
+			return p
+		}
+	}
+	return home
+}
+
+func (sm *steerModel) Apply(a Action) error {
+	sm.applied = append(sm.applied, a)
+	switch a.Kind {
+	case ActionNoExport:
+		if sm.noExport[a.PoP] == nil {
+			sm.noExport[a.PoP] = make(map[uint32]bool)
+		}
+		sm.noExport[a.PoP][a.Via] = true
+	case ActionReExport:
+		delete(sm.noExport[a.PoP], a.Via)
+	case ActionWithdraw:
+		sm.withdrawn[a.PoP] = true
+	case ActionAnnounce:
+		delete(sm.withdrawn, a.PoP)
+	}
+	return nil
+}
+
+func (sm *steerModel) observe() (Observation, error) {
+	m := &Map{
+		Prefix:      pfx("184.164.224.0/24"),
+		Assignments: make(map[uint32]Assignment),
+		PoPClients:  make(map[string]int),
+		FIBDigests:  map[string]uint64{},
+	}
+	for _, g := range sm.groups {
+		pop := g.home
+		if sm.withdrawn[pop] || sm.noExport[pop][g.via] {
+			pop = sm.fallback(g.home)
+		}
+		// Re-homed groups enter through the serving PoP's first via so
+		// ViaWeightsOf keeps summing to PoPClients.
+		via := g.via
+		if pop != g.home {
+			via = sm.firstVia(pop)
+		}
+		m.Assignments[g.via] = Assignment{PoP: pop, Via: via}
+		m.PoPClients[pop] += g.weight
+		m.Total += g.weight
+	}
+	return Observation{Map: m}, nil
+}
+
+func (sm *steerModel) firstVia(pop string) uint32 {
+	best := uint32(0)
+	for _, g := range sm.groups {
+		if g.home == pop && (best == 0 || g.via < best) {
+			best = g.via
+		}
+	}
+	return best
+}
+
+// populations exposes the model's groups as Populations keyed by via
+// ASN (one population per group, homed at the via itself).
+func (sm *steerModel) populations() []Population {
+	out := make([]Population, 0, len(sm.groups))
+	for _, g := range sm.groups {
+		out = append(out, Population{ASN: g.via, Clients: g.weight})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ASN < out[j].ASN })
+	return out
+}
+
+func newSteerModel() *steerModel {
+	return &steerModel{
+		groups: []modelGroup{
+			{via: 101, home: "pop01", weight: 30},
+			{via: 102, home: "pop01", weight: 30},
+			{via: 201, home: "pop02", weight: 20},
+			{via: 202, home: "pop02", weight: 10},
+			{via: 301, home: "pop03", weight: 5},
+			{via: 302, home: "pop03", weight: 5},
+		},
+		noExport:  make(map[string]map[uint32]bool),
+		withdrawn: make(map[string]bool),
+		pops:      []string{"pop01", "pop02", "pop03"},
+	}
+}
+
+func TestControllerConvergesFromTwoToOneImbalance(t *testing.T) {
+	sm := newSteerModel()
+	third := 1.0 / 3
+	cfg := Config{
+		Targets:     map[string]float64{"pop01": third, "pop02": third, "pop03": third},
+		Tolerance:   0.10,
+		Populations: sm.populations(),
+		Registry:    telemetry.NewRegistry(),
+	}
+	ctl, err := NewController(cfg, sm.observe, sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v (rounds %d)", res.Certificate, len(res.Rounds))
+	}
+	if first := res.Rounds[0].Imbalance; first < 0.5 {
+		t.Fatalf("initial imbalance %.3f too mild for the scenario", first)
+	}
+	last := res.Rounds[len(res.Rounds)-1]
+	if last.Imbalance > 0.10 {
+		t.Errorf("final imbalance %.3f > tolerance", last.Imbalance)
+	}
+	if len(sm.applied) == 0 {
+		t.Error("controller converged without acting")
+	}
+	// Every applied action must be visible in the round history.
+	var recorded int
+	for _, r := range res.Rounds {
+		recorded += len(r.Actions)
+	}
+	if recorded != len(sm.applied) {
+		t.Errorf("round history records %d actions, actuator saw %d", recorded, len(sm.applied))
+	}
+	// And in telemetry.
+	var total float64
+	for _, s := range cfg.Registry.Snapshot() {
+		if s.Name == "te_actions_total" {
+			total += s.Value
+		}
+	}
+	if int(total) != len(sm.applied) {
+		t.Errorf("te_actions_total %d, actuator saw %d", int(total), len(sm.applied))
+	}
+}
+
+func TestControllerReportsInfeasibility(t *testing.T) {
+	// An observer whose world never changes: no action helps, so after
+	// Patience rounds the controller must emit a certificate rather
+	// than loop forever.
+	frozen := func() (Observation, error) {
+		m := &Map{
+			Prefix: pfx("184.164.224.0/24"),
+			Assignments: map[uint32]Assignment{
+				101: {PoP: "pop01", Via: 101},
+				201: {PoP: "pop02", Via: 201},
+			},
+			PoPClients: map[string]int{"pop01": 90, "pop02": 10},
+			Total:      100,
+		}
+		return Observation{Map: m}, nil
+	}
+	sm := newSteerModel() // actuator that accepts everything
+	cfg := Config{
+		Targets:     map[string]float64{"pop01": 0.5, "pop02": 0.5},
+		Patience:    3,
+		MaxRounds:   50,
+		Populations: []Population{{ASN: 101, Clients: 90}, {ASN: 201, Clients: 10}},
+		Registry:    telemetry.NewRegistry(),
+	}
+	ctl, err := NewController(cfg, frozen, sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("converged against a frozen world")
+	}
+	cert := res.Certificate
+	if cert == nil {
+		t.Fatal("no infeasibility certificate")
+	}
+	if !strings.Contains(cert.Reason, "improvement") {
+		t.Errorf("unexpected reason %q", cert.Reason)
+	}
+	if cert.BestImbalance <= 0 {
+		t.Errorf("certificate best imbalance %.3f", cert.BestImbalance)
+	}
+	if len(cert.KnobState) != 2 {
+		t.Errorf("knob state %v should cover both target PoPs", cert.KnobState)
+	}
+}
+
+func TestControllerKnobExhaustion(t *testing.T) {
+	// One PoP, one via group, nonzero target it can never reach down
+	// to: community steering is unavailable (a single group), prepend
+	// caps out, withdraw is off the table (target > 0) — the
+	// controller must report exhausted knobs.
+	obs := func() (Observation, error) {
+		m := &Map{
+			Prefix:      pfx("184.164.224.0/24"),
+			Assignments: map[uint32]Assignment{101: {PoP: "pop01", Via: 101}},
+			PoPClients:  map[string]int{"pop01": 100},
+			Total:       100,
+		}
+		return Observation{Map: m}, nil
+	}
+	sm := newSteerModel()
+	cfg := Config{
+		Targets:     map[string]float64{"pop01": 0.2, "pop02": 0.8},
+		MaxPrepend:  2,
+		Patience:    20,
+		MaxRounds:   50,
+		Populations: []Population{{ASN: 101, Clients: 100}},
+		Registry:    telemetry.NewRegistry(),
+	}
+	ctl, err := NewController(cfg, obs, sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged || res.Certificate == nil {
+		t.Fatalf("want infeasibility, got %+v", res)
+	}
+	if !strings.Contains(res.Certificate.Reason, "exhausted") {
+		t.Errorf("reason %q, want knob exhaustion", res.Certificate.Reason)
+	}
+	// The prepend ladder must have been climbed to its cap on the way.
+	sawPrepend := 0
+	for _, a := range sm.applied {
+		if a.Kind == ActionPrepend && a.PoP == "pop01" {
+			sawPrepend = a.Prepend
+		}
+	}
+	if sawPrepend != 2 {
+		t.Errorf("prepend reached %d, want cap 2", sawPrepend)
+	}
+}

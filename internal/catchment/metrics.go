@@ -1,0 +1,63 @@
+package catchment
+
+import (
+	"repro/internal/telemetry"
+)
+
+// metrics publishes the controller's observability surface:
+//
+//	catchment_resolves_total            — maps observed
+//	catchment_clients{pop=...}          — client weight landing per PoP
+//	catchment_load_bps{pop=...}         — measured goodput per PoP
+//	catchment_unreachable_clients       — clients with no path in
+//	te_rounds_total                     — control-loop iterations
+//	te_actions_total{kind=...}          — steering actions by knob
+//	te_imbalance_bp                     — worst deviation, basis points
+//	te_converged                        — 1 converged, 0 infeasible/unset
+type metrics struct {
+	reg         *telemetry.Registry
+	resolves    *telemetry.Counter
+	unreachable *telemetry.Gauge
+	rounds      *telemetry.Counter
+	imbalanceBP *telemetry.Gauge
+	converged   *telemetry.Gauge
+}
+
+func newMetrics(reg *telemetry.Registry) *metrics {
+	return &metrics{
+		reg:         reg,
+		resolves:    reg.Counter("catchment_resolves_total"),
+		unreachable: reg.Gauge("catchment_unreachable_clients"),
+		rounds:      reg.Counter("te_rounds_total"),
+		imbalanceBP: reg.Gauge("te_imbalance_bp"),
+		converged:   reg.Gauge("te_converged"),
+	}
+}
+
+// observe publishes one round's measurement.
+func (m *metrics) observe(cm *Map, loadBps map[string]float64, imbalance float64) {
+	m.resolves.Inc()
+	m.unreachable.Set(int64(cm.Unreachable))
+	m.imbalanceBP.Set(int64(imbalance * 10000))
+	for pop, n := range cm.PoPClients {
+		m.reg.Gauge("catchment_clients", telemetry.L("pop", pop)).Set(int64(n))
+	}
+	for pop, bps := range loadBps {
+		m.reg.Gauge("catchment_load_bps", telemetry.L("pop", pop)).Set(int64(bps))
+	}
+}
+
+// action counts one applied steering action by knob kind.
+func (m *metrics) action(a Action) {
+	m.reg.Counter("te_actions_total", telemetry.L("kind", a.Kind.String())).Inc()
+}
+
+func (m *metrics) round() { m.rounds.Inc() }
+
+func (m *metrics) setConverged(ok bool) {
+	if ok {
+		m.converged.Set(1)
+	} else {
+		m.converged.Set(0)
+	}
+}

@@ -1,0 +1,192 @@
+package eval
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"repro/internal/catchment"
+	"repro/internal/inet"
+	"repro/internal/telemetry"
+	"repro/peering"
+)
+
+// CatchmentResult summarizes one closed-loop TE run: how lopsided the
+// initial anycast catchment was, and how many observe→decide→act
+// rounds the controller needed to balance it.
+type CatchmentResult struct {
+	PoPs        int
+	Clients     int
+	Populations int
+	Rounds      int
+	Actions     int
+	Converged   bool
+	// InitialRatio is the worst-to-best PoP share ratio before any
+	// steering.
+	InitialRatio float64
+	// InitialImbalance / FinalImbalance are the controller's own metric:
+	// worst |share-target|/target across PoPs.
+	InitialImbalance float64
+	FinalImbalance   float64
+	Wall             time.Duration
+}
+
+// MeasureCatchment stands up a popCount-PoP platform over a steerable
+// synthetic Internet, places a cone-weighted population of the given
+// size, and runs the closed-loop TE controller against equal per-PoP
+// targets. The topology is the te-soak shape: peered tier-1s whose
+// customer vias span every PoP with stub tails skewed toward the first
+// PoPs, and via preferences landing every tier-1's own cone at the last
+// PoP — so the starting catchment is several-to-one imbalanced.
+func MeasureCatchment(popCount, clients int) (*CatchmentResult, error) {
+	if popCount < 2 {
+		return nil, fmt.Errorf("eval: catchment needs at least 2 PoPs, got %d", popCount)
+	}
+	const (
+		platformASN = 47065
+		expASN      = 61574
+		tier1Count  = 10
+	)
+	top := inet.NewTopology()
+	tier1s := make([]uint32, 0, tier1Count)
+	for k := 0; k < tier1Count; k++ {
+		asn := uint32(10 * (k + 1))
+		top.AddAS(asn, "transit")
+		tier1s = append(tier1s, asn)
+	}
+	for i := 0; i < len(tier1s); i++ {
+		for j := i + 1; j < len(tier1s); j++ {
+			if err := top.AddPeering(tier1s[i], tier1s[j]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	popNames := make([]string, popCount)
+	viasByPoP := make(map[string][]uint32, popCount)
+	stub := uint32(30000)
+	for p := range popNames {
+		popNames[p] = fmt.Sprintf("pop%02d", p+1)
+	}
+	for k, t1 := range tier1s {
+		for p, pop := range popNames {
+			via := uint32(1000 + 100*k + (popCount - 1 - p))
+			top.AddAS(via, "transit")
+			if err := top.AddTransit(via, t1); err != nil {
+				return nil, err
+			}
+			viasByPoP[pop] = append(viasByPoP[pop], via)
+			for i := 0; i < 2*(popCount-1-p); i++ {
+				top.AddAS(stub, "access")
+				if err := top.AddTransit(stub, via); err != nil {
+					return nil, err
+				}
+				stub++
+			}
+		}
+	}
+
+	anycast := netip.MustParsePrefix("184.164.224.0/24")
+	platform := peering.NewPlatform(peering.PlatformConfig{
+		ASN: platformASN, Topology: top,
+		TE: &peering.TEConfig{Prefix: anycast, Clients: clients, Seed: 47065},
+	})
+	defer platform.Close()
+	platform.Engine.DailyUpdateLimit = 5000
+
+	pops := make([]*peering.PoP, popCount)
+	for i, name := range popNames {
+		pop, err := platform.AddPoP(peering.PoPConfig{
+			Name:      name,
+			RouterID:  netip.AddrFrom4([4]byte{198, 51, 100, byte(i + 1)}),
+			LocalPool: netip.MustParsePrefix(fmt.Sprintf("127.%d.0.0/16", 65+i)),
+			ExpLAN:    netip.MustParsePrefix(fmt.Sprintf("100.%d.0.0/24", 65+i)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		pops[i] = pop
+	}
+	for i := 0; i < len(pops); i++ {
+		for j := i + 1; j < len(pops); j++ {
+			if err := platform.ConnectBackbone(pops[i], pops[j], 400e6, 10*time.Millisecond); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i, name := range popNames {
+		for _, via := range viasByPoP[name] {
+			if _, err := pops[i].ConnectTransit(via, 5); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := platform.Submit(peering.Proposal{
+		Name: "catchment-bench", Owner: "eval", Plan: "closed-loop TE benchmark",
+		Prefixes: []netip.Prefix{netip.MustParsePrefix("184.164.224.0/23")},
+		ASNs:     []uint32{expASN},
+	}); err != nil {
+		return nil, err
+	}
+	key, err := platform.Approve("catchment-bench", nil)
+	if err != nil {
+		return nil, err
+	}
+	client := peering.NewClient("catchment-bench", key, expASN)
+	for i, name := range popNames {
+		if err := client.OpenTunnel(pops[i]); err != nil {
+			return nil, err
+		}
+		if err := client.StartBGP(name); err != nil {
+			return nil, err
+		}
+		if err := client.WaitEstablished(name, 10*time.Second); err != nil {
+			return nil, err
+		}
+	}
+
+	te, err := platform.NewTEController(client, &peering.TEConfig{
+		Tolerance:     0.10,
+		MaxRounds:     64,
+		Patience:      12,
+		SettleTimeout: 30 * time.Second,
+		Registry:      telemetry.NewRegistry(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	run, err := te.Run()
+	if err != nil {
+		return nil, err
+	}
+	res := &CatchmentResult{
+		PoPs:        popCount,
+		Clients:     catchment.TotalClients(te.Populations()),
+		Populations: len(te.Populations()),
+		Rounds:      len(run.Rounds),
+		Converged:   run.Converged,
+		Wall:        time.Since(start),
+	}
+	if len(run.Rounds) > 0 {
+		first := run.Rounds[0]
+		res.InitialImbalance = first.Imbalance
+		res.FinalImbalance = run.Rounds[len(run.Rounds)-1].Imbalance
+		maxShare, minShare := 0.0, 1.0
+		for _, name := range popNames {
+			s := first.Shares[name]
+			if s > maxShare {
+				maxShare = s
+			}
+			if s < minShare {
+				minShare = s
+			}
+		}
+		if minShare > 0 {
+			res.InitialRatio = maxShare / minShare
+		}
+		for _, r := range run.Rounds {
+			res.Actions += len(r.Actions)
+		}
+	}
+	return res, nil
+}

@@ -105,6 +105,9 @@ type Topology struct {
 	// rules across all ASes.
 	rovDrops  uint64
 	leakDrops uint64
+	// coneCache memoizes CustomerCone results; any mutation of the
+	// customer graph (AddAS, AddTransit) invalidates it wholesale.
+	coneCache map[uint32][]uint32
 }
 
 // NewTopology creates an empty topology.
@@ -121,6 +124,7 @@ func (t *Topology) AddAS(asn uint32, typ string) *AS {
 	}
 	a := &AS{ASN: asn, Type: typ, routes: make(map[netip.Prefix]*Route)}
 	t.ases[asn] = a
+	t.coneCache = nil
 	return a
 }
 
@@ -163,6 +167,7 @@ func (t *Topology) AddTransit(customer, provider uint32) error {
 	}
 	c.Providers = append(c.Providers, provider)
 	p.Customers = append(p.Customers, customer)
+	t.coneCache = nil
 	return nil
 }
 
@@ -297,7 +302,10 @@ func exportable(learned Rel, nbrRel Rel) bool {
 
 // better reports whether candidate beats incumbent at an AS:
 // Gao-Rexford preference (customer > peer > provider), then shortest
-// path, then lowest first-hop ASN for determinism.
+// path, then lexicographically lowest path for determinism. Both paths
+// start with the deciding AS itself, so the comparison effectively
+// starts at the first hop; the total order makes converged routes (and
+// therefore anycast catchments) independent of propagation order.
 func better(cand, inc *Route) bool {
 	if inc == nil {
 		return true
@@ -308,8 +316,10 @@ func better(cand, inc *Route) bool {
 	if len(cand.Path) != len(inc.Path) {
 		return len(cand.Path) < len(inc.Path)
 	}
-	if len(cand.Path) > 0 && len(inc.Path) > 0 && cand.Path[0] != inc.Path[0] {
-		return cand.Path[0] < inc.Path[0]
+	for i := range cand.Path {
+		if cand.Path[i] != inc.Path[i] {
+			return cand.Path[i] < inc.Path[i]
+		}
 	}
 	return false
 }
@@ -412,9 +422,44 @@ func (t *Topology) Reachable(asn uint32, prefix netip.Prefix) bool {
 // itself included): the ASes reachable by following only customer edges
 // downward. Announcements made to a peer reach the peer's customer cone
 // (paper §4.2).
+//
+// Results are memoized — population placement and catchment sweeps call
+// this for every AS, repeatedly — and the cache is invalidated whenever
+// the customer graph mutates (AddAS, AddTransit). Callers receive a
+// fresh copy and may modify it freely.
 func (t *Topology) CustomerCone(asn uint32) []uint32 {
 	t.mu.RLock()
-	defer t.mu.RUnlock()
+	cached, ok := t.coneCache[asn]
+	t.mu.RUnlock()
+	if ok {
+		return append([]uint32(nil), cached...)
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cached, ok := t.coneCache[asn]; ok {
+		return append([]uint32(nil), cached...)
+	}
+	cone := t.customerConeLocked(asn)
+	if t.coneCache == nil {
+		t.coneCache = make(map[uint32][]uint32)
+	}
+	t.coneCache[asn] = cone
+	return append([]uint32(nil), cone...)
+}
+
+// InvalidateConeCache drops all memoized customer cones. Topology
+// mutations call this internally; it is exported for callers that
+// mutate AS structs directly (tests, gen) and for benchmarks that
+// want to measure the cold path.
+func (t *Topology) InvalidateConeCache() {
+	t.mu.Lock()
+	t.coneCache = nil
+	t.mu.Unlock()
+}
+
+// customerConeLocked computes the cone by BFS over customer edges.
+func (t *Topology) customerConeLocked(asn uint32) []uint32 {
 	seen := map[uint32]bool{asn: true}
 	queue := []uint32{asn}
 	for len(queue) > 0 {

@@ -14,6 +14,7 @@ package traffic
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 )
 
@@ -82,7 +83,8 @@ func (s *Sim) AddFlow(name string, path []Link) (*Flow, error) {
 	}
 	for _, l := range path {
 		if l.CapacityBps <= 0 {
-			return nil, fmt.Errorf("traffic: flow %s crosses uncapacitated link %s", name, l.Name)
+			return nil, fmt.Errorf("traffic: flow %s (%s -> %s) crosses uncapacitated link %s",
+				name, path[0].Name, path[len(path)-1].Name, l.Name)
 		}
 	}
 	f := &Flow{Name: name, Path: path}
@@ -109,9 +111,13 @@ func (s *Sim) Run(d time.Duration) time.Duration {
 		for j, f := range s.flows {
 			offered[j] = f.cwnd / f.rtt.Seconds()
 		}
-		// Apportion each link's capacity among its flows: the achieved
-		// rate is the minimum share across the path (max-min-ish, one
-		// pass — adequate for the small backbone meshes simulated).
+		// Apportion each link's capacity among its flows by per-link
+		// water-filling: flows below the link's fair share keep their
+		// rate, the rest split what remains equally. Only flows actually
+		// clamped see a congestion signal, so a flow bottlenecked
+		// elsewhere does not back off here — this is what makes the
+		// steady state max-min fair across shared bottlenecks. Links are
+		// visited in sorted-name order so allocation is deterministic.
 		achieved := make([]float64, len(s.flows))
 		copy(achieved, offered)
 		congested := make([]bool, len(s.flows))
@@ -123,19 +129,38 @@ func (s *Sim) Run(d time.Duration) time.Duration {
 				linkCap[l.Name] = l.CapacityBps / 8 // bytes/sec
 			}
 		}
-		for name, idxs := range byLink {
-			var sum float64
-			for _, j := range idxs {
-				sum += achieved[j]
-			}
-			c := linkCap[name]
-			if sum <= c {
-				continue
-			}
-			scale := c / sum
-			for _, j := range idxs {
-				achieved[j] *= scale
-				congested[j] = true
+		linkNames := make([]string, 0, len(byLink))
+		for name := range byLink {
+			linkNames = append(linkNames, name)
+		}
+		sort.Strings(linkNames)
+		// Two sweeps: clamping at one link can lower a flow's rate at a
+		// link visited earlier, freeing share for that link's other
+		// flows; rates only ever decrease, so this converges fast.
+		for pass := 0; pass < 2; pass++ {
+			for _, name := range linkNames {
+				idxs := byLink[name]
+				var sum float64
+				for _, j := range idxs {
+					sum += achieved[j]
+				}
+				c := linkCap[name]
+				if sum <= c {
+					continue
+				}
+				// Water-fill: process flows in ascending rate order;
+				// each takes min(rate, remaining/flows-left).
+				order := append([]int(nil), idxs...)
+				sort.Slice(order, func(a, b int) bool { return achieved[order[a]] < achieved[order[b]] })
+				remaining := c
+				for k, j := range order {
+					share := remaining / float64(len(order)-k)
+					if achieved[j] > share {
+						achieved[j] = share
+						congested[j] = true
+					}
+					remaining -= achieved[j]
+				}
 			}
 		}
 		// Deliver and adjust windows.

@@ -1,6 +1,8 @@
 package traffic
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 )
@@ -99,6 +101,92 @@ func TestFlowValidation(t *testing.T) {
 	}
 	if _, err := s.AddFlow("nocap", []Link{{Name: "x"}}); err == nil {
 		t.Error("uncapacitated link accepted")
+	}
+}
+
+func TestUncapacitatedLinkErrorNamesEndpoints(t *testing.T) {
+	// The error must identify the offending link AND the flow endpoints
+	// (first and last links of the path) so a misconfigured mesh is
+	// debuggable from the message alone.
+	s := NewSim()
+	path := []Link{
+		link("pop01-out", 100, time.Millisecond),
+		{Name: "dark-segment"}, // no capacity
+		link("pop03-in", 100, time.Millisecond),
+	}
+	_, err := s.AddFlow("bulk", path)
+	if err == nil {
+		t.Fatal("uncapacitated link accepted")
+	}
+	for _, want := range []string{"bulk", "dark-segment", "pop01-out", "pop03-in"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestMaxMinFairnessSharedBottleneck(t *testing.T) {
+	// Max-min fairness across ≥3 flows sharing one bottleneck: each
+	// scenario lists flows crossing a shared 300 Mbps link, some with
+	// private tails that further constrain them. Flows limited only by
+	// the bottleneck should converge near equal shares of what remains
+	// after the tail-limited flows take their (smaller) allocations.
+	bottleneck := link("bottleneck", 300, 5*time.Millisecond)
+	cases := []struct {
+		name  string
+		tails []float64 // private tail capacity per flow, Mbps; 0 = none
+		// wantMbps is the max-min allocation per flow.
+		wantMbps []float64
+	}{
+		{
+			name:     "three-equal",
+			tails:    []float64{0, 0, 0},
+			wantMbps: []float64{100, 100, 100},
+		},
+		{
+			name:     "one-tail-limited",
+			tails:    []float64{40, 0, 0},
+			wantMbps: []float64{40, 130, 130},
+		},
+		{
+			name:     "four-two-limited",
+			tails:    []float64{30, 50, 0, 0},
+			wantMbps: []float64{30, 50, 110, 110},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewSim()
+			flows := make([]*Flow, len(tc.tails))
+			for i, tail := range tc.tails {
+				path := []Link{bottleneck}
+				if tail > 0 {
+					path = append(path, link(fmt.Sprintf("tail%d", i), tail, 5*time.Millisecond))
+				}
+				f, err := s.AddFlow(fmt.Sprintf("f%d", i), path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				flows[i] = f
+			}
+			s.Run(3 * time.Second)
+			d := s.Run(10 * time.Second)
+			var total float64
+			for i, f := range flows {
+				got := f.ThroughputBps(d) / 1e6
+				total += got
+				want := tc.wantMbps[i]
+				// The AIMD fluid model oscillates around the fair share;
+				// accept a generous band but require the ordering and the
+				// rough magnitudes of the max-min allocation.
+				if got < 0.5*want || got > 1.3*want+5 {
+					t.Errorf("flow %d: %.0f Mbps, max-min share %.0f", i, got, want)
+				}
+			}
+			if total > 300*1.01 {
+				t.Errorf("aggregate %.0f Mbps exceeds bottleneck capacity", total)
+			}
+		})
 	}
 }
 

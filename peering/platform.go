@@ -79,6 +79,11 @@ type PlatformConfig struct {
 	// time-travel queries and post-hoc forensics. The caller opens the
 	// store (history.Open) and the platform adopts it; Close closes it.
 	History *history.Store
+	// TE, when set, supplies defaults for closed-loop traffic
+	// engineering: the anycast prefix, per-PoP load targets, and the
+	// synthetic client population the catchment is measured against.
+	// NewTEController merges these with its own config argument.
+	TE *TEConfig
 	// Logf receives platform event logs.
 	Logf func(format string, args ...any)
 }
