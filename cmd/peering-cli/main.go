@@ -23,7 +23,9 @@
 // Invoked as `peering-cli catchment [flags]` or `peering-cli te status
 // [flags]` it queries the /catchment and /te/status endpoints of a
 // `peeringd -te -metrics` instance (see runCatchmentCommand and
-// runTECommand).
+// runTECommand). Invoked as `peering-cli watch [flags]` it tails the
+// control plane's /v1/watch SSE event stream until interrupted (see
+// runWatchCommand).
 package main
 
 import (
@@ -72,6 +74,12 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "te" {
 		if err := runTECommand(os.Args[2:]); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "watch" {
+		if err := runWatchCommand(os.Args[2:]); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+)
+
+// runWatchCommand implements `peering-cli watch [flags]`: it subscribes
+// to the /v1/watch SSE stream of a running `peeringd -metrics` instance
+// and renders each event as one line until interrupted or the server
+// closes the stream. Unlike the query verbs the connection is
+// deliberately unbounded — it is a live tail, not a scrape — so the
+// client carries no timeout.
+func runWatchCommand(args []string) error {
+	usage := `usage: peering-cli watch [flags]
+
+streams the control plane's live event feed (SSE) until interrupted.
+
+flags:
+  -addr host:port   peeringd metrics address (default localhost:9179)
+  -types a,b,c      event types to subscribe to: telemetry, reconcile,
+                    health, store, deploy (default: all)
+  -raw              print raw SSE frames instead of one line per event`
+	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:9179", "peeringd metrics address")
+	types := fs.String("types", "", "comma-separated event types (empty = all)")
+	raw := fs.Bool("raw", false, "print raw SSE frames")
+	fs.Usage = func() { fmt.Fprintln(os.Stderr, usage) }
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	u := *addr
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	u = strings.TrimRight(u, "/") + "/v1/watch"
+	if *types != "" {
+		u += "?" + url.Values{"types": {*types}}.Encode()
+	}
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("peering-cli: %s returned %s", u, resp.Status)
+	}
+	fmt.Fprintf(os.Stderr, "watching %s (ctrl-c to stop)\n", u)
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if *raw {
+			fmt.Println(line)
+			continue
+		}
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		fmt.Println(renderWatchEvent(strings.TrimPrefix(line, "data: ")))
+	}
+	return sc.Err()
+}
+
+// renderWatchEvent turns one SSE data payload into a compact log line:
+// timestamp, sequence, type, then the event body re-marshalled without
+// the envelope. Undecodable payloads pass through verbatim.
+func renderWatchEvent(payload string) string {
+	var ev struct {
+		Seq  uint64          `json:"seq"`
+		Type string          `json:"type"`
+		Time time.Time       `json:"time"`
+		Data json.RawMessage `json:"data"`
+	}
+	if err := json.Unmarshal([]byte(payload), &ev); err != nil || ev.Type == "" {
+		return payload
+	}
+	return fmt.Sprintf("%s %-9s #%-5d %s",
+		ev.Time.Format("15:04:05.000"), ev.Type, ev.Seq, compactJSON(ev.Data))
+}
+
+// compactJSON renders raw JSON on one line, falling back to the input.
+func compactJSON(raw json.RawMessage) string {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		return string(raw)
+	}
+	return buf.String()
+}

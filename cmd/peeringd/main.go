@@ -3,7 +3,12 @@
 // interconnections, a backbone mesh, and the management workflow. It
 // prints the §4.2-style footprint summary and, with -watch, periodic
 // status lines. With -metrics it serves the platform's plain-text
-// metric exposition over HTTP for peering-cli or any scraper. The
+// metric exposition over HTTP for peering-cli or any scraper, plus the
+// declarative control plane under /v1 (experiment CRUD, deploy verbs,
+// fleet/RIB/health queries, and the /v1/watch SSE event stream) and a
+// JSON index of every mounted endpoint at /. SIGINT/SIGTERM drain the
+// API server — in-flight requests and watch streams — before the
+// platform shuts down. The
 // convergence-safety layer is opt-in: -damping enables RFC 2439
 // route-flap damping, -mrai paces neighbor UPDATE batches, and -guard
 // runs the overload watchdog whose per-PoP health states appear in the
@@ -11,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -19,8 +25,10 @@ import (
 	"net/http"
 	"net/netip"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/chaos"
@@ -219,24 +227,46 @@ func main() {
 		}()
 	}
 
+	// Shutdown is signal-driven: SIGINT/SIGTERM drain the API server
+	// (in-flight requests and SSE watch streams) before the platform
+	// comes down.
+	shutdown := make(chan os.Signal, 1)
+	signal.Notify(shutdown, os.Interrupt, syscall.SIGTERM)
+
 	serving := false
+	var srv *http.Server
+	var cp *peering.ControlPlane
 	if *metrics != "" {
 		ln, err := net.Listen("tcp", *metrics)
 		if err != nil {
 			log.Fatal(err)
 		}
 		mux := http.NewServeMux()
-		mux.HandleFunc("/metrics", serveMetrics)
-		mux.HandleFunc("/", serveMetrics)
+		mux.HandleFunc("GET /metrics", serveMetrics)
+		cp = peering.NewControlPlane(platform, peering.ControlPlaneConfig{Logf: log.Printf})
+		cp.API.Register(mux)
+		endpoints := append([]string{"/metrics"}, cp.API.Endpoints()...)
 		if hist != nil {
 			registerHistoryHandlers(mux, hist)
+			endpoints = append(endpoints, "/history/state", "/history/between", "/history/diff", "/history/stats")
 		}
 		if te != nil {
 			registerTEHandlers(mux, platform, te)
+			endpoints = append(endpoints, "/catchment", "/te/status")
 		}
-		fmt.Printf("serving metrics on http://%s/metrics (peering-cli metrics %s)\n", ln.Addr(), ln.Addr())
+		// The root serves a JSON index of everything mounted; any other
+		// unregistered path 404s (the "GET /{$}" pattern matches "/"
+		// exactly instead of swallowing the whole tree).
+		mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(map[string]any{"service": "peeringd", "endpoints": endpoints})
+		})
+		fmt.Printf("serving API on http://%s/ (metrics at /metrics, control plane at /v1)\n", ln.Addr())
+		srv = &http.Server{Handler: mux}
 		go func() {
-			if err := http.Serve(ln, mux); err != nil {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				log.Fatal(err)
 			}
 		}()
@@ -254,20 +284,43 @@ func main() {
 				log.Fatal(err)
 			}
 		}()
-		if *watch <= 0 {
-			select {} // serve forever
+		serving = true
+	}
+
+	// stop drains everything in dependency order: close the control
+	// plane first (ends the reconciler and every SSE stream), then let
+	// the HTTP server finish in-flight requests, then the platform.
+	stop := func() {
+		fmt.Println("\nshutting down: draining API connections")
+		if cp != nil {
+			cp.Close()
 		}
+		if srv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			if err := srv.Shutdown(ctx); err != nil {
+				log.Printf("http shutdown: %v", err)
+			}
+			cancel()
+		}
+		platform.Close()
 	}
 
 	if *watch <= 0 {
 		if serving {
-			select {} // keep the metrics endpoint up
+			<-shutdown
+			stop()
 		}
 		return
 	}
 	tick := time.NewTicker(*watch)
 	defer tick.Stop()
-	for range tick.C {
+	for {
+		select {
+		case <-shutdown:
+			stop()
+			return
+		case <-tick.C:
+		}
 		fmt.Fprintf(os.Stdout, "%s ", time.Now().Format(time.TimeOnly))
 		for _, pop := range popList {
 			if *guardOn {

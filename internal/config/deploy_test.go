@@ -1,0 +1,106 @@
+package config
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDeployerMidPromoteFailure drives a fleet-wide promote that dies
+// halfway: the deployer must report the true partial rollout — PoPs
+// applied before the failure at the new revision, the rest still on the
+// old one — and a retry after the fault clears must touch only the
+// PoPs left behind.
+func TestDeployerMidPromoteFailure(t *testing.T) {
+	s := NewStore()
+	rev1, _ := s.Put(sampleModel())
+	rev2, _ := s.Put(sampleModel())
+
+	boom := errors.New("router config rejected")
+	var failSeattle bool
+	applied := make(map[string]int)
+	d := NewDeployer(s, func(pop string, m Model) error {
+		if failSeattle && pop == "seattle" {
+			return boom
+		}
+		applied[pop]++
+		return nil
+	})
+	if err := d.Promote(rev1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Promote iterates the model's PoPs in order (amsix, seattle):
+	// amsix takes rev2, then seattle's apply fails.
+	failSeattle = true
+	err := d.Promote(rev2)
+	if !errors.Is(err, boom) {
+		t.Fatalf("mid-promote error = %v, want %v", err, boom)
+	}
+	dep := d.Deployed()
+	if dep["amsix"] != rev2 || dep["seattle"] != rev1 {
+		t.Fatalf("after failed promote deployed = %v, want amsix@%d seattle@%d", dep, rev2, rev1)
+	}
+
+	// Retry once the fault clears: only the straggler is re-applied.
+	failSeattle = false
+	before := applied["amsix"]
+	if err := d.Promote(rev2); err != nil {
+		t.Fatal(err)
+	}
+	if applied["amsix"] != before {
+		t.Error("retry re-applied a PoP already at the target revision")
+	}
+	dep = d.Deployed()
+	if dep["amsix"] != rev2 || dep["seattle"] != rev2 {
+		t.Fatalf("after retry deployed = %v, want fleet-wide %d", dep, rev2)
+	}
+}
+
+// TestDeployerConcurrentCanaryPromote races canaries against a
+// fleet-wide promote of a different revision. The deployer must stay
+// race-clean (run under -race) and every PoP must land on one of the
+// two revisions — never a torn or unknown value.
+func TestDeployerConcurrentCanaryPromote(t *testing.T) {
+	s := NewStore()
+	rev1, _ := s.Put(sampleModel())
+	rev2, _ := s.Put(sampleModel())
+
+	d := NewDeployer(s, func(pop string, m Model) error {
+		time.Sleep(time.Millisecond) // widen the race window
+		return nil
+	})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if err := d.Canary(rev1, []string{"amsix"}); err != nil {
+				t.Errorf("canary: %v", err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if err := d.Promote(rev2); err != nil {
+				t.Errorf("promote: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for pop, rev := range d.Deployed() {
+		if rev != rev1 && rev != rev2 {
+			t.Errorf("pop %s deployed at %d, want %d or %d", pop, rev, rev1, rev2)
+		}
+	}
+	// A final quiescent promote converges the whole fleet.
+	if err := d.Promote(rev2); err != nil {
+		t.Fatal(err)
+	}
+	dep := d.Deployed()
+	if dep["amsix"] != rev2 || dep["seattle"] != rev2 {
+		t.Fatalf("final deployed = %v, want fleet-wide %d", dep, rev2)
+	}
+}

@@ -11,22 +11,55 @@ import (
 // "all configuration files ... are stored in a version-control system
 // where they can be inspected and rolled back if needed").
 type Store struct {
-	mu   sync.Mutex
-	revs []Model // revs[i] is revision i+1
+	mu    sync.Mutex
+	revs  []Model        // revs[i] is revision i+1
+	notes map[int]string // revision -> commit note (only noted revisions)
 }
 
 // NewStore creates an empty store.
-func NewStore() *Store { return &Store{} }
+func NewStore() *Store { return &Store{notes: make(map[int]string)} }
 
 // Put validates and stores a new revision, returning its number.
 func (s *Store) Put(m Model) (int, error) {
+	return s.PutNoted(m, "")
+}
+
+// PutNoted is Put with a commit note recorded against the new revision
+// (the control plane writes "created foo @3"-style notes so the
+// revision log reads like a change history).
+func (s *Store) PutNoted(m Model, note string) (int, error) {
 	if err := m.Validate(); err != nil {
 		return 0, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.revs = append(s.revs, m)
-	return len(s.revs), nil
+	rev := len(s.revs)
+	if note != "" {
+		if s.notes == nil {
+			s.notes = make(map[int]string)
+		}
+		s.notes[rev] = note
+	}
+	return rev, nil
+}
+
+// Note returns the commit note recorded for a revision ("" when none).
+func (s *Store) Note(rev int) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.notes[rev]
+}
+
+// Notes returns a copy of every recorded commit note, keyed by revision.
+func (s *Store) Notes() map[int]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int]string, len(s.notes))
+	for k, v := range s.notes {
+		out[k] = v
+	}
+	return out
 }
 
 // Get returns revision rev (1-based).

@@ -1,0 +1,269 @@
+package ctlplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stream event types. Subscribers filter on these.
+const (
+	StreamTelemetry = "telemetry" // BMP-style router events (monitoring tee)
+	StreamReconcile = "reconcile" // reconciler object transitions
+	StreamHealth    = "health"    // guard ladder changes
+	StreamStore     = "store"     // desired-state commits
+	StreamDeploy    = "deploy"    // canary/promote/rollback actions
+)
+
+// StreamEvent is one multiplexed watch event: a type tag, a timestamp,
+// and a JSON-marshalable payload.
+type StreamEvent struct {
+	// Seq is the hub-assigned sequence number; gaps tell a consumer it
+	// was too slow and events were dropped.
+	Seq  uint64    `json:"seq"`
+	Type string    `json:"type"`
+	Time time.Time `json:"time"`
+	Data any       `json:"data"`
+}
+
+// DefaultSubscriberQueue is the per-subscriber buffer when the
+// subscription does not override it.
+const DefaultSubscriberQueue = 256
+
+// Hub fans events out to subscribers. Publish never blocks: each
+// subscriber has its own bounded queue, and a full queue drops the
+// event for that subscriber only, with per-subscriber and global drop
+// accounting. One stalled dashboard can never hold back the event
+// path or its sibling subscribers.
+type Hub struct {
+	mu     sync.Mutex
+	subs   map[*Subscriber]struct{}
+	closed bool
+	seq    atomic.Uint64
+
+	mPublished *counterVecish
+	mDropped   metric
+	mSubs      gaugeMetric
+	mSubsTotal metric
+}
+
+// counterVecish caches per-type publish counters.
+type counterVecish struct {
+	mu sync.Mutex
+	m  map[string]metric
+}
+
+func (c *counterVecish) inc(typ string) {
+	c.mu.Lock()
+	ctr, ok := c.m[typ]
+	if !ok {
+		ctr = counter("ctlplane_watch_events_total", label("type", typ))
+		c.m[typ] = ctr
+	}
+	c.mu.Unlock()
+	ctr.Inc()
+}
+
+// NewHub creates an empty hub.
+func NewHub() *Hub {
+	return &Hub{
+		subs:       make(map[*Subscriber]struct{}),
+		mPublished: &counterVecish{m: make(map[string]metric)},
+		mDropped:   counter("ctlplane_watch_dropped_total"),
+		mSubs:      gauge("ctlplane_watch_subscribers"),
+		mSubsTotal: counter("ctlplane_watch_subscribers_total"),
+	}
+}
+
+// Subscriber is one watch consumer: a bounded event queue plus drop
+// accounting.
+type Subscriber struct {
+	hub     *Hub
+	ch      chan StreamEvent
+	types   map[string]bool // nil = all
+	dropped atomic.Uint64
+	once    sync.Once
+}
+
+// Subscribe registers a consumer. types filters the stream (empty =
+// everything); queue <= 0 selects DefaultSubscriberQueue. The caller
+// must drain Events() and call Close when done.
+func (h *Hub) Subscribe(queue int, types ...string) *Subscriber {
+	if queue <= 0 {
+		queue = DefaultSubscriberQueue
+	}
+	sub := &Subscriber{hub: h, ch: make(chan StreamEvent, queue)}
+	if len(types) > 0 {
+		sub.types = make(map[string]bool, len(types))
+		for _, t := range types {
+			sub.types[t] = true
+		}
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		sub.once.Do(func() { close(sub.ch) })
+		return sub
+	}
+	h.subs[sub] = struct{}{}
+	n := len(h.subs)
+	h.mu.Unlock()
+	h.mSubs.Set(int64(n))
+	h.mSubsTotal.Inc()
+	return sub
+}
+
+// Events is the subscriber's receive side. The channel closes when the
+// subscriber or the hub closes.
+func (s *Subscriber) Events() <-chan StreamEvent { return s.ch }
+
+// Dropped returns how many events this subscriber lost to a full queue.
+func (s *Subscriber) Dropped() uint64 { return s.dropped.Load() }
+
+// Close unregisters the subscriber and closes its channel.
+func (s *Subscriber) Close() {
+	s.hub.mu.Lock()
+	_, registered := s.hub.subs[s]
+	delete(s.hub.subs, s)
+	n := len(s.hub.subs)
+	s.hub.mu.Unlock()
+	s.hub.mSubs.Set(int64(n))
+	if registered {
+		s.once.Do(func() { close(s.ch) })
+	}
+}
+
+// Publish broadcasts one event. Never blocks; full subscriber queues
+// drop with accounting.
+func (h *Hub) Publish(typ string, data any) {
+	e := StreamEvent{Seq: h.seq.Add(1), Type: typ, Time: time.Now(), Data: data}
+	h.mPublished.inc(typ)
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	for sub := range h.subs {
+		if sub.types != nil && !sub.types[typ] {
+			continue
+		}
+		select {
+		case sub.ch <- e:
+		default:
+			sub.dropped.Add(1)
+			h.mDropped.Inc()
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Close shuts the hub down: every subscriber channel closes after its
+// buffered events drain, and later Publish/Subscribe calls are no-ops.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	subs := make([]*Subscriber, 0, len(h.subs))
+	for sub := range h.subs {
+		subs = append(subs, sub)
+	}
+	h.subs = make(map[*Subscriber]struct{})
+	h.mu.Unlock()
+	h.mSubs.Set(0)
+	for _, sub := range subs {
+		sub.once.Do(func() { close(sub.ch) })
+	}
+}
+
+// Subscribers returns the live subscriber count.
+func (h *Hub) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// sseHeartbeat is the keep-alive comment cadence on idle streams.
+const sseHeartbeat = 15 * time.Second
+
+// ServeHTTP streams the hub over Server-Sent Events:
+//
+//	GET /v1/watch?types=reconcile,health&queue=512
+//
+// Each event is written as "event: <type>\ndata: <json>\n\n"; idle
+// periods carry comment heartbeats so proxies keep the stream open.
+// The stream ends when the client disconnects or the hub closes (server
+// shutdown), after which the handler returns so Shutdown can drain.
+func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "ctlplane: streaming unsupported by connection", http.StatusNotImplemented)
+		return
+	}
+	var types []string
+	if raw := strings.TrimSpace(r.FormValue("types")); raw != "" {
+		for _, t := range strings.Split(raw, ",") {
+			t = strings.TrimSpace(t)
+			if t == "" {
+				continue
+			}
+			switch t {
+			case StreamTelemetry, StreamReconcile, StreamHealth, StreamStore, StreamDeploy:
+				types = append(types, t)
+			default:
+				http.Error(w, fmt.Sprintf("ctlplane: unknown stream type %q", t), http.StatusBadRequest)
+				return
+			}
+		}
+	}
+	queue := 0
+	if raw := r.FormValue("queue"); raw != "" {
+		if _, err := fmt.Sscanf(raw, "%d", &queue); err != nil || queue < 0 || queue > 1<<16 {
+			http.Error(w, "ctlplane: bad queue size", http.StatusBadRequest)
+			return
+		}
+	}
+	sub := h.Subscribe(queue, types...)
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, ": ctlplane watch stream\n\n")
+	flusher.Flush()
+
+	heartbeat := time.NewTicker(sseHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-heartbeat.C:
+			// Also surfaces this subscriber's drop count so a slow
+			// consumer can tell it is losing events.
+			if _, err := fmt.Fprintf(w, ": heartbeat dropped=%d\n\n", sub.Dropped()); err != nil {
+				return
+			}
+			flusher.Flush()
+		case e, ok := <-sub.Events():
+			if !ok {
+				return // hub closed (shutdown)
+			}
+			data, err := json.Marshal(e)
+			if err != nil {
+				data = []byte(fmt.Sprintf(`{"seq":%d,"type":%q,"error":"marshal failed"}`, e.Seq, e.Type))
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}

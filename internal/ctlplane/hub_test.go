@@ -1,0 +1,190 @@
+package ctlplane
+
+import (
+	"bufio"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHubFanOutAndFilter(t *testing.T) {
+	hub := NewHub()
+	defer hub.Close()
+	all := hub.Subscribe(16)
+	health := hub.Subscribe(16, StreamHealth)
+	defer all.Close()
+	defer health.Close()
+
+	hub.Publish(StreamReconcile, "r1")
+	hub.Publish(StreamHealth, "h1")
+
+	e1 := <-all.Events()
+	e2 := <-all.Events()
+	if e1.Type != StreamReconcile || e2.Type != StreamHealth {
+		t.Fatalf("unfiltered subscriber saw %s, %s", e1.Type, e2.Type)
+	}
+	if e2.Seq <= e1.Seq {
+		t.Fatalf("sequence not monotonic: %d then %d", e1.Seq, e2.Seq)
+	}
+	h := <-health.Events()
+	if h.Type != StreamHealth || h.Data != "h1" {
+		t.Fatalf("filtered subscriber saw %+v", h)
+	}
+	select {
+	case e := <-health.Events():
+		t.Fatalf("filtered subscriber leaked %+v", e)
+	default:
+	}
+}
+
+// TestHubSlowConsumerNeverBlocks is the satellite requirement: a
+// subscriber that stops reading must not block Publish or starve its
+// siblings, and its losses must be accounted.
+func TestHubSlowConsumerNeverBlocks(t *testing.T) {
+	hub := NewHub()
+	defer hub.Close()
+	stalled := hub.Subscribe(4) // tiny queue, never drained
+	defer stalled.Close()
+	healthy := hub.Subscribe(1024)
+	defer healthy.Close()
+
+	const n = 500
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			hub.Publish(StreamTelemetry, i)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Publish blocked on a stalled subscriber")
+	}
+
+	// The healthy sibling got everything, in order.
+	for i := 0; i < n; i++ {
+		select {
+		case e := <-healthy.Events():
+			if e.Data != i {
+				t.Fatalf("healthy subscriber saw %v at position %d", e.Data, i)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("healthy subscriber starved at %d/%d", i, n)
+		}
+	}
+	// The stalled one kept its queue and dropped the rest, accounted.
+	if got := stalled.Dropped(); got != n-4 {
+		t.Fatalf("stalled subscriber dropped %d, want %d", got, n-4)
+	}
+}
+
+func TestHubConcurrentPublishRaceClean(t *testing.T) {
+	hub := NewHub()
+	subs := make([]*Subscriber, 8)
+	for i := range subs {
+		subs[i] = hub.Subscribe(8)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				hub.Publish(StreamStore, i)
+			}
+		}()
+	}
+	// Subscribers churn while publishers run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			s := hub.Subscribe(4)
+			s.Close()
+		}
+	}()
+	wg.Wait()
+	for _, s := range subs {
+		s.Close()
+	}
+	hub.Close()
+	hub.Publish(StreamStore, "after close") // must not panic
+}
+
+func TestHubSSEHandler(t *testing.T) {
+	hub := NewHub()
+	defer hub.Close()
+
+	// Unknown type is rejected before subscribing.
+	rec := httptest.NewRecorder()
+	hub.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/watch?types=bogus", nil))
+	if rec.Code != 400 {
+		t.Fatalf("unknown type -> %d, want 400", rec.Code)
+	}
+
+	srv := httptest.NewServer(hub)
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "?types=reconcile")
+	if err != nil {
+		t.Fatalf("GET watch: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	go func() {
+		// Give the subscriber a moment to register, then publish.
+		for i := 0; hub.Subscribers() == 0 && i < 100; i++ {
+			time.Sleep(5 * time.Millisecond)
+		}
+		hub.Publish(StreamReconcile, map[string]string{"name": "alpha"})
+	}()
+
+	scanner := bufio.NewScanner(resp.Body)
+	var event, data string
+	deadline := time.AfterFunc(5*time.Second, func() { resp.Body.Close() })
+	defer deadline.Stop()
+	for scanner.Scan() {
+		line := scanner.Text()
+		if strings.HasPrefix(line, "event: ") {
+			event = strings.TrimPrefix(line, "event: ")
+		}
+		if strings.HasPrefix(line, "data: ") {
+			data = strings.TrimPrefix(line, "data: ")
+			break
+		}
+	}
+	if event != StreamReconcile {
+		t.Fatalf("SSE event = %q, want %s", event, StreamReconcile)
+	}
+	if !strings.Contains(data, `"alpha"`) {
+		t.Fatalf("SSE data = %q", data)
+	}
+}
+
+func TestHubCloseDrainsSubscribers(t *testing.T) {
+	hub := NewHub()
+	sub := hub.Subscribe(8)
+	hub.Publish(StreamStore, "last")
+	hub.Close()
+	// Buffered event still arrives, then the channel closes.
+	e, ok := <-sub.Events()
+	if !ok || e.Data != "last" {
+		t.Fatalf("buffered event lost on close: %+v ok=%v", e, ok)
+	}
+	if _, ok := <-sub.Events(); ok {
+		t.Fatal("channel not closed after hub close")
+	}
+	// Subscribing after close yields an immediately-closed channel.
+	late := hub.Subscribe(8)
+	if _, ok := <-late.Events(); ok {
+		t.Fatal("late subscription not closed")
+	}
+	late.Close() // must not panic (double close guard)
+	_ = fmt.Sprintf("%d", late.Dropped())
+}

@@ -1,0 +1,547 @@
+package ctlplane
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Actuator is the reconciler's hand on the platform. Every method must
+// be idempotent — the reconciler retries freely — and every actuation
+// must flow through the platform's audited enforcement path (the
+// peering implementation drives a normal experiment Client, so policy
+// evaluates and logs each change like any researcher-issued one).
+type Actuator interface {
+	// Validate dry-runs a spec against platform state (PoPs exist,
+	// allocation does not collide) without actuating anything.
+	Validate(spec Spec) error
+	// EnsureExperiment registers the experiment (proposal, approval,
+	// credentials, capability grant) and applies spec-level overrides.
+	EnsureExperiment(spec Spec) error
+	// EnsureSession brings the experiment's tunnel + BGP session at a
+	// PoP to Established.
+	EnsureSession(spec Spec, pop string) error
+	// Announce actuates one announcement atom.
+	Announce(spec Spec, ann CompiledAnn) error
+	// Withdraw retracts one announcement atom.
+	Withdraw(experiment, pop string, prefix netip.Prefix, version uint32) error
+	// CloseSession tears down the experiment's session at one PoP.
+	CloseSession(experiment, pop string) error
+	// Teardown removes the experiment entirely (sessions, credentials,
+	// enforcement registration).
+	Teardown(experiment string) error
+	// Observed reports the actuator-managed platform state: which
+	// sessions are established and which announcements are installed
+	// (verified against the routers' RIBs), with the fingerprint each
+	// was actuated at.
+	Observed() (Observed, error)
+}
+
+// Observed is the actuator's view of current platform state for the
+// experiments it manages.
+type Observed struct {
+	// Sessions maps experiment sessions to "established".
+	Sessions map[SessKey]bool
+	// Anns maps installed announcements to the fingerprint they were
+	// actuated with ("" when unknown).
+	Anns map[AnnKey]string
+}
+
+// Phase is an object's convergence state.
+type Phase string
+
+// Phases.
+const (
+	PhasePending    Phase = "pending"    // seen, not yet reconciled
+	PhaseConverging Phase = "converging" // actions issued, verification pending
+	PhaseConverged  Phase = "converged"  // desired == observed at Revision
+	PhaseError      Phase = "error"      // last attempt failed; backing off
+	PhaseDeleting   Phase = "deleting"   // tombstoned, teardown in progress
+)
+
+// ObjectStatus is the reconciler's per-object convergence record.
+type ObjectStatus struct {
+	Name  string `json:"name"`
+	Phase Phase  `json:"phase"`
+	// Revision is the spec revision the last reconcile pass acted on.
+	Revision int64 `json:"revision"`
+	// ConvergedRevision is the newest revision verified desired ==
+	// observed (0 = never).
+	ConvergedRevision int64 `json:"converged_revision"`
+	// Actions counts actuations performed for this object.
+	Actions uint64 `json:"actions"`
+	// Attempts counts consecutive failed passes (reset on success).
+	Attempts int `json:"attempts,omitempty"`
+	// LastError is the most recent failure, if any.
+	LastError string `json:"last_error,omitempty"`
+	// NextRetry is when a backed-off object is reconsidered.
+	NextRetry time.Time `json:"next_retry,omitempty"`
+	// LastTransition is when Phase last changed.
+	LastTransition time.Time `json:"last_transition"`
+}
+
+// ReconcilerConfig tunes the loop.
+type ReconcilerConfig struct {
+	// Resync is the periodic full-reconcile interval (observed state
+	// can drift without a store commit). Default 250ms.
+	Resync time.Duration
+	// BackoffBase and BackoffMax bound the per-object exponential error
+	// backoff. Defaults 100ms and 5s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// MaxActionsPerSecond rate-limits actuations across all objects
+	// (the §4.7 stance: the control plane must not itself become an
+	// update storm). Default 200.
+	MaxActionsPerSecond float64
+	// ActuationGrace is how long an issued announce/withdraw is treated
+	// as in flight before the reconciler re-actuates it. Route install
+	// is asynchronous (session send → router processing → RIB), and
+	// every re-send burns the experiment's §4.7 update budget, so the
+	// loop waits this long for the RIB to catch up. Default 2s.
+	ActuationGrace time.Duration
+	// Logf receives reconciler logs.
+	Logf func(format string, args ...any)
+}
+
+// Reconciler converges desired state (Store) onto observed state
+// (Actuator) — the §5 loop: diff, actuate, verify, repeat.
+type Reconciler struct {
+	store *Store
+	act   Actuator
+	cfg   ReconcilerConfig
+	hub   *Hub // optional
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	mu       sync.Mutex
+	statuses map[string]*ObjectStatus
+	ensured  map[string]int64 // experiment -> revision EnsureExperiment last ran for
+	lastAct  time.Time
+
+	// In-flight actuation records, touched only by the Run goroutine.
+	inflightAnn map[AnnKey]actRecord
+	inflightWd  map[AnnKey]time.Time
+
+	mRuns      metric
+	mErrors    metric
+	mConverged gaugeMetric
+	mActions   map[string]metric
+}
+
+// NewReconciler wires a reconciler over a store and an actuator. hub
+// may be nil. Call Run to start the loop.
+func NewReconciler(store *Store, act Actuator, hub *Hub, cfg ReconcilerConfig) *Reconciler {
+	if cfg.Resync <= 0 {
+		cfg.Resync = 250 * time.Millisecond
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 100 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 5 * time.Second
+	}
+	if cfg.MaxActionsPerSecond <= 0 {
+		cfg.MaxActionsPerSecond = 200
+	}
+	if cfg.ActuationGrace <= 0 {
+		cfg.ActuationGrace = 2 * time.Second
+	}
+	r := &Reconciler{
+		store:       store,
+		act:         act,
+		cfg:         cfg,
+		hub:         hub,
+		wake:        make(chan struct{}, 1),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+		statuses:    make(map[string]*ObjectStatus),
+		ensured:     make(map[string]int64),
+		inflightAnn: make(map[AnnKey]actRecord),
+		inflightWd:  make(map[AnnKey]time.Time),
+		mRuns:       counter("ctlplane_reconcile_runs_total"),
+		mErrors:     counter("ctlplane_reconcile_errors_total"),
+		mActions: map[string]metric{
+			"ensure-experiment": counter("ctlplane_reconcile_actions_total", label("kind", "ensure-experiment")),
+			"ensure-session":    counter("ctlplane_reconcile_actions_total", label("kind", "ensure-session")),
+			"announce":          counter("ctlplane_reconcile_actions_total", label("kind", "announce")),
+			"withdraw":          counter("ctlplane_reconcile_actions_total", label("kind", "withdraw")),
+			"close-session":     counter("ctlplane_reconcile_actions_total", label("kind", "close-session")),
+			"teardown":          counter("ctlplane_reconcile_actions_total", label("kind", "teardown")),
+		},
+		mConverged: gauge("ctlplane_objects_converged"),
+	}
+	store.OnCommit(r.Kick)
+	return r
+}
+
+// Kick schedules an immediate reconcile pass (coalescing).
+func (r *Reconciler) Kick() {
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Run drives the loop until Close. Call in a goroutine.
+func (r *Reconciler) Run() {
+	defer close(r.done)
+	tick := time.NewTicker(r.cfg.Resync)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-r.wake:
+		case <-tick.C:
+		}
+		r.reconcileOnce()
+	}
+}
+
+// Close stops the loop and waits for the in-flight pass to finish.
+func (r *Reconciler) Close() {
+	r.once.Do(func() { close(r.stop) })
+	<-r.done
+}
+
+// Status returns the per-object convergence records, sorted by name.
+func (r *Reconciler) Status() []ObjectStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ObjectStatus, 0, len(r.statuses))
+	for _, st := range r.statuses {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ObjectStatusFor returns one object's convergence record.
+func (r *Reconciler) ObjectStatusFor(name string) (ObjectStatus, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.statuses[name]
+	if !ok {
+		return ObjectStatus{}, false
+	}
+	return *st, true
+}
+
+// logf logs through the configured sink.
+func (r *Reconciler) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// throttle enforces the global actuation rate limit; called before
+// every actuator mutation.
+func (r *Reconciler) throttle() {
+	interval := time.Duration(float64(time.Second) / r.cfg.MaxActionsPerSecond)
+	r.mu.Lock()
+	next := r.lastAct.Add(interval)
+	now := time.Now()
+	if next.After(now) {
+		r.lastAct = next
+	} else {
+		r.lastAct = now
+	}
+	r.mu.Unlock()
+	if d := time.Until(next); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// actRecord is one in-flight announce: the fingerprint it was issued
+// with and when.
+type actRecord struct {
+	fp string
+	at time.Time
+}
+
+// action runs one rate-limited actuation, counting it per kind.
+func (r *Reconciler) action(kind string, st *ObjectStatus, fn func() error) error {
+	r.throttle()
+	if m, ok := r.mActions[kind]; ok {
+		m.Inc()
+	}
+	r.mu.Lock()
+	st.Actions++
+	r.mu.Unlock()
+	return fn()
+}
+
+// setPhase transitions an object's phase, publishing to the hub when it
+// actually changes.
+func (r *Reconciler) setPhase(st *ObjectStatus, phase Phase, rev int64, errMsg string) {
+	changed := st.Phase != phase || st.Revision != rev || st.LastError != errMsg
+	st.Phase = phase
+	st.Revision = rev
+	st.LastError = errMsg
+	if changed {
+		st.LastTransition = time.Now()
+		if r.hub != nil {
+			r.hub.Publish(StreamReconcile, struct {
+				Name     string `json:"name"`
+				Phase    Phase  `json:"phase"`
+				Revision int64  `json:"revision"`
+				Error    string `json:"error,omitempty"`
+			}{st.Name, phase, rev, errMsg})
+		}
+	}
+}
+
+// reconcileOnce runs one full diff-and-converge pass over every object.
+func (r *Reconciler) reconcileOnce() {
+	r.mRuns.Inc()
+	objects := r.store.List()
+	obs, err := r.act.Observed()
+	if err != nil {
+		r.mErrors.Inc()
+		r.logf("ctlplane: observe failed: %v", err)
+		return
+	}
+	if obs.Sessions == nil {
+		obs.Sessions = make(map[SessKey]bool)
+	}
+	if obs.Anns == nil {
+		obs.Anns = make(map[AnnKey]string)
+	}
+
+	now := time.Now()
+	// Expired withdraw records are dead weight once the route is gone
+	// from the observed state (nothing iterates them again).
+	for key, at := range r.inflightWd {
+		if now.Sub(at) >= r.cfg.ActuationGrace {
+			delete(r.inflightWd, key)
+		}
+	}
+	live := make(map[string]bool, len(objects))
+	converged := 0
+	for i := range objects {
+		obj := &objects[i]
+		live[obj.Spec.Name] = true
+		st := r.statusFor(obj.Spec.Name)
+		r.mu.Lock()
+		skip := now.Before(st.NextRetry)
+		r.mu.Unlock()
+		if skip {
+			continue
+		}
+		var passErr error
+		if obj.Deleting {
+			r.setPhaseLocked(st, PhaseDeleting, obj.Revision, "")
+			passErr = r.teardownObject(obj, st, obs)
+		} else {
+			passErr = r.convergeObject(obj, st, obs)
+		}
+		r.mu.Lock()
+		if passErr != nil {
+			r.mErrors.Inc()
+			st.Attempts++
+			backoff := r.cfg.BackoffBase << min(uint(st.Attempts-1), 16)
+			if backoff > r.cfg.BackoffMax || backoff <= 0 {
+				backoff = r.cfg.BackoffMax
+			}
+			st.NextRetry = time.Now().Add(backoff)
+			phase := PhaseError
+			if obj.Deleting {
+				phase = PhaseDeleting
+			}
+			r.setPhase(st, phase, obj.Revision, passErr.Error())
+			r.logf("ctlplane: reconcile %s@%d failed (attempt %d, retry in %s): %v",
+				obj.Spec.Name, obj.Revision, st.Attempts, backoff, passErr)
+		} else {
+			st.Attempts = 0
+			st.NextRetry = time.Time{}
+		}
+		if st.Phase == PhaseConverged {
+			converged++
+		}
+		r.mu.Unlock()
+	}
+	// Forget records of objects that no longer exist.
+	r.mu.Lock()
+	for name := range r.statuses {
+		if !live[name] {
+			delete(r.statuses, name)
+			delete(r.ensured, name)
+		}
+	}
+	r.mConverged.Set(int64(converged))
+	r.mu.Unlock()
+}
+
+// statusFor returns (creating if needed) the mutable status record.
+func (r *Reconciler) statusFor(name string) *ObjectStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.statuses[name]
+	if !ok {
+		st = &ObjectStatus{Name: name, Phase: PhasePending, LastTransition: time.Now()}
+		r.statuses[name] = st
+	}
+	return st
+}
+
+// setPhaseLocked is setPhase with its own locking (for call sites not
+// already holding r.mu).
+func (r *Reconciler) setPhaseLocked(st *ObjectStatus, phase Phase, rev int64, errMsg string) {
+	r.mu.Lock()
+	r.setPhase(st, phase, rev, errMsg)
+	r.mu.Unlock()
+}
+
+// convergeObject diffs one live object against observed state and
+// actuates the difference. Returns nil when the pass issued no failing
+// action; convergence (diff empty) flips the phase to Converged.
+func (r *Reconciler) convergeObject(obj *Object, st *ObjectStatus, obs Observed) error {
+	spec := obj.Spec
+	desiredAnns := spec.Compile()
+	desiredPops := spec.SessionPoPs()
+	actions, pending := 0, 0
+	now := time.Now()
+
+	// Registration: once per revision (idempotent in the actuator, but
+	// skipping it keeps steady-state passes read-only).
+	r.mu.Lock()
+	needEnsure := r.ensured[spec.Name] != obj.Revision
+	r.mu.Unlock()
+	if needEnsure {
+		actions++
+		if err := r.action("ensure-experiment", st, func() error { return r.act.EnsureExperiment(spec) }); err != nil {
+			return fmt.Errorf("ensure experiment: %w", err)
+		}
+		r.mu.Lock()
+		r.ensured[spec.Name] = obj.Revision
+		r.mu.Unlock()
+	}
+
+	// Sessions up at every referenced PoP.
+	for _, pop := range desiredPops {
+		if obs.Sessions[SessKey{spec.Name, pop}] {
+			continue
+		}
+		actions++
+		pop := pop
+		if err := r.action("ensure-session", st, func() error { return r.act.EnsureSession(spec, pop) }); err != nil {
+			return fmt.Errorf("ensure session at %s: %w", pop, err)
+		}
+	}
+
+	// Announcements present at the desired fingerprint. An announce
+	// issued within the grace window counts as pending rather than
+	// missing: install is asynchronous and re-sends burn update budget.
+	desired := make(map[AnnKey]bool, len(desiredAnns))
+	for _, ann := range desiredAnns {
+		desired[ann.Key] = true
+		fp := ann.Fingerprint()
+		cur, ok := obs.Anns[ann.Key]
+		if ok && cur == fp {
+			delete(r.inflightAnn, ann.Key)
+			continue
+		}
+		if rec, inflight := r.inflightAnn[ann.Key]; inflight && rec.fp == fp && now.Sub(rec.at) < r.cfg.ActuationGrace {
+			pending++
+			continue
+		}
+		actions++
+		ann := ann
+		if err := r.action("announce", st, func() error { return r.act.Announce(spec, ann) }); err != nil {
+			return fmt.Errorf("announce %s: %w", ann.Key, err)
+		}
+		r.inflightAnn[ann.Key] = actRecord{fp: fp, at: now}
+	}
+
+	// Withdraw strays: observed announcements of this experiment no
+	// longer in the spec. Same grace treatment as announces.
+	for key := range obs.Anns {
+		if key.Experiment != spec.Name || desired[key] {
+			continue
+		}
+		if at, inflight := r.inflightWd[key]; inflight && now.Sub(at) < r.cfg.ActuationGrace {
+			pending++
+			continue
+		}
+		actions++
+		key := key
+		if err := r.action("withdraw", st, func() error {
+			return r.act.Withdraw(key.Experiment, key.PoP, key.Prefix, key.Version)
+		}); err != nil {
+			return fmt.Errorf("withdraw %s: %w", key, err)
+		}
+		r.inflightWd[key] = now
+	}
+
+	// Close sessions at PoPs the spec no longer references.
+	wantPop := make(map[string]bool, len(desiredPops))
+	for _, pop := range desiredPops {
+		wantPop[pop] = true
+	}
+	for key := range obs.Sessions {
+		if key.Experiment != spec.Name || wantPop[key.PoP] {
+			continue
+		}
+		actions++
+		key := key
+		if err := r.action("close-session", st, func() error {
+			return r.act.CloseSession(key.Experiment, key.PoP)
+		}); err != nil {
+			return fmt.Errorf("close session at %s: %w", key.PoP, err)
+		}
+	}
+
+	if actions == 0 && pending == 0 {
+		r.setPhaseLocked(st, PhaseConverged, obj.Revision, "")
+		r.mu.Lock()
+		if st.ConvergedRevision < obj.Revision {
+			st.ConvergedRevision = obj.Revision
+		}
+		r.mu.Unlock()
+	} else {
+		r.setPhaseLocked(st, PhaseConverging, obj.Revision, "")
+	}
+	return nil
+}
+
+// teardownObject withdraws a tombstoned object's state and removes it
+// from the store once the platform is clean.
+func (r *Reconciler) teardownObject(obj *Object, st *ObjectStatus, obs Observed) error {
+	name := obj.Spec.Name
+	for key := range obs.Anns {
+		if key.Experiment != name {
+			continue
+		}
+		key := key
+		if err := r.action("withdraw", st, func() error {
+			return r.act.Withdraw(key.Experiment, key.PoP, key.Prefix, key.Version)
+		}); err != nil {
+			return fmt.Errorf("withdraw %s: %w", key, err)
+		}
+	}
+	if err := r.action("teardown", st, func() error { return r.act.Teardown(name) }); err != nil {
+		return fmt.Errorf("teardown: %w", err)
+	}
+	if err := r.store.Remove(name); err != nil {
+		return err
+	}
+	for key := range r.inflightAnn {
+		if key.Experiment == name {
+			delete(r.inflightAnn, key)
+		}
+	}
+	for key := range r.inflightWd {
+		if key.Experiment == name {
+			delete(r.inflightWd, key)
+		}
+	}
+	r.mu.Lock()
+	delete(r.ensured, name)
+	r.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,374 @@
+package ctlplane
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeActuator simulates the platform: actuations mutate its state
+// synchronously unless installDelay holds routes back (modelling the
+// asynchronous session→RIB pipeline), and any method can be forced to
+// fail to drive the error/backoff paths.
+type fakeActuator struct {
+	mu       sync.Mutex
+	sessions map[SessKey]bool
+	anns     map[AnnKey]string
+	ensured  map[string]int
+
+	calls map[string]int
+	fail  map[string]error // method name -> forced error
+
+	// pendingAnns holds announced routes out of Observed() until
+	// released, simulating slow RIB install.
+	holdInstall bool
+	pendingAnns map[AnnKey]string
+}
+
+func newFakeActuator() *fakeActuator {
+	return &fakeActuator{
+		sessions:    make(map[SessKey]bool),
+		anns:        make(map[AnnKey]string),
+		ensured:     make(map[string]int),
+		calls:       make(map[string]int),
+		fail:        make(map[string]error),
+		pendingAnns: make(map[AnnKey]string),
+	}
+}
+
+func (f *fakeActuator) called(name string) error {
+	f.calls[name]++
+	return f.fail[name]
+}
+
+func (f *fakeActuator) count(name string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls[name]
+}
+
+func (f *fakeActuator) Validate(spec Spec) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.called("validate")
+}
+
+func (f *fakeActuator) EnsureExperiment(spec Spec) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.called("ensure-experiment"); err != nil {
+		return err
+	}
+	f.ensured[spec.Name]++
+	return nil
+}
+
+func (f *fakeActuator) EnsureSession(spec Spec, pop string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.called("ensure-session"); err != nil {
+		return err
+	}
+	f.sessions[SessKey{spec.Name, pop}] = true
+	return nil
+}
+
+func (f *fakeActuator) Announce(spec Spec, ann CompiledAnn) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.called("announce"); err != nil {
+		return err
+	}
+	if f.holdInstall {
+		f.pendingAnns[ann.Key] = ann.Fingerprint()
+	} else {
+		f.anns[ann.Key] = ann.Fingerprint()
+	}
+	return nil
+}
+
+func (f *fakeActuator) Withdraw(experiment, pop string, prefix netip.Prefix, version uint32) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.called("withdraw"); err != nil {
+		return err
+	}
+	delete(f.anns, AnnKey{experiment, pop, prefix, version})
+	return nil
+}
+
+func (f *fakeActuator) CloseSession(experiment, pop string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.called("close-session"); err != nil {
+		return err
+	}
+	delete(f.sessions, SessKey{experiment, pop})
+	return nil
+}
+
+func (f *fakeActuator) Teardown(experiment string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.called("teardown"); err != nil {
+		return err
+	}
+	for k := range f.sessions {
+		if k.Experiment == experiment {
+			delete(f.sessions, k)
+		}
+	}
+	for k := range f.anns {
+		if k.Experiment == experiment {
+			delete(f.anns, k)
+		}
+	}
+	delete(f.ensured, experiment)
+	return nil
+}
+
+func (f *fakeActuator) Observed() (Observed, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.called("observed"); err != nil {
+		return Observed{}, err
+	}
+	obs := Observed{Sessions: make(map[SessKey]bool), Anns: make(map[AnnKey]string)}
+	for k, v := range f.sessions {
+		obs.Sessions[k] = v
+	}
+	for k, v := range f.anns {
+		obs.Anns[k] = v
+	}
+	return obs, nil
+}
+
+// releaseInstalls flushes held announcements into the observable RIB.
+func (f *fakeActuator) releaseInstalls() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for k, v := range f.pendingAnns {
+		f.anns[k] = v
+	}
+	f.pendingAnns = make(map[AnnKey]string)
+}
+
+func (f *fakeActuator) setFail(method string, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err == nil {
+		delete(f.fail, method)
+	} else {
+		f.fail[method] = err
+	}
+}
+
+func testReconciler(t *testing.T, act Actuator, hub *Hub) (*Store, *Reconciler) {
+	t.Helper()
+	store := NewStore(StoreConfig{})
+	rec := NewReconciler(store, act, hub, ReconcilerConfig{
+		Resync:         5 * time.Millisecond,
+		BackoffBase:    2 * time.Millisecond,
+		BackoffMax:     20 * time.Millisecond,
+		ActuationGrace: 100 * time.Millisecond,
+		Logf:           t.Logf,
+	})
+	go rec.Run()
+	t.Cleanup(rec.Close)
+	return store, rec
+}
+
+func waitPhase(t *testing.T, rec *Reconciler, name string, phase Phase) ObjectStatus {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if st, ok := rec.ObjectStatusFor(name); ok && st.Phase == phase {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st, _ := rec.ObjectStatusFor(name)
+	t.Fatalf("experiment %s never reached %s (last: %+v)", name, phase, st)
+	return ObjectStatus{}
+}
+
+func waitGone(t *testing.T, store *Store, name string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := store.Get(name); err != nil {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("experiment %s never removed from store", name)
+}
+
+func TestReconcilerConverges(t *testing.T) {
+	act := newFakeActuator()
+	store, rec := testReconciler(t, act, nil)
+
+	spec := testSpec("alpha")
+	spec.Announcements[0].PoPs = []string{"seattle", "amsterdam"}
+	obj, _, err := store.Create(spec)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	st := waitPhase(t, rec, "alpha", PhaseConverged)
+	if st.ConvergedRevision != obj.Revision {
+		t.Fatalf("converged revision = %d, want %d", st.ConvergedRevision, obj.Revision)
+	}
+	act.mu.Lock()
+	sessions, anns := len(act.sessions), len(act.anns)
+	act.mu.Unlock()
+	if sessions != 2 || anns != 2 {
+		t.Fatalf("actuated %d sessions, %d announcements; want 2, 2", sessions, anns)
+	}
+}
+
+func TestReconcilerIdempotentSteadyState(t *testing.T) {
+	act := newFakeActuator()
+	store, rec := testReconciler(t, act, nil)
+	store.Create(testSpec("alpha"))
+	waitPhase(t, rec, "alpha", PhaseConverged)
+
+	base := act.count("announce")
+	time.Sleep(50 * time.Millisecond) // many resync passes
+	if n := act.count("announce"); n != base {
+		t.Fatalf("steady state re-announced: %d -> %d", base, n)
+	}
+	if n := act.count("ensure-experiment"); n != 1 {
+		t.Fatalf("ensure-experiment ran %d times at one revision, want 1", n)
+	}
+}
+
+func TestReconcilerActuationGrace(t *testing.T) {
+	act := newFakeActuator()
+	act.mu.Lock()
+	act.holdInstall = true // announcements never appear in the RIB...
+	act.mu.Unlock()
+	store, rec := testReconciler(t, act, nil)
+	store.Create(testSpec("alpha"))
+
+	// The object stays Converging (install pending) without re-sending
+	// the announcement every pass — each re-send would burn §4.7 budget.
+	waitPhase(t, rec, "alpha", PhaseConverging)
+	time.Sleep(40 * time.Millisecond) // ~8 resync passes inside the grace window
+	if n := act.count("announce"); n != 1 {
+		t.Fatalf("announce sent %d times within grace window, want 1", n)
+	}
+	act.releaseInstalls()
+	waitPhase(t, rec, "alpha", PhaseConverged)
+}
+
+func TestReconcilerSpecUpdateSteers(t *testing.T) {
+	act := newFakeActuator()
+	store, rec := testReconciler(t, act, nil)
+	obj, _, _ := store.Create(testSpec("alpha"))
+	waitPhase(t, rec, "alpha", PhaseConverged)
+
+	// Move the announcement to a different PoP with a prepend: the old
+	// atom must be withdrawn, the new one announced, the old session
+	// closed.
+	next := testSpec("alpha")
+	next.Announcements[0].PoPs = []string{"amsterdam"}
+	next.Announcements[0].Prepend = 3
+	upd, err := store.Update("alpha", obj.Revision, next)
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st, _ := rec.ObjectStatusFor("alpha")
+		if st.ConvergedRevision == upd.Revision {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	act.mu.Lock()
+	defer act.mu.Unlock()
+	prefix := netip.MustParsePrefix("184.164.224.0/24")
+	if _, old := act.anns[AnnKey{"alpha", "seattle", prefix, 0}]; old {
+		t.Fatal("stale seattle announcement not withdrawn")
+	}
+	if _, ok := act.anns[AnnKey{"alpha", "amsterdam", prefix, 0}]; !ok {
+		t.Fatal("amsterdam announcement missing")
+	}
+	if act.sessions[SessKey{"alpha", "seattle"}] {
+		t.Fatal("unreferenced seattle session not closed")
+	}
+}
+
+func TestReconcilerErrorBackoffAndRecovery(t *testing.T) {
+	act := newFakeActuator()
+	act.setFail("announce", fmt.Errorf("session flap"))
+	store, rec := testReconciler(t, act, nil)
+	store.Create(testSpec("alpha"))
+
+	st := waitPhase(t, rec, "alpha", PhaseError)
+	if st.LastError == "" || st.Attempts == 0 || st.NextRetry.IsZero() {
+		t.Fatalf("error status incomplete: %+v", st)
+	}
+	act.setFail("announce", nil)
+	st = waitPhase(t, rec, "alpha", PhaseConverged)
+	if st.Attempts != 0 || st.LastError != "" {
+		t.Fatalf("recovery did not clear error state: %+v", st)
+	}
+}
+
+func TestReconcilerTeardown(t *testing.T) {
+	act := newFakeActuator()
+	store, rec := testReconciler(t, act, nil)
+	store.Create(testSpec("alpha"))
+	waitPhase(t, rec, "alpha", PhaseConverged)
+
+	if _, err := store.Delete("alpha", 0); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	waitGone(t, store, "alpha")
+	act.mu.Lock()
+	defer act.mu.Unlock()
+	if len(act.anns) != 0 || len(act.sessions) != 0 {
+		t.Fatalf("teardown left state: anns=%v sessions=%v", act.anns, act.sessions)
+	}
+	if act.calls["teardown"] == 0 {
+		t.Fatal("teardown never called")
+	}
+}
+
+func TestReconcilerPublishesTransitions(t *testing.T) {
+	hub := NewHub()
+	defer hub.Close()
+	sub := hub.Subscribe(64, StreamReconcile)
+	defer sub.Close()
+
+	act := newFakeActuator()
+	store, rec := testReconciler(t, act, hub)
+	store.Create(testSpec("alpha"))
+	waitPhase(t, rec, "alpha", PhaseConverged)
+
+	seen := make(map[Phase]bool)
+	deadline := time.After(2 * time.Second)
+	for !seen[PhaseConverged] {
+		select {
+		case e := <-sub.Events():
+			payload, ok := e.Data.(struct {
+				Name     string `json:"name"`
+				Phase    Phase  `json:"phase"`
+				Revision int64  `json:"revision"`
+				Error    string `json:"error,omitempty"`
+			})
+			if !ok {
+				t.Fatalf("unexpected payload type %T", e.Data)
+			}
+			seen[payload.Phase] = true
+		case <-deadline:
+			t.Fatalf("converged transition never streamed; saw %v", seen)
+		}
+	}
+	if !seen[PhaseConverging] {
+		t.Fatalf("converging transition not streamed; saw %v", seen)
+	}
+}

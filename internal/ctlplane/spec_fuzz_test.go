@@ -1,0 +1,48 @@
+package ctlplane
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeSpec hammers the strict JSON decoder with arbitrary bytes:
+// it must never panic, and anything it accepts must be a valid,
+// re-encodable spec that survives a decode round trip.
+func FuzzDecodeSpec(f *testing.F) {
+	f.Add([]byte(`{"name":"alpha","owner":"o","asn":61001,"prefixes":["184.164.224.0/24"]}`))
+	f.Add([]byte(`{"name":"alpha","owner":"o","asn":61001,"prefixes":["184.164.224.0/24"],` +
+		`"announcements":[{"prefix":"184.164.224.0/24","pops":["seattle"],"prepend":2,` +
+		`"poison":[3356],"communities":["47065:12"],"to_neighbors":[7],"version":1}],` +
+		`"overrides":{"mrai":"50ms"}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"name":"x","unknown_field":true}`))
+	f.Add([]byte(`{"name":"x","owner":"o","asn":1,"prefixes":["184.164.224.0/24"]}{}`))
+	f.Add([]byte(`{"name":"x","owner":"o","asn":1,"prefixes":["184.164.224.0/24","184.164.224.0/25"]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeSpec(data)
+		if err != nil {
+			return
+		}
+		// Accepted specs must be internally consistent...
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("accepted spec fails validation: %v", err)
+		}
+		// ...compile without panicking...
+		_ = spec.Compile()
+		_ = spec.SessionPoPs()
+		_ = CapsFor(spec)
+		// ...and round-trip losslessly.
+		enc, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("accepted spec does not re-encode: %v", err)
+		}
+		again, err := DecodeSpec(enc)
+		if err != nil {
+			t.Fatalf("re-encoded spec rejected: %v\n%s", err, enc)
+		}
+		if !spec.Equal(again) {
+			t.Fatalf("round trip changed the spec:\n%s", enc)
+		}
+	})
+}

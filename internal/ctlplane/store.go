@@ -1,0 +1,328 @@
+package ctlplane
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/config"
+)
+
+// Store errors, mapped to HTTP statuses by the API layer.
+var (
+	// ErrNotFound: no object with that name.
+	ErrNotFound = errors.New("ctlplane: no such experiment")
+	// ErrConflict: the caller's revision is stale (CAS failure) or a
+	// create collided with a different existing spec.
+	ErrConflict = errors.New("ctlplane: revision conflict")
+	// ErrDeleting: the object is being torn down and cannot be updated.
+	ErrDeleting = errors.New("ctlplane: experiment is being deleted")
+)
+
+// Object is one stored experiment: its desired spec plus the
+// versioning metadata the CAS protocol needs.
+type Object struct {
+	Spec Spec `json:"spec"`
+	// Revision increments on every accepted change to this object. The
+	// counter is store-global, so revisions also totally order changes
+	// across objects.
+	Revision int64 `json:"revision"`
+	// CreatedAt / UpdatedAt are wall-clock bookkeeping.
+	CreatedAt time.Time `json:"created_at"`
+	UpdatedAt time.Time `json:"updated_at"`
+	// Deleting marks a tombstone: the reconciler is withdrawing the
+	// experiment's state; the object disappears when teardown finishes.
+	Deleting bool `json:"deleting,omitempty"`
+	// ConfigRev is the revision this change produced in the mirrored
+	// config.Store (0 when the store runs unmirrored).
+	ConfigRev int `json:"config_rev,omitempty"`
+}
+
+// ChangeKind classifies a store commit for watchers.
+type ChangeKind string
+
+// Change kinds.
+const (
+	ChangeCreated ChangeKind = "created"
+	ChangeUpdated ChangeKind = "updated"
+	ChangeDeleted ChangeKind = "deleted" // tombstoned; teardown pending
+	ChangeRemoved ChangeKind = "removed" // teardown finished, object gone
+)
+
+// Change is one committed store mutation.
+type Change struct {
+	Kind     ChangeKind `json:"kind"`
+	Name     string     `json:"name"`
+	Revision int64      `json:"revision"`
+}
+
+// Store is the versioned desired-state database behind the API: named
+// experiment objects with per-object revisions and optimistic
+// concurrency. It extends internal/config's revision-log model — every
+// accepted commit also renders the full desired state into a
+// config.Model revision in the mirrored config.Store, so the existing
+// canary/promote/rollback machinery (config.Deployer) operates on
+// exactly the state the reconciler converges.
+type Store struct {
+	mu      sync.Mutex
+	objects map[string]*Object
+	nextRev int64
+
+	// cfg is the mirrored config revision log (nil = unmirrored).
+	cfg *config.Store
+	// base supplies the non-experiment half of the mirrored model
+	// (platform ASN, PoP specs); nil mirrors experiments only.
+	base func() config.Model
+
+	// onCommit pokes the reconciler (set once, before use).
+	onCommit func()
+	// onChange publishes store transitions to the watch hub.
+	onChange func(Change)
+
+	mCommits  metric
+	mObjects  gaugeMetric
+	mConflict metric
+}
+
+// StoreConfig configures a Store.
+type StoreConfig struct {
+	// Config, when set, receives a rendered Model revision per commit.
+	Config *config.Store
+	// BaseModel supplies PlatformASN/GlobalPool/PoPs for the mirror.
+	BaseModel func() config.Model
+}
+
+// NewStore creates an empty desired-state store.
+func NewStore(cfg StoreConfig) *Store {
+	s := &Store{
+		objects: make(map[string]*Object),
+		cfg:     cfg.Config,
+		base:    cfg.BaseModel,
+	}
+	s.mCommits = counter("ctlplane_store_commits_total")
+	s.mObjects = gauge("ctlplane_objects")
+	s.mConflict = counter("ctlplane_store_conflicts_total")
+	return s
+}
+
+// OnCommit registers the reconciler wake-up hook.
+func (s *Store) OnCommit(fn func()) { s.onCommit = fn }
+
+// OnChange registers the watch-hub publication hook.
+func (s *Store) OnChange(fn func(Change)) { s.onChange = fn }
+
+// commitLocked finalizes a mutation: bumps the global revision counter,
+// mirrors the model, and schedules notifications. Caller holds s.mu and
+// must fire the returned function after unlocking.
+func (s *Store) commitLocked(obj *Object, name string, kind ChangeKind) func() {
+	s.nextRev++
+	rev := s.nextRev
+	if obj != nil {
+		obj.Revision = rev
+		obj.UpdatedAt = time.Now()
+	}
+	if s.cfg != nil {
+		m := s.renderLocked()
+		note := fmt.Sprintf("%s %s @%d", kind, name, rev)
+		if cfgRev, err := s.cfg.PutNoted(m, note); err == nil && obj != nil {
+			obj.ConfigRev = cfgRev
+		}
+	}
+	s.mCommits.Inc()
+	s.mObjects.Set(int64(len(s.objects)))
+	change := Change{Kind: kind, Name: name, Revision: rev}
+	onCommit, onChange := s.onCommit, s.onChange
+	return func() {
+		if onChange != nil {
+			onChange(change)
+		}
+		if onCommit != nil {
+			onCommit()
+		}
+	}
+}
+
+// renderLocked builds the mirrored config.Model from the live objects.
+func (s *Store) renderLocked() config.Model {
+	var m config.Model
+	if s.base != nil {
+		m = s.base()
+	}
+	names := make([]string, 0, len(s.objects))
+	for name, obj := range s.objects {
+		if !obj.Deleting {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		spec := s.objects[name].Spec
+		prefixes := make([]netip.Prefix, 0, len(spec.Prefixes))
+		for _, raw := range spec.Prefixes {
+			prefixes = append(prefixes, netip.MustParsePrefix(raw))
+		}
+		m.Experiments = append(m.Experiments, config.ExperimentSpec{
+			Name:     spec.Name,
+			Owner:    spec.Owner,
+			ASNs:     []uint32{spec.ASN},
+			Prefixes: prefixes,
+			Caps:     CapsFor(spec),
+			Approved: true,
+		})
+	}
+	return m
+}
+
+// Create stores a new experiment. Re-creating an identical spec is an
+// idempotent no-op returning the existing object (created=false); a
+// name collision with a different spec is ErrConflict.
+func (s *Store) Create(spec Spec) (Object, bool, error) {
+	if err := spec.Validate(); err != nil {
+		return Object{}, false, err
+	}
+	s.mu.Lock()
+	if existing, ok := s.objects[spec.Name]; ok {
+		defer s.mu.Unlock()
+		if existing.Deleting {
+			return Object{}, false, fmt.Errorf("%w (recreate after teardown finishes)", ErrDeleting)
+		}
+		if existing.Spec.Equal(spec) {
+			return *existing, false, nil
+		}
+		s.mConflict.Inc()
+		return Object{}, false, fmt.Errorf("%w: experiment %s exists at revision %d with a different spec",
+			ErrConflict, spec.Name, existing.Revision)
+	}
+	obj := &Object{Spec: spec.Clone(), CreatedAt: time.Now()}
+	s.objects[spec.Name] = obj
+	notify := s.commitLocked(obj, spec.Name, ChangeCreated)
+	out := *obj
+	s.mu.Unlock()
+	notify()
+	return out, true, nil
+}
+
+// Update replaces an object's spec, gated on the caller's revision
+// (CAS). An identical spec at the current revision is a no-op. The
+// spec's name must match the stored object.
+func (s *Store) Update(name string, rev int64, spec Spec) (Object, error) {
+	if err := spec.Validate(); err != nil {
+		return Object{}, err
+	}
+	if spec.Name != name {
+		return Object{}, fmt.Errorf("ctlplane: spec name %q does not match object %q", spec.Name, name)
+	}
+	s.mu.Lock()
+	obj, ok := s.objects[name]
+	if !ok {
+		s.mu.Unlock()
+		return Object{}, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if obj.Deleting {
+		s.mu.Unlock()
+		return Object{}, fmt.Errorf("%w: %s", ErrDeleting, name)
+	}
+	if obj.Revision != rev {
+		s.mConflict.Inc()
+		cur := *obj
+		s.mu.Unlock()
+		return cur, fmt.Errorf("%w: experiment %s is at revision %d, not %d",
+			ErrConflict, name, cur.Revision, rev)
+	}
+	if obj.Spec.Equal(spec) {
+		out := *obj
+		s.mu.Unlock()
+		return out, nil
+	}
+	obj.Spec = spec.Clone()
+	notify := s.commitLocked(obj, name, ChangeUpdated)
+	out := *obj
+	s.mu.Unlock()
+	notify()
+	return out, nil
+}
+
+// Delete tombstones an object for teardown. rev 0 deletes
+// unconditionally; otherwise the revision is CAS-checked. The object
+// remains visible (Deleting=true) until the reconciler calls Remove.
+func (s *Store) Delete(name string, rev int64) (Object, error) {
+	s.mu.Lock()
+	obj, ok := s.objects[name]
+	if !ok {
+		s.mu.Unlock()
+		return Object{}, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if obj.Deleting {
+		out := *obj
+		s.mu.Unlock()
+		return out, nil // idempotent
+	}
+	if rev != 0 && obj.Revision != rev {
+		s.mConflict.Inc()
+		cur := *obj
+		s.mu.Unlock()
+		return cur, fmt.Errorf("%w: experiment %s is at revision %d, not %d",
+			ErrConflict, name, cur.Revision, rev)
+	}
+	obj.Deleting = true
+	notify := s.commitLocked(obj, name, ChangeDeleted)
+	out := *obj
+	s.mu.Unlock()
+	notify()
+	return out, nil
+}
+
+// Remove drops a tombstoned object once the reconciler has finished
+// tearing it down. Removing a live or unknown object is an error — the
+// reconciler only calls this after Delete.
+func (s *Store) Remove(name string) error {
+	s.mu.Lock()
+	obj, ok := s.objects[name]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if !obj.Deleting {
+		s.mu.Unlock()
+		return fmt.Errorf("ctlplane: experiment %s is not marked for deletion", name)
+	}
+	delete(s.objects, name)
+	notify := s.commitLocked(nil, name, ChangeRemoved)
+	s.mu.Unlock()
+	notify()
+	return nil
+}
+
+// Get returns one object.
+func (s *Store) Get(name string) (Object, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj, ok := s.objects[name]
+	if !ok {
+		return Object{}, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return *obj, nil
+}
+
+// List returns every object sorted by name.
+func (s *Store) List() []Object {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Object, 0, len(s.objects))
+	for _, obj := range s.objects {
+		out = append(out, *obj)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Spec.Name < out[j].Spec.Name })
+	return out
+}
+
+// Revision returns the store's global revision counter (the revision of
+// the most recent commit).
+func (s *Store) Revision() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextRev
+}

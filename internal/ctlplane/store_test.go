@@ -1,0 +1,183 @@
+package ctlplane
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+
+	"repro/internal/config"
+)
+
+func testSpec(name string) Spec {
+	return Spec{
+		Name:     name,
+		Owner:    "researcher@example.edu",
+		ASN:      61001,
+		Prefixes: []string{"184.164.224.0/24"},
+		Announcements: []Announcement{
+			{Prefix: "184.164.224.0/24", PoPs: []string{"seattle"}},
+		},
+	}
+}
+
+func TestStoreCreateIdempotent(t *testing.T) {
+	s := NewStore(StoreConfig{})
+	obj, created, err := s.Create(testSpec("alpha"))
+	if err != nil || !created {
+		t.Fatalf("Create = %v, created=%v", err, created)
+	}
+	if obj.Revision != 1 {
+		t.Fatalf("first revision = %d, want 1", obj.Revision)
+	}
+	// Identical re-create: no-op, same object, no revision bump.
+	again, created, err := s.Create(testSpec("alpha"))
+	if err != nil || created {
+		t.Fatalf("re-Create = %v, created=%v, want nil,false", err, created)
+	}
+	if again.Revision != obj.Revision {
+		t.Fatalf("re-Create bumped revision %d -> %d", obj.Revision, again.Revision)
+	}
+	// Different spec under the same name: conflict.
+	diff := testSpec("alpha")
+	diff.Plan = "different"
+	if _, _, err := s.Create(diff); !errors.Is(err, ErrConflict) {
+		t.Fatalf("conflicting Create = %v, want ErrConflict", err)
+	}
+}
+
+func TestStoreUpdateCAS(t *testing.T) {
+	s := NewStore(StoreConfig{})
+	obj, _, _ := s.Create(testSpec("alpha"))
+
+	next := testSpec("alpha")
+	next.Plan = "phase two"
+	upd, err := s.Update("alpha", obj.Revision, next)
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if upd.Revision <= obj.Revision {
+		t.Fatalf("Update revision %d not past %d", upd.Revision, obj.Revision)
+	}
+	// Stale revision: CAS failure carrying the current object.
+	stale := testSpec("alpha")
+	stale.Plan = "phase three"
+	cur, err := s.Update("alpha", obj.Revision, stale)
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("stale Update = %v, want ErrConflict", err)
+	}
+	if cur.Revision != upd.Revision {
+		t.Fatalf("conflict response revision = %d, want current %d", cur.Revision, upd.Revision)
+	}
+	// Identical spec at the current revision: no-op.
+	same, err := s.Update("alpha", upd.Revision, next)
+	if err != nil || same.Revision != upd.Revision {
+		t.Fatalf("no-op Update = %v rev %d, want nil rev %d", err, same.Revision, upd.Revision)
+	}
+	// Name mismatch between path and spec.
+	if _, err := s.Update("alpha", upd.Revision, testSpec("beta")); err == nil {
+		t.Fatal("name-mismatch Update succeeded")
+	}
+}
+
+func TestStoreDeleteLifecycle(t *testing.T) {
+	s := NewStore(StoreConfig{})
+	obj, _, _ := s.Create(testSpec("alpha"))
+
+	if _, err := s.Delete("alpha", obj.Revision+99); !errors.Is(err, ErrConflict) {
+		t.Fatalf("stale Delete = %v, want ErrConflict", err)
+	}
+	tomb, err := s.Delete("alpha", obj.Revision)
+	if err != nil || !tomb.Deleting {
+		t.Fatalf("Delete = %v deleting=%v", err, tomb.Deleting)
+	}
+	// Idempotent.
+	if _, err := s.Delete("alpha", 0); err != nil {
+		t.Fatalf("second Delete: %v", err)
+	}
+	// Tombstoned objects refuse updates and recreates.
+	if _, err := s.Update("alpha", tomb.Revision, testSpec("alpha")); !errors.Is(err, ErrDeleting) {
+		t.Fatalf("Update of tombstone = %v, want ErrDeleting", err)
+	}
+	if _, _, err := s.Create(testSpec("alpha")); !errors.Is(err, ErrDeleting) {
+		t.Fatalf("Create over tombstone = %v, want ErrDeleting", err)
+	}
+	if err := s.Remove("alpha"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := s.Get("alpha"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after Remove = %v, want ErrNotFound", err)
+	}
+	// Removing a live object is refused.
+	s.Create(testSpec("beta"))
+	if err := s.Remove("beta"); err == nil {
+		t.Fatal("Remove of live object succeeded")
+	}
+}
+
+func TestStoreMirrorsConfigRevisions(t *testing.T) {
+	cfg := config.NewStore()
+	s := NewStore(StoreConfig{
+		Config: cfg,
+		BaseModel: func() config.Model {
+			return config.Model{
+				PlatformASN: 47065,
+				GlobalPool:  netip.MustParsePrefix("184.164.224.0/19"),
+				PoPs:        []config.PoPSpec{{Name: "seattle"}},
+			}
+		},
+	})
+	obj, _, err := s.Create(testSpec("alpha"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if obj.ConfigRev == 0 {
+		t.Fatal("Create did not mirror a config revision")
+	}
+	m, err := cfg.Get(obj.ConfigRev)
+	if err != nil {
+		t.Fatalf("config.Get(%d): %v", obj.ConfigRev, err)
+	}
+	if len(m.Experiments) != 1 || m.Experiments[0].Name != "alpha" {
+		t.Fatalf("mirrored model experiments = %+v", m.Experiments)
+	}
+	if !m.Experiments[0].Approved {
+		t.Fatal("mirrored experiment not approved")
+	}
+	if note := cfg.Note(obj.ConfigRev); note == "" {
+		t.Fatal("mirrored revision has no commit note")
+	}
+	// Tombstoning renders the experiment out of the mirror.
+	tomb, _ := s.Delete("alpha", obj.Revision)
+	m, _ = cfg.Get(tomb.ConfigRev)
+	if len(m.Experiments) != 0 {
+		t.Fatalf("tombstoned experiment still mirrored: %+v", m.Experiments)
+	}
+}
+
+func TestStoreChangeNotifications(t *testing.T) {
+	s := NewStore(StoreConfig{})
+	var changes []Change
+	s.OnChange(func(c Change) { changes = append(changes, c) })
+	kicks := 0
+	s.OnCommit(func() { kicks++ })
+
+	obj, _, _ := s.Create(testSpec("alpha"))
+	next := testSpec("alpha")
+	next.Plan = "v2"
+	upd, _ := s.Update("alpha", obj.Revision, next)
+	s.Delete("alpha", upd.Revision)
+	s.Remove("alpha")
+
+	want := []ChangeKind{ChangeCreated, ChangeUpdated, ChangeDeleted, ChangeRemoved}
+	if len(changes) != len(want) {
+		t.Fatalf("got %d changes, want %d: %+v", len(changes), len(want), changes)
+	}
+	for i, k := range want {
+		if changes[i].Kind != k || changes[i].Name != "alpha" {
+			t.Fatalf("change %d = %+v, want kind %s", i, changes[i], k)
+		}
+	}
+	if kicks != len(want) {
+		t.Fatalf("onCommit fired %d times, want %d", kicks, len(want))
+	}
+}

@@ -1,0 +1,42 @@
+package ctlplane
+
+import (
+	"repro/internal/policy"
+	"repro/internal/telemetry"
+)
+
+// metric and gaugeMetric are the thin shims the package registers
+// against the default registry, kept as interfaces so unit tests run
+// without touching global state in surprising ways.
+type metric interface{ Inc() }
+
+type gaugeMetric interface{ Set(int64) }
+
+func counter(name string, labels ...telemetry.Label) *telemetry.Counter {
+	return telemetry.Default().Counter(name, labels...)
+}
+
+func gauge(name string, labels ...telemetry.Label) *telemetry.Gauge {
+	return telemetry.Default().Gauge(name, labels...)
+}
+
+func label(key, value string) telemetry.Label { return telemetry.L(key, value) }
+
+// CapsFor derives the capability grant a spec needs: least privilege,
+// widened only by what the announcements actually use (§4.7 — admins
+// trim risky requests; here the spec is the request and the grant is
+// its exact footprint).
+func CapsFor(spec Spec) policy.Capabilities {
+	var caps policy.Capabilities
+	for _, a := range spec.Announcements {
+		if n := len(a.Poison); n > caps.MaxPoisonedASNs {
+			caps.MaxPoisonedASNs = n
+		}
+		// Steering communities (to/except neighbors) are platform-directed
+		// and extracted before policy; only user communities count.
+		if n := len(a.Communities); n > caps.MaxCommunities {
+			caps.MaxCommunities = n
+		}
+	}
+	return caps
+}

@@ -25,6 +25,11 @@ type Client struct {
 	Key  string
 	// ASN the experiment originates from.
 	ASN uint32
+	// MRAI, when positive, paces the client's own UPDATE stream on
+	// sessions started after it is set (RFC 4271 §9.2.1.1 coalescing on
+	// the experiment side). The control plane sets it from a spec's
+	// pacing override.
+	MRAI time.Duration
 
 	mu        sync.Mutex
 	resilient bool
@@ -283,6 +288,7 @@ func (c *Client) StartBGP(popName string) error {
 		LocalASN:  c.ASN,
 		RemoteASN: pc.platformASN,
 		LocalID:   pc.local(),
+		MRAI:      c.MRAI,
 		Families:  []bgp.AFISAFI{bgp.IPv4Unicast, bgp.IPv6Unicast},
 		AddPath: map[bgp.AFISAFI]uint8{
 			bgp.IPv4Unicast: bgp.AddPathSendReceive,

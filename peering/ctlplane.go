@@ -1,0 +1,557 @@
+package peering
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/config"
+	"repro/internal/ctlplane"
+	"repro/internal/guard"
+	"repro/internal/policy"
+	"repro/internal/rib"
+	"repro/internal/telemetry"
+)
+
+// ControlPlane is the reconciling control plane wired to a platform:
+// the desired-state store, the reconciler converging it through an
+// audited experiment client per spec, the watch hub fed by the
+// platform's monitoring and health taps, and the /v1 HTTP API.
+type ControlPlane struct {
+	Platform   *Platform
+	Store      *ctlplane.Store
+	Hub        *ctlplane.Hub
+	Reconciler *ctlplane.Reconciler
+	API        *ctlplane.Server
+	Deployer   *config.Deployer
+
+	act       *platformActuator
+	closeOnce sync.Once
+}
+
+// ControlPlaneConfig tunes the control plane.
+type ControlPlaneConfig struct {
+	// Reconciler tunes the convergence loop (zero values select the
+	// ctlplane defaults).
+	Reconciler ctlplane.ReconcilerConfig
+	// EstablishTimeout bounds how long EnsureSession waits for a BGP
+	// session to establish. Default 10s.
+	EstablishTimeout time.Duration
+	// Logf receives control-plane logs (defaults to the platform's).
+	Logf func(format string, args ...any)
+}
+
+// NewControlPlane builds and starts a control plane over the platform:
+// the reconciler loop runs until Close. The API server is returned
+// unmounted — register it on a mux (peeringd mounts it on the metrics
+// listener).
+func NewControlPlane(p *Platform, cfg ControlPlaneConfig) *ControlPlane {
+	if cfg.Logf == nil {
+		cfg.Logf = p.cfg.Logf
+	}
+	if cfg.Reconciler.Logf == nil {
+		cfg.Reconciler.Logf = cfg.Logf
+	}
+	if cfg.EstablishTimeout <= 0 {
+		cfg.EstablishTimeout = 10 * time.Second
+	}
+	act := &platformActuator{
+		p:                p,
+		establishTimeout: cfg.EstablishTimeout,
+		runtimes:         make(map[string]*expRuntime),
+	}
+	hub := ctlplane.NewHub()
+	store := ctlplane.NewStore(ctlplane.StoreConfig{
+		// Every accepted commit renders the full desired state into the
+		// platform's versioned config store, so the §5 canary/promote/
+		// rollback machinery operates on exactly the reconciled state.
+		Config: p.Store,
+		BaseModel: func() config.Model {
+			return p.controlPlaneBaseModel(act.managedNames())
+		},
+	})
+	store.OnChange(func(c ctlplane.Change) { hub.Publish(ctlplane.StreamStore, c) })
+	rec := ctlplane.NewReconciler(store, act, hub, cfg.Reconciler)
+
+	deployer := config.NewDeployer(p.Store, func(pop string, m config.Model) error {
+		if p.PoP(pop) == nil {
+			return fmt.Errorf("peering: unknown pop %s", pop)
+		}
+		m.SyncPolicy(p.Engine)
+		return nil
+	})
+
+	api := ctlplane.NewServer(ctlplane.ServerConfig{
+		Store:      store,
+		Reconciler: rec,
+		Hub:        hub,
+		Deploy:     &ctlplane.Deploy{Store: p.Store, Deployer: deployer},
+		Queries: ctlplane.Queries{
+			Fleet:     p.fleetView,
+			RIB:       p.ribView,
+			Health:    func() any { return p.HealthReport() },
+			Catchment: p.catchmentQuery(),
+		},
+		Logf: cfg.Logf,
+	})
+
+	// Tee the platform's monitoring feed and health-ladder transitions
+	// into the watch hub. Both taps are non-blocking by construction
+	// (the hub drops on full subscriber queues).
+	p.SetEventSink(func(e telemetry.Event) { hub.Publish(ctlplane.StreamTelemetry, e) })
+	p.SetHealthSink(func(pop string, s guard.State) {
+		hub.Publish(ctlplane.StreamHealth, struct {
+			PoP   string `json:"pop"`
+			State string `json:"state"`
+		}{pop, s.String()})
+	})
+
+	go rec.Run()
+	return &ControlPlane{
+		Platform: p, Store: store, Hub: hub,
+		Reconciler: rec, API: api, Deployer: deployer, act: act,
+	}
+}
+
+// Close stops the reconciler, detaches the platform taps, and closes
+// the watch hub (draining SSE handlers). Experiment state actuated so
+// far is left running.
+func (cp *ControlPlane) Close() {
+	cp.closeOnce.Do(func() {
+		cp.Platform.SetEventSink(nil)
+		cp.Platform.SetHealthSink(nil)
+		cp.Reconciler.Close()
+		cp.Hub.Close()
+	})
+}
+
+// controlPlaneBaseModel renders the non-experiment half of the mirrored
+// model — platform identity, PoPs — plus any experiment approved
+// outside the control plane (managed excludes control-plane-owned
+// proposals so they are not mirrored twice).
+func (p *Platform) controlPlaneBaseModel(managed map[string]bool) config.Model {
+	m := config.Model{PlatformASN: p.cfg.ASN, GlobalPool: p.cfg.GlobalPool}
+	for _, name := range p.PoPs() {
+		m.PoPs = append(m.PoPs, config.PoPSpec{Name: name})
+	}
+	for _, prop := range p.Proposals() {
+		if prop.Status != StatusApproved || managed[prop.Name] {
+			continue
+		}
+		m.Experiments = append(m.Experiments, config.ExperimentSpec{
+			Name: prop.Name, Owner: prop.Owner,
+			ASNs: prop.ASNs, Prefixes: prop.Prefixes,
+			Caps: prop.Caps, Approved: true, VPNKey: prop.VPNKey,
+		})
+	}
+	return m
+}
+
+// fleetView is the /v1/fleet payload: PoPs with session/route counts
+// and the provisioned backbone.
+func (p *Platform) fleetView() any {
+	type popRow struct {
+		Name      string `json:"name"`
+		Neighbors int    `json:"neighbors"`
+		Routes    int    `json:"routes"`
+		Health    string `json:"health"`
+	}
+	var pops []popRow
+	for _, name := range p.PoPs() {
+		pop := p.PoP(name)
+		pops = append(pops, popRow{
+			Name:      name,
+			Neighbors: len(pop.Router.Neighbors()),
+			Routes:    pop.Router.RouteCount(),
+			Health:    p.PoPHealth(name).String(),
+		})
+	}
+	return struct {
+		ASN      uint32         `json:"asn"`
+		PoPs     []popRow       `json:"pops"`
+		Backbone []BackboneLink `json:"backbone"`
+	}{p.cfg.ASN, pops, p.BackboneLinks()}
+}
+
+// ribView is the /v1/rib query hook: routes at one PoP from either the
+// experiment-prefix table or the router-managed default table.
+func (p *Platform) ribView(popName, table string, prefix netip.Prefix) (any, error) {
+	pop := p.PoP(popName)
+	if pop == nil {
+		return nil, fmt.Errorf("peering: unknown pop %s", popName)
+	}
+	var t *rib.Table
+	switch table {
+	case "experiments":
+		t = pop.Router.ExperimentRoutes()
+	case "default":
+		t = pop.Router.DefaultTable()
+		if t == nil {
+			return nil, fmt.Errorf("peering: pop %s does not maintain a default table", popName)
+		}
+	default:
+		return nil, fmt.Errorf("peering: unknown table %q (want experiments or default)", table)
+	}
+	type routeRow struct {
+		Prefix  string `json:"prefix"`
+		ID      uint32 `json:"id"`
+		Peer    string `json:"peer"`
+		NextHop string `json:"next_hop,omitempty"`
+		ASPath  string `json:"as_path,omitempty"`
+	}
+	row := func(pfx netip.Prefix, path *rib.Path) routeRow {
+		r := routeRow{Prefix: pfx.String(), ID: uint32(path.ID), Peer: path.Peer}
+		if path.Attrs != nil {
+			if nh := path.NextHop(); nh.IsValid() {
+				r.NextHop = nh.String()
+			}
+			r.ASPath = fmt.Sprintf("%v", path.Attrs.ASPathFlat())
+		}
+		return r
+	}
+	var routes []routeRow
+	if prefix.IsValid() {
+		for _, path := range t.Paths(prefix) {
+			routes = append(routes, row(prefix, path))
+		}
+	} else {
+		t.Walk(func(pfx netip.Prefix, paths []*rib.Path) bool {
+			for _, path := range paths {
+				routes = append(routes, row(pfx, path))
+			}
+			return true
+		})
+	}
+	sort.Slice(routes, func(i, j int) bool {
+		if routes[i].Prefix != routes[j].Prefix {
+			return routes[i].Prefix < routes[j].Prefix
+		}
+		return routes[i].ID < routes[j].ID
+	})
+	return struct {
+		PoP    string     `json:"pop"`
+		Table  string     `json:"table"`
+		Routes []routeRow `json:"routes"`
+	}{popName, table, routes}, nil
+}
+
+// catchmentQuery returns the /v1/catchment hook, or nil when the
+// platform has no TE configuration to measure against.
+func (p *Platform) catchmentQuery() func() (any, error) {
+	te := p.cfg.TE
+	if te == nil || !te.Prefix.IsValid() {
+		return nil
+	}
+	return func() (any, error) {
+		if len(te.Populations) == 0 {
+			return p.CatchmentViews(te.Prefix), nil
+		}
+		return p.ResolveCatchments(te.Prefix, te.Populations)
+	}
+}
+
+// expRuntime is the actuator's per-experiment state: the audited client
+// every actuation flows through, the PoPs it has opened, and the
+// fingerprint each announcement atom was sent with.
+type expRuntime struct {
+	client *Client
+	pops   map[string]bool
+	sent   map[ctlplane.AnnKey]string
+}
+
+// platformActuator implements ctlplane.Actuator over a Platform. Each
+// managed experiment gets a real experiment Client — registration goes
+// through Submit/Approve, announcements through Client.Announce — so
+// the policy engine evaluates and audits every control-plane actuation
+// exactly like a researcher-issued one.
+type platformActuator struct {
+	p                *Platform
+	establishTimeout time.Duration
+
+	mu       sync.Mutex
+	runtimes map[string]*expRuntime
+}
+
+// managedNames snapshots the experiments the actuator owns.
+func (a *platformActuator) managedNames() map[string]bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]bool, len(a.runtimes))
+	for name := range a.runtimes {
+		out[name] = true
+	}
+	return out
+}
+
+func (a *platformActuator) runtime(name string) *expRuntime {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.runtimes[name]
+}
+
+// Validate dry-runs a spec against platform state without actuating.
+func (a *platformActuator) Validate(spec ctlplane.Spec) error {
+	for _, pop := range spec.SessionPoPs() {
+		if a.p.PoP(pop) == nil {
+			return fmt.Errorf("peering: unknown pop %s", pop)
+		}
+	}
+	if a.runtime(spec.Name) == nil {
+		// The name must be free: an out-of-band proposal under this name
+		// would collide at Submit time.
+		a.p.mu.Lock()
+		_, taken := a.p.proposals[spec.Name]
+		a.p.mu.Unlock()
+		if taken {
+			return fmt.Errorf("peering: experiment name %s is taken by an existing proposal", spec.Name)
+		}
+	}
+	return nil
+}
+
+// specPrefixes parses a validated spec's allocation.
+func specPrefixes(spec ctlplane.Spec) []netip.Prefix {
+	out := make([]netip.Prefix, 0, len(spec.Prefixes))
+	for _, raw := range spec.Prefixes {
+		out = append(out, netip.MustParsePrefix(raw))
+	}
+	return out
+}
+
+// EnsureExperiment registers the experiment through the §4.6 workflow
+// on first sight (proposal, approval, credential issue) and refreshes
+// the enforcement registration on spec changes — without re-issuing
+// credentials, so open tunnels survive updates.
+func (a *platformActuator) EnsureExperiment(spec ctlplane.Spec) error {
+	caps := ctlplane.CapsFor(spec)
+	prefixes := specPrefixes(spec)
+	rt := a.runtime(spec.Name)
+	if rt == nil {
+		plan := spec.Plan
+		if plan == "" {
+			plan = "managed by the control plane (declarative spec)"
+		}
+		if err := a.p.Submit(Proposal{
+			Name: spec.Name, Owner: spec.Owner, Plan: plan,
+			Prefixes: prefixes, ASNs: []uint32{spec.ASN}, Caps: caps,
+		}); err != nil {
+			return err
+		}
+		key, err := a.p.Approve(spec.Name, &caps)
+		if err != nil {
+			return err
+		}
+		rt = &expRuntime{
+			client: NewClient(spec.Name, key, spec.ASN),
+			pops:   make(map[string]bool),
+			sent:   make(map[ctlplane.AnnKey]string),
+		}
+		a.mu.Lock()
+		a.runtimes[spec.Name] = rt
+		a.mu.Unlock()
+	} else {
+		// Spec changed at the same identity: refresh the capability
+		// grant and allocation in place.
+		a.p.Engine.Register(&policy.Experiment{
+			Name: spec.Name, Prefixes: prefixes,
+			ASNs: []uint32{spec.ASN}, Caps: caps,
+		})
+	}
+	// Pacing override applies to sessions started after this point.
+	rt.client.MRAI = spec.Overrides.ParsedMRAI()
+	return nil
+}
+
+// EnsureSession brings the experiment's tunnel and BGP session at a PoP
+// to Established, repairing dead tunnels along the way.
+func (a *platformActuator) EnsureSession(spec ctlplane.Spec, popName string) error {
+	rt := a.runtime(spec.Name)
+	if rt == nil {
+		return fmt.Errorf("peering: experiment %s not registered", spec.Name)
+	}
+	pop := a.p.PoP(popName)
+	if pop == nil {
+		return fmt.Errorf("peering: unknown pop %s", popName)
+	}
+	if rt.client.BGPStatus(popName) == bgp.StateEstablished {
+		a.mu.Lock()
+		rt.pops[popName] = true
+		a.mu.Unlock()
+		return nil
+	}
+	if rt.client.TunnelStatus(popName) != "up" {
+		// Either no tunnel or a dead one; clear any carcass and redial.
+		_ = rt.client.CloseTunnel(popName)
+		if err := rt.client.OpenTunnel(pop); err != nil {
+			return err
+		}
+	}
+	if rt.client.BGPStatus(popName) == bgp.StateIdle {
+		_ = rt.client.StopBGP(popName) // drop a dead session object, if any
+		if err := rt.client.StartBGP(popName); err != nil {
+			return err
+		}
+	}
+	if err := rt.client.WaitEstablished(popName, a.establishTimeout); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	rt.pops[popName] = true
+	a.mu.Unlock()
+	return nil
+}
+
+// Announce actuates one announcement atom through the audited client.
+func (a *platformActuator) Announce(spec ctlplane.Spec, ann ctlplane.CompiledAnn) error {
+	rt := a.runtime(spec.Name)
+	if rt == nil {
+		return fmt.Errorf("peering: experiment %s not registered", spec.Name)
+	}
+	var opts []AnnounceOption
+	if ann.Key.Version != 0 {
+		opts = append(opts, WithVersion(ann.Key.Version))
+	}
+	if ann.Prepend > 0 {
+		opts = append(opts, WithPrepend(ann.Prepend))
+	}
+	if len(ann.Poison) > 0 {
+		opts = append(opts, WithPoison(ann.Poison...))
+	}
+	if len(ann.Communities) > 0 {
+		comms := make([]bgp.Community, len(ann.Communities))
+		for i, c := range ann.Communities {
+			comms[i] = bgp.NewCommunity(c.ASN, c.Value)
+		}
+		opts = append(opts, WithCommunities(comms...))
+	}
+	if len(ann.ToNeighbors) > 0 {
+		opts = append(opts, ToNeighbors(ann.ToNeighbors...))
+	}
+	if len(ann.ExceptNeighbors) > 0 {
+		opts = append(opts, ExceptNeighbors(ann.ExceptNeighbors...))
+	}
+	if err := rt.client.Announce(ann.Key.PoP, ann.Key.Prefix, opts...); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	rt.sent[ann.Key] = ann.Fingerprint()
+	a.mu.Unlock()
+	return nil
+}
+
+// Withdraw retracts one announcement atom.
+func (a *platformActuator) Withdraw(experiment, popName string, prefix netip.Prefix, version uint32) error {
+	rt := a.runtime(experiment)
+	if rt == nil {
+		return fmt.Errorf("peering: experiment %s not registered", experiment)
+	}
+	if err := rt.client.Withdraw(popName, prefix, version); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	delete(rt.sent, ctlplane.AnnKey{Experiment: experiment, PoP: popName, Prefix: prefix, Version: version})
+	a.mu.Unlock()
+	return nil
+}
+
+// CloseSession tears the experiment's session and tunnel at a PoP down.
+func (a *platformActuator) CloseSession(experiment, popName string) error {
+	rt := a.runtime(experiment)
+	if rt == nil {
+		return nil
+	}
+	_ = rt.client.StopBGP(popName)
+	_ = rt.client.CloseTunnel(popName)
+	a.mu.Lock()
+	delete(rt.pops, popName)
+	for key := range rt.sent {
+		if key.PoP == popName {
+			delete(rt.sent, key)
+		}
+	}
+	a.mu.Unlock()
+	return nil
+}
+
+// Teardown removes the experiment entirely: sessions, credentials, and
+// the proposal record, freeing the name for recreation.
+func (a *platformActuator) Teardown(experiment string) error {
+	rt := a.runtime(experiment)
+	if rt != nil {
+		a.mu.Lock()
+		pops := make([]string, 0, len(rt.pops))
+		for pop := range rt.pops {
+			pops = append(pops, pop)
+		}
+		a.mu.Unlock()
+		for _, pop := range pops {
+			_ = rt.client.StopBGP(pop)
+			_ = rt.client.CloseTunnel(pop)
+		}
+	}
+	a.p.Forget(experiment)
+	a.mu.Lock()
+	delete(a.runtimes, experiment)
+	a.mu.Unlock()
+	return nil
+}
+
+// Observed reports ground truth for the managed experiments: session
+// establishment straight from the BGP state machines, announcement
+// presence from each PoP router's experiment RIB (the §4.1 authority on
+// what is actually installed), fingerprinted by the actuator's own
+// send records.
+func (a *platformActuator) Observed() (ctlplane.Observed, error) {
+	obs := ctlplane.Observed{
+		Sessions: make(map[ctlplane.SessKey]bool),
+		Anns:     make(map[ctlplane.AnnKey]string),
+	}
+	a.mu.Lock()
+	type rtView struct {
+		client *Client
+		pops   []string
+	}
+	views := make(map[string]rtView, len(a.runtimes))
+	for name, rt := range a.runtimes {
+		v := rtView{client: rt.client}
+		for pop := range rt.pops {
+			v.pops = append(v.pops, pop)
+		}
+		views[name] = v
+	}
+	a.mu.Unlock()
+
+	for name, v := range views {
+		for _, pop := range v.pops {
+			if v.client.BGPStatus(pop) == bgp.StateEstablished {
+				obs.Sessions[ctlplane.SessKey{Experiment: name, PoP: pop}] = true
+			}
+		}
+	}
+	for _, popName := range a.p.PoPs() {
+		pop := a.p.PoP(popName)
+		pop.Router.ExperimentRoutes().Walk(func(prefix netip.Prefix, paths []*rib.Path) bool {
+			for _, path := range paths {
+				if _, managed := views[path.Peer]; !managed {
+					continue
+				}
+				key := ctlplane.AnnKey{
+					Experiment: path.Peer, PoP: popName,
+					Prefix: prefix, Version: uint32(path.ID),
+				}
+				a.mu.Lock()
+				fp := ""
+				if rt := a.runtimes[path.Peer]; rt != nil {
+					fp = rt.sent[key]
+				}
+				a.mu.Unlock()
+				obs.Anns[key] = fp
+			}
+			return true
+		})
+	}
+	return obs, nil
+}

@@ -63,6 +63,12 @@ func (p *Platform) applyHealthState(pop *PoP, s guard.State) {
 			p.cfg.Logf("guard[%s]: shed %d non-established experiment sessions", pop.Name, n)
 		}
 	}
+	p.sinkMu.RLock()
+	sink := p.healthSink
+	p.sinkMu.RUnlock()
+	if sink != nil {
+		sink(pop.Name, s)
+	}
 }
 
 // runGuard is the watchdog loop. LoopLag is measured as the drift of

@@ -25,9 +25,9 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/guard"
 	"repro/internal/history"
 	"repro/internal/inet"
-	"repro/internal/guard"
 	"repro/internal/netsim"
 	"repro/internal/policy"
 	"repro/internal/rpki"
@@ -114,6 +114,13 @@ type Platform struct {
 	guardStop   chan struct{}
 	guardOnce   sync.Once
 	monitorDone chan struct{}
+
+	// sinkMu guards the optional control-plane taps: eventSink receives
+	// a copy of every monitoring event the station consumes, healthSink
+	// every guard-ladder transition. Both may be nil.
+	sinkMu     sync.RWMutex
+	eventSink  func(telemetry.Event)
+	healthSink func(pop string, state guard.State)
 }
 
 // NewPlatform creates a platform with an empty footprint.
@@ -145,6 +152,12 @@ func NewPlatform(cfg PlatformConfig) *Platform {
 			p.station.Handle(e)
 			if cfg.History != nil {
 				cfg.History.Observe(e)
+			}
+			p.sinkMu.RLock()
+			sink := p.eventSink
+			p.sinkMu.RUnlock()
+			if sink != nil {
+				sink(e)
 			}
 		}
 	}()
@@ -184,6 +197,25 @@ func (p *Platform) DeployROV(fraction float64, seed int64) int {
 	}
 	p.cfg.Topology.SetValidator(p.cfg.RPKI)
 	return p.cfg.Topology.DeployROV(fraction, seed)
+}
+
+// SetEventSink installs (or, with nil, removes) a tap receiving a copy
+// of every monitoring event after the station and history store consume
+// it. The sink runs on the monitor goroutine and must not block — the
+// control plane's watch hub (bounded, drop-on-full) is the intended
+// consumer.
+func (p *Platform) SetEventSink(fn func(telemetry.Event)) {
+	p.sinkMu.Lock()
+	p.eventSink = fn
+	p.sinkMu.Unlock()
+}
+
+// SetHealthSink installs (or removes) a tap receiving every guard
+// health-ladder transition as it is applied.
+func (p *Platform) SetHealthSink(fn func(pop string, state guard.State)) {
+	p.sinkMu.Lock()
+	p.healthSink = fn
+	p.sinkMu.Unlock()
 }
 
 // Monitor returns the platform's monitoring event queue (routers emit

@@ -130,6 +130,19 @@ func (p *Platform) Reject(name, reason string) error {
 	return nil
 }
 
+// Forget erases a proposal entirely, releasing its name for
+// resubmission: credentials are withdrawn, the enforcement registration
+// dropped, and — unlike Revoke, which leaves a rejected tombstone — the
+// proposal record itself is removed. The control plane uses it after
+// teardown so a deleted experiment's name can be recreated.
+func (p *Platform) Forget(name string) {
+	p.mu.Lock()
+	delete(p.proposals, name)
+	delete(p.creds, name)
+	p.mu.Unlock()
+	p.Engine.Unregister(name)
+}
+
 // Revoke deactivates an approved experiment: credentials are withdrawn
 // and the enforcement engine stops accepting its announcements.
 func (p *Platform) Revoke(name string) {

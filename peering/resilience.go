@@ -46,6 +46,7 @@ func (c *Client) startResilientBGP(pc *popConn) error {
 		LocalASN:  c.ASN,
 		RemoteASN: pc.platformASN,
 		LocalID:   pc.local(),
+		MRAI:      c.MRAI,
 		PeerName:  c.Name + "@" + pc.popName,
 		Families:  []bgp.AFISAFI{bgp.IPv4Unicast, bgp.IPv6Unicast},
 		AddPath: map[bgp.AFISAFI]uint8{

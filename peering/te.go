@@ -376,8 +376,8 @@ func (te *TEController) measureLoad(m *catchment.Map) (map[string]float64, error
 	if len(flows) == 0 {
 		return map[string]float64{}, nil
 	}
-	sim.Run(1 * time.Second)            // warmup
-	d := sim.Run(2 * time.Second)       // measured
+	sim.Run(1 * time.Second)      // warmup
+	d := sim.Run(2 * time.Second) // measured
 	load := make(map[string]float64)
 	for _, pf := range flows {
 		load[pf.pop] += pf.flow.ThroughputBps(d)
@@ -427,11 +427,11 @@ func (te *TEController) Run() (*catchment.Result, error) {
 // TEStatus is the inspectable controller state (the peeringd /te/status
 // surface).
 type TEStatus struct {
-	Prefix    string              `json:"prefix"`
-	Targets   map[string]float64  `json:"targets"`
-	Running   bool                `json:"running"`
-	Converged bool                `json:"converged"`
-	Rounds    []catchment.Round   `json:"rounds"`
+	Prefix    string                 `json:"prefix"`
+	Targets   map[string]float64     `json:"targets"`
+	Running   bool                   `json:"running"`
+	Converged bool                   `json:"converged"`
+	Rounds    []catchment.Round      `json:"rounds"`
 	Cert      *catchment.Certificate `json:"certificate,omitempty"`
 }
 

@@ -80,8 +80,8 @@ func teSoakTestbed(t *testing.T) (*Platform, *Client, []string) {
 	pops := make([]*PoP, len(popNames))
 	for i, name := range popNames {
 		pop, err := p.AddPoP(PoPConfig{
-			Name:     name,
-			RouterID: addr(fmt.Sprintf("198.51.100.%d", i+1)),
+			Name:      name,
+			RouterID:  addr(fmt.Sprintf("198.51.100.%d", i+1)),
 			LocalPool: pfx(fmt.Sprintf("127.%d.0.0/16", 65+i)),
 			ExpLAN:    pfx(fmt.Sprintf("100.%d.0.0/24", 65+i)),
 		})
