@@ -25,7 +25,10 @@
 // `peeringd -te -metrics` instance (see runCatchmentCommand and
 // runTECommand). Invoked as `peering-cli watch [flags]` it tails the
 // control plane's /v1/watch SSE event stream until interrupted (see
-// runWatchCommand).
+// runWatchCommand). Invoked as `peering-cli apply [flags] <spec.json>...`
+// or `peering-cli diff [flags] <spec.json>...` it pushes (create or
+// CAS-update) or compares declarative experiment specs against the
+// /v1/experiments API (see runApplyCommand and runDiffCommand).
 package main
 
 import (
@@ -80,6 +83,18 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "watch" {
 		if err := runWatchCommand(os.Args[2:]); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "apply" {
+		if err := runApplyCommand(os.Args[2:]); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		if err := runDiffCommand(os.Args[2:]); err != nil {
 			log.Fatal(err)
 		}
 		return

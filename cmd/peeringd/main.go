@@ -58,6 +58,7 @@ func main() {
 	guardOn := flag.Bool("guard", false, "run the overload watchdog: healthy/degraded/shedding states per PoP with load shedding")
 	historyDir := flag.String("history", "", "record every route event into a durable segment log under this directory, enabling time-travel queries (/history/* with -metrics, peering-cli history)")
 	historyRetention := flag.Duration("history-retention", 0, "delete sealed history segments older than this window (0 = keep everything)")
+	stateDir := flag.String("state-dir", "", "persist the control plane's desired state (WAL + snapshot) under this directory; on startup the store is recovered from it, so experiment specs and deploy revisions survive a crash (with -metrics)")
 	tePrefix := flag.String("te", "", "run closed-loop traffic engineering on this anycast prefix (e.g. 184.164.224.0/24): announce it at every PoP, resolve the catchment of -clients weighted clients, and steer per-PoP load to equal targets; serves /catchment and /te/status with -metrics (peering-cli catchment|te)")
 	teClients := flag.Int("clients", 100000, "weighted clients placed across the synthetic Internet for -te catchment resolution")
 	flag.Parse()
@@ -243,7 +244,13 @@ func main() {
 		}
 		mux := http.NewServeMux()
 		mux.HandleFunc("GET /metrics", serveMetrics)
-		cp = peering.NewControlPlane(platform, peering.ControlPlaneConfig{Logf: log.Printf})
+		cp, err = peering.NewControlPlane(platform, peering.ControlPlaneConfig{
+			Logf:     log.Printf,
+			StateDir: *stateDir,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
 		cp.API.Register(mux)
 		endpoints := append([]string{"/metrics"}, cp.API.Endpoints()...)
 		if hist != nil {

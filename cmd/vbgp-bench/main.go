@@ -44,6 +44,7 @@ var figures = []struct {
 	{"history", func(int) error { return historyBench() }},
 	{"ribscale", ribscale},
 	{"catchment", catchmentFig},
+	{"ctlrecover", func(int) error { return ctlrecoverFig() }},
 }
 
 func figureNames() string {

@@ -1,0 +1,120 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Crash is the process-death fault class: unlike the transport faults,
+// which degrade a running daemon, a crash kills the control plane
+// outright at a seeded instruction boundary. The paper's platform is
+// crash-only — operators kill -9 peeringd and expect the durable
+// desired-state log plus the recovery reconciliation pass to restore
+// exactly the pre-crash trajectory — and that property is only real if
+// the kill can land at the worst possible points: before the WAL
+// write, after the WAL write but before actuation, and between two
+// actuations of one batch.
+const Crash FaultKind = "crash"
+
+// CrashPoints are the seeded injection points the control plane
+// exposes (via its CrashHook plumbing) for crash faults.
+var CrashPoints = []string{
+	// PreWALWrite fires inside the store commit before the durable
+	// record is appended: the in-memory mutation dies with the process
+	// and recovery must not resurrect it.
+	"pre-wal-write",
+	// PostWALPreActuate fires after the record is fsynced but before
+	// the reconciler actuates it: recovery must finish the actuation
+	// exactly once.
+	"post-wal-pre-actuate",
+	// MidBatch fires between two actuations of one reconcile pass:
+	// recovery must adopt the half-installed state without re-sending
+	// (and without burning update budget).
+	"mid-batch",
+}
+
+// CrashPanic is the value a Crasher panics with; tests recover it at
+// the process boundary they simulate.
+type CrashPanic struct {
+	Point string
+}
+
+func (c CrashPanic) Error() string { return fmt.Sprintf("chaos: injected crash at %s", c.Point) }
+
+// Crasher arms one injected crash: Hook returns a func(point string)
+// suitable for the control plane's CrashHook fields, and the Nth time
+// the armed point is reached the hook panics with CrashPanic. The
+// panic stands in for SIGKILL — the test recovers it where the process
+// boundary would be, abandons every live component, and restarts the
+// control plane from the durable state directory, exactly as init
+// would respawn a killed daemon.
+type Crasher struct {
+	mu    sync.Mutex
+	point string
+	after int // remaining hits of point before firing
+	armed bool
+	fired bool
+	seen  map[string]int
+}
+
+// NewCrasher returns an unarmed Crasher; its hook counts injection
+// points but never fires until Arm.
+func NewCrasher() *Crasher {
+	return &Crasher{seen: make(map[string]int)}
+}
+
+// Arm schedules the crash: the hook panics the (after+1)th time point
+// is reached (after=0 means the first hit). Re-arming resets any
+// previous schedule.
+func (c *Crasher) Arm(point string, after int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.point = point
+	c.after = after
+	c.armed = true
+	c.fired = false
+}
+
+// Disarm cancels a scheduled crash without clearing hit counts.
+func (c *Crasher) Disarm() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.armed = false
+}
+
+// Fired reports whether the injected crash has gone off.
+func (c *Crasher) Fired() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fired
+}
+
+// Seen returns how many times the named injection point was reached.
+func (c *Crasher) Seen(point string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.seen[point]
+}
+
+// Hook returns the injection function to wire into the control plane's
+// CrashHook fields. Safe for concurrent use.
+func (c *Crasher) Hook() func(point string) {
+	return func(point string) {
+		c.mu.Lock()
+		c.seen[point]++
+		fire := c.armed && !c.fired && point == c.point
+		if fire {
+			if c.after > 0 {
+				c.after--
+				fire = false
+			} else {
+				c.fired = true
+				c.armed = false
+			}
+		}
+		c.mu.Unlock()
+		if fire {
+			panic(CrashPanic{Point: point})
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package chaos
+
+import "testing"
+
+func TestCrasherFiresOnceAtArmedPoint(t *testing.T) {
+	c := NewCrasher()
+	hook := c.Hook()
+
+	// Unarmed: counts but never fires.
+	hook("pre-wal-write")
+	if c.Fired() {
+		t.Fatal("unarmed crasher fired")
+	}
+	if c.Seen("pre-wal-write") != 1 {
+		t.Fatalf("seen = %d, want 1", c.Seen("pre-wal-write"))
+	}
+
+	c.Arm("mid-batch", 1) // skip the first hit, fire on the second
+	hook("pre-wal-write") // other points never fire
+	hook("mid-batch")
+	if c.Fired() {
+		t.Fatal("fired one hit early")
+	}
+	func() {
+		defer func() {
+			v := recover()
+			if v == nil {
+				t.Fatal("armed point did not panic")
+			}
+			cp, ok := v.(CrashPanic)
+			if !ok || cp.Point != "mid-batch" {
+				t.Fatalf("panic value = %#v, want CrashPanic{mid-batch}", v)
+			}
+			if cp.Error() == "" {
+				t.Fatal("CrashPanic must describe itself")
+			}
+		}()
+		hook("mid-batch")
+	}()
+	if !c.Fired() {
+		t.Fatal("Fired() false after firing")
+	}
+
+	// One-shot: the same point never fires again until re-armed.
+	hook("mid-batch")
+	if c.Seen("mid-batch") != 3 {
+		t.Fatalf("seen mid-batch = %d, want 3", c.Seen("mid-batch"))
+	}
+}
+
+func TestCrasherDisarm(t *testing.T) {
+	c := NewCrasher()
+	c.Arm("pre-wal-write", 0)
+	c.Disarm()
+	c.Hook()("pre-wal-write")
+	if c.Fired() {
+		t.Fatal("disarmed crasher fired")
+	}
+}

@@ -83,6 +83,16 @@ func (s *Store) Latest() (Model, int) {
 	return s.revs[len(s.revs)-1], len(s.revs)
 }
 
+// Revisions returns a copy of the full revision log, oldest first
+// (revs[i] is revision i+1). The control plane's durability layer
+// snapshots it so a restarted daemon reproduces the exact revision
+// numbering (§5: configuration history survives in version control).
+func (s *Store) Revisions() []Model {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Model(nil), s.revs...)
+}
+
 // Rollback re-stores revision rev as the newest revision, returning the
 // new revision number.
 func (s *Store) Rollback(rev int) (int, error) {
@@ -153,6 +163,17 @@ func (d *Deployer) Promote(rev int) error {
 		d.mu.Unlock()
 	}
 	return nil
+}
+
+// Restore seeds the deployed map from recovered state without invoking
+// Apply: the revisions were already pushed before the restart, and the
+// control plane re-syncs policy as part of its own recovery pass.
+func (d *Deployer) Restore(deployed map[string]int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for pop, rev := range deployed {
+		d.deployed[pop] = rev
+	}
 }
 
 // Deployed returns the revision each PoP runs, sorted by PoP name.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/bgp"
+	"repro/internal/rib"
 )
 
 // Graceful-restart retention plumbing (RFC 4724 §4): when a resilient
@@ -109,6 +110,60 @@ func (r *Router) armExperimentFlush(name string, d time.Duration) {
 		r.sweepExperimentStale(name, false)
 		r.sweepExperimentStale(name, true)
 	})
+}
+
+// AdoptExperimentRoute clears the graceful-restart stale mark on one
+// experiment route: a restarted control plane that verified the
+// retained route still matches its recovered desired state re-claims
+// it in place, so neither the restart-window flush nor a re-announce
+// (with its update-budget cost) is needed. Returns whether a stale
+// copy was found. The pending flush timer is disarmed once no stale
+// routes remain for the owner.
+func (r *Router) AdoptExperimentRoute(owner string, prefix netip.Prefix, id bgp.PathID) bool {
+	if !r.expRoutes.AdoptPath(prefix, owner, id) {
+		return false
+	}
+	if r.expRoutes.StaleCount(owner) == 0 {
+		r.mu.Lock()
+		if t := r.expStale[owner]; t != nil {
+			t.Stop()
+			delete(r.expStale, owner)
+		}
+		r.mu.Unlock()
+	}
+	return true
+}
+
+// PurgeExperiment withdraws every route owned by owner — both
+// families, live or stale — without policy enforcement, and disarms
+// any pending restart flush. This is the teardown half of orphan
+// reconciliation: announcements whose desired object did not survive a
+// control-plane crash must not keep dangling in the synthetic
+// Internet. Returns how many routes were withdrawn.
+func (r *Router) PurgeExperiment(owner string) int {
+	r.mu.Lock()
+	if t := r.expStale[owner]; t != nil {
+		t.Stop()
+		delete(r.expStale, owner)
+	}
+	r.mu.Unlock()
+	type ver struct {
+		prefix netip.Prefix
+		id     bgp.PathID
+	}
+	var vers []ver
+	r.expRoutes.Walk(func(prefix netip.Prefix, paths []*rib.Path) bool {
+		for _, p := range paths {
+			if p.Peer == owner {
+				vers = append(vers, ver{prefix, p.ID})
+			}
+		}
+		return true
+	})
+	for _, v := range vers {
+		r.withdrawExperimentRoute(owner, v.prefix, v.id, false)
+	}
+	return len(vers)
 }
 
 // sweepExperimentStale removes an owner's still-stale experiment routes

@@ -190,6 +190,10 @@ func statusFor(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, ErrDeleting):
 		return http.StatusConflict
+	case errors.Is(err, ErrStoreFailed):
+		// Fail-closed after a durable-log write error: the daemon must
+		// restart and recover before accepting mutations again.
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
 	}
@@ -454,7 +458,10 @@ func (s *Server) handleDeployVerb(verb string) http.HandlerFunc {
 			})
 			return
 		}
-		result["deployed"] = s.deploy.Deployer.Deployed()
+		deployed := s.deploy.Deployer.Deployed()
+		result["deployed"] = deployed
+		newRev, _ := result["new_revision"].(int)
+		s.store.LogDeploy(verb, req.Revision, req.PoPs, newRev, deployed)
 		if s.hub != nil {
 			s.hub.Publish(StreamDeploy, result)
 		}

@@ -1,6 +1,7 @@
 package ctlplane
 
 import (
+	"errors"
 	"fmt"
 	"net/netip"
 	"sort"
@@ -25,6 +26,13 @@ type Actuator interface {
 	EnsureSession(spec Spec, pop string) error
 	// Announce actuates one announcement atom.
 	Announce(spec Spec, ann CompiledAnn) error
+	// Adopt re-claims an announcement already installed on the platform
+	// (recovered from the durable log after a restart) without
+	// re-sending it, so recovery does not burn the §4.7 per-prefix
+	// update budget. Returns ErrAdoptMismatch when the installed route
+	// does not match the desired announcement, in which case the
+	// reconciler falls back to a normal Announce.
+	Adopt(spec Spec, ann CompiledAnn) error
 	// Withdraw retracts one announcement atom.
 	Withdraw(experiment, pop string, prefix netip.Prefix, version uint32) error
 	// CloseSession tears down the experiment's session at one PoP.
@@ -37,6 +45,61 @@ type Actuator interface {
 	// (verified against the routers' RIBs), with the fingerprint each
 	// was actuated at.
 	Observed() (Observed, error)
+}
+
+// ErrAdoptMismatch is returned by Actuator.Adopt when the installed
+// route does not match the desired announcement; the reconciler falls
+// back to a normal (budgeted) Announce.
+var ErrAdoptMismatch = errors.New("ctlplane: installed route does not match desired announcement")
+
+// Rejection kinds, distinguishing why the engine refused an
+// announcement (ObjectStatus.RejectKind).
+const (
+	RejectDamping   = "damping"    // RFC 2439 flap damping penalty above suppress threshold
+	RejectRateLimit = "rate-limit" // §4.7 per-prefix daily update budget exhausted
+	RejectRPKI      = "rpki"       // RPKI-Invalid origin (RFC 6811)
+	RejectShedding  = "shedding"   // PoP overloaded; new announcements treat-as-withdrawn
+	RejectPolicy    = "policy"     // any other policy-engine refusal
+)
+
+// Rejection is one engine-side refusal of an experiment announcement,
+// surfaced from the platform's policy audit log.
+type Rejection struct {
+	Experiment string
+	PoP        string
+	Prefix     netip.Prefix
+	Kind       string
+	Reason     string
+	At         time.Time
+}
+
+// RejectionSource is an optional Actuator capability: actuators that
+// can read the policy engine's audit log expose the rejections
+// recorded strictly after since. Route install is asynchronous, so a
+// rejected announce otherwise looks identical to a slow one — polling
+// this closes the loop that ROADMAP called "silent non-convergence".
+type RejectionSource interface {
+	Rejections(since time.Time) []Rejection
+}
+
+// ShedSource is an optional Actuator capability reporting per-PoP
+// overload shedding. A shedding router treat-as-withdraws new
+// announcements anyway, so the reconciler skips the send entirely —
+// saving the update budget — and marks the object rejected.
+type ShedSource interface {
+	Shedding(pop string) bool
+}
+
+// RejectedError marks an actuation refused by the platform's admission
+// machinery rather than failed; the reconciler surfaces it as
+// PhaseRejected with the kind and reason instead of a generic error.
+type RejectedError struct {
+	Kind   string
+	Reason string
+}
+
+func (e *RejectedError) Error() string {
+	return fmt.Sprintf("rejected (%s): %s", e.Kind, e.Reason)
 }
 
 // Observed is the actuator's view of current platform state for the
@@ -58,6 +121,7 @@ const (
 	PhaseConverging Phase = "converging" // actions issued, verification pending
 	PhaseConverged  Phase = "converged"  // desired == observed at Revision
 	PhaseError      Phase = "error"      // last attempt failed; backing off
+	PhaseRejected   Phase = "rejected"   // engine refused the announcement; backing off
 	PhaseDeleting   Phase = "deleting"   // tombstoned, teardown in progress
 )
 
@@ -76,6 +140,10 @@ type ObjectStatus struct {
 	Attempts int `json:"attempts,omitempty"`
 	// LastError is the most recent failure, if any.
 	LastError string `json:"last_error,omitempty"`
+	// RejectKind distinguishes engine refusals ("damping",
+	// "rate-limit", "rpki", "shedding", "policy"); set while Phase is
+	// PhaseRejected, cleared on any other transition.
+	RejectKind string `json:"reject_kind,omitempty"`
 	// NextRetry is when a backed-off object is reconsidered.
 	NextRetry time.Time `json:"next_retry,omitempty"`
 	// LastTransition is when Phase last changed.
@@ -103,6 +171,16 @@ type ReconcilerConfig struct {
 	ActuationGrace time.Duration
 	// Logf receives reconciler logs.
 	Logf func(format string, args ...any)
+	// CrashHook, when set, fires with the injection-point name
+	// ("mid-batch") before every actuation. Chaos tests arm it to
+	// panic, simulating a SIGKILL between actions. Nil in production.
+	CrashHook func(point string)
+	// OnCrash, when set, receives panics recovered from the reconcile
+	// loop; the loop then terminates, leaving the reconciler as dead as
+	// a killed process. With OnCrash nil (production) panics propagate
+	// and crash the daemon — crash-only software restarts, it does not
+	// limp.
+	OnCrash func(v any)
 }
 
 // Reconciler converges desired state (Store) onto observed state
@@ -126,9 +204,18 @@ type Reconciler struct {
 	// In-flight actuation records, touched only by the Run goroutine.
 	inflightAnn map[AnnKey]actRecord
 	inflightWd  map[AnnKey]time.Time
+	// tornDown records recent Teardown calls so the orphan sweep does
+	// not re-tear an experiment while the (asynchronous) observed state
+	// catches up. Run-goroutine only.
+	tornDown map[string]time.Time
+	// rejSince is the high-water mark for RejectionSource polling.
+	// Run-goroutine only.
+	rejSince time.Time
 
 	mRuns      metric
 	mErrors    metric
+	mRejected  metric
+	mOrphans   metric
 	mConverged gaugeMetric
 	mActions   map[string]metric
 }
@@ -163,15 +250,21 @@ func NewReconciler(store *Store, act Actuator, hub *Hub, cfg ReconcilerConfig) *
 		ensured:     make(map[string]int64),
 		inflightAnn: make(map[AnnKey]actRecord),
 		inflightWd:  make(map[AnnKey]time.Time),
+		tornDown:    make(map[string]time.Time),
+		rejSince:    time.Now(),
 		mRuns:       counter("ctlplane_reconcile_runs_total"),
 		mErrors:     counter("ctlplane_reconcile_errors_total"),
+		mRejected:   counter("ctlplane_reconcile_rejected_total"),
+		mOrphans:    counter("ctlplane_reconcile_orphans_total"),
 		mActions: map[string]metric{
 			"ensure-experiment": counter("ctlplane_reconcile_actions_total", label("kind", "ensure-experiment")),
 			"ensure-session":    counter("ctlplane_reconcile_actions_total", label("kind", "ensure-session")),
 			"announce":          counter("ctlplane_reconcile_actions_total", label("kind", "announce")),
+			"adopt":             counter("ctlplane_reconcile_actions_total", label("kind", "adopt")),
 			"withdraw":          counter("ctlplane_reconcile_actions_total", label("kind", "withdraw")),
 			"close-session":     counter("ctlplane_reconcile_actions_total", label("kind", "close-session")),
 			"teardown":          counter("ctlplane_reconcile_actions_total", label("kind", "teardown")),
+			"orphan-teardown":   counter("ctlplane_reconcile_actions_total", label("kind", "orphan-teardown")),
 		},
 		mConverged: gauge("ctlplane_objects_converged"),
 	}
@@ -199,8 +292,28 @@ func (r *Reconciler) Run() {
 		case <-r.wake:
 		case <-tick.C:
 		}
-		r.reconcileOnce()
+		if !r.pass() {
+			return
+		}
 	}
+}
+
+// pass runs one reconcile iteration. When OnCrash is set, an injected
+// crash panic is recovered, reported, and terminates the loop — the
+// reconciler is then as dead as a SIGKILLed process, which is exactly
+// what crash tests simulate. With OnCrash nil, panics propagate.
+func (r *Reconciler) pass() (alive bool) {
+	alive = true
+	if r.cfg.OnCrash != nil {
+		defer func() {
+			if v := recover(); v != nil {
+				r.cfg.OnCrash(v)
+				alive = false
+			}
+		}()
+	}
+	r.reconcileOnce()
+	return alive
 }
 
 // Close stops the loop and waits for the in-flight pass to finish.
@@ -264,21 +377,39 @@ type actRecord struct {
 	at time.Time
 }
 
-// action runs one rate-limited actuation, counting it per kind.
+// action runs one rate-limited actuation, counting it per kind. st may
+// be nil (orphan teardowns have no desired object to account against).
 func (r *Reconciler) action(kind string, st *ObjectStatus, fn func() error) error {
+	if r.cfg.CrashHook != nil {
+		r.cfg.CrashHook("mid-batch")
+	}
 	r.throttle()
 	if m, ok := r.mActions[kind]; ok {
 		m.Inc()
 	}
-	r.mu.Lock()
-	st.Actions++
-	r.mu.Unlock()
+	if st != nil {
+		r.mu.Lock()
+		st.Actions++
+		r.mu.Unlock()
+	}
 	return fn()
+}
+
+// backoffFor computes the exponential per-object retry delay.
+func (r *Reconciler) backoffFor(attempts int) time.Duration {
+	backoff := r.cfg.BackoffBase << min(uint(attempts-1), 16)
+	if backoff > r.cfg.BackoffMax || backoff <= 0 {
+		backoff = r.cfg.BackoffMax
+	}
+	return backoff
 }
 
 // setPhase transitions an object's phase, publishing to the hub when it
 // actually changes.
 func (r *Reconciler) setPhase(st *ObjectStatus, phase Phase, rev int64, errMsg string) {
+	if phase != PhaseRejected {
+		st.RejectKind = ""
+	}
 	changed := st.Phase != phase || st.Revision != rev || st.LastError != errMsg
 	st.Phase = phase
 	st.Revision = rev
@@ -291,7 +422,8 @@ func (r *Reconciler) setPhase(st *ObjectStatus, phase Phase, rev int64, errMsg s
 				Phase    Phase  `json:"phase"`
 				Revision int64  `json:"revision"`
 				Error    string `json:"error,omitempty"`
-			}{st.Name, phase, rev, errMsg})
+				Reject   string `json:"reject_kind,omitempty"`
+			}{st.Name, phase, rev, errMsg, st.RejectKind})
 		}
 	}
 }
@@ -321,6 +453,7 @@ func (r *Reconciler) reconcileOnce() {
 			delete(r.inflightWd, key)
 		}
 	}
+	r.pollRejections(now)
 	live := make(map[string]bool, len(objects))
 	converged := 0
 	for i := range objects {
@@ -344,12 +477,15 @@ func (r *Reconciler) reconcileOnce() {
 		if passErr != nil {
 			r.mErrors.Inc()
 			st.Attempts++
-			backoff := r.cfg.BackoffBase << min(uint(st.Attempts-1), 16)
-			if backoff > r.cfg.BackoffMax || backoff <= 0 {
-				backoff = r.cfg.BackoffMax
-			}
+			backoff := r.backoffFor(st.Attempts)
 			st.NextRetry = time.Now().Add(backoff)
 			phase := PhaseError
+			var rej *RejectedError
+			if errors.As(passErr, &rej) {
+				r.mRejected.Inc()
+				st.RejectKind = rej.Kind
+				phase = PhaseRejected
+			}
 			if obj.Deleting {
 				phase = PhaseDeleting
 			}
@@ -365,6 +501,7 @@ func (r *Reconciler) reconcileOnce() {
 		}
 		r.mu.Unlock()
 	}
+	r.sweepOrphans(obs, live, now)
 	// Forget records of objects that no longer exist.
 	r.mu.Lock()
 	for name := range r.statuses {
@@ -375,6 +512,102 @@ func (r *Reconciler) reconcileOnce() {
 	}
 	r.mConverged.Set(int64(converged))
 	r.mu.Unlock()
+}
+
+// sweepOrphans tears down platform state whose experiment has no
+// desired object — the recovery half of crash-only operation: a crash
+// between actuating and logging (or a spec removed while the daemon
+// was down) leaves announcements dangling in the synthetic Internet
+// with no owner, and nothing else will ever withdraw them.
+func (r *Reconciler) sweepOrphans(obs Observed, live map[string]bool, now time.Time) {
+	orphan := make(map[string]bool)
+	for key := range obs.Anns {
+		if !live[key.Experiment] {
+			orphan[key.Experiment] = true
+		}
+	}
+	for key := range obs.Sessions {
+		if !live[key.Experiment] {
+			orphan[key.Experiment] = true
+		}
+	}
+	names := make([]string, 0, len(orphan))
+	for name := range orphan {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		// A just-issued teardown needs the observed state to catch up;
+		// don't hammer the platform in the meantime.
+		if at, ok := r.tornDown[name]; ok && now.Sub(at) < r.cfg.ActuationGrace {
+			continue
+		}
+		name := name
+		if err := r.action("orphan-teardown", nil, func() error { return r.act.Teardown(name) }); err != nil {
+			r.mErrors.Inc()
+			r.logf("ctlplane: orphan teardown %s failed: %v", name, err)
+			continue
+		}
+		r.mOrphans.Inc()
+		r.tornDown[name] = now
+		for key := range obs.Anns {
+			if key.Experiment == name {
+				r.store.LogAct("withdraw", key, "")
+			}
+		}
+		r.logf("ctlplane: tore down orphan experiment %s (platform state with no desired object)", name)
+	}
+	for name, at := range r.tornDown {
+		if !orphan[name] && now.Sub(at) >= r.cfg.ActuationGrace {
+			delete(r.tornDown, name)
+		}
+	}
+}
+
+// pollRejections drains engine-side rejections from the actuator (when
+// it exposes them) and flips the matching objects to PhaseRejected.
+// Route install is asynchronous: the session accepts the update and
+// the router's policy engine refuses it later, so without this the
+// object sits in "converging" forever and every grace expiry re-burns
+// update budget on a prefix the engine will refuse again.
+func (r *Reconciler) pollRejections(now time.Time) {
+	src, ok := r.act.(RejectionSource)
+	if !ok {
+		return
+	}
+	for _, rej := range src.Rejections(r.rejSince) {
+		if rej.At.After(r.rejSince) {
+			r.rejSince = rej.At
+		}
+		// Only a rejection answering an announce this process issued
+		// (and is still waiting on) flips state; stale audit entries
+		// from before the announce are not ours.
+		matched := false
+		for key, rec := range r.inflightAnn {
+			if key.Experiment != rej.Experiment || key.PoP != rej.PoP || key.Prefix != rej.Prefix {
+				continue
+			}
+			if rej.At.Before(rec.at) {
+				continue
+			}
+			delete(r.inflightAnn, key)
+			matched = true
+		}
+		if !matched {
+			continue
+		}
+		r.mRejected.Inc()
+		st := r.statusFor(rej.Experiment)
+		r.mu.Lock()
+		st.Attempts++
+		backoff := r.backoffFor(st.Attempts)
+		st.NextRetry = now.Add(backoff)
+		st.RejectKind = rej.Kind
+		r.setPhase(st, PhaseRejected, st.Revision, rej.Reason)
+		r.mu.Unlock()
+		r.logf("ctlplane: %s rejected at %s (%s): %s — retry in %s",
+			rej.Experiment, rej.PoP, rej.Kind, rej.Reason, backoff)
+	}
 }
 
 // statusFor returns (creating if needed) the mutable status record.
@@ -438,6 +671,7 @@ func (r *Reconciler) convergeObject(obj *Object, st *ObjectStatus, obs Observed)
 	// issued within the grace window counts as pending rather than
 	// missing: install is asynchronous and re-sends burn update budget.
 	desired := make(map[AnnKey]bool, len(desiredAnns))
+	shed, _ := r.act.(ShedSource)
 	for _, ann := range desiredAnns {
 		desired[ann.Key] = true
 		fp := ann.Fingerprint()
@@ -446,9 +680,33 @@ func (r *Reconciler) convergeObject(obj *Object, st *ObjectStatus, obs Observed)
 			delete(r.inflightAnn, ann.Key)
 			continue
 		}
+		if ok && cur == "" {
+			// Installed but not issued by this process — a restart
+			// recovered it from the durable log. Adopt it in place
+			// instead of re-announcing: re-sends burn update budget.
+			actions++
+			ann := ann
+			err := r.action("adopt", st, func() error { return r.act.Adopt(spec, ann) })
+			if err == nil {
+				r.store.LogAct("announce", ann.Key, fp)
+				delete(r.inflightAnn, ann.Key)
+				continue
+			}
+			if !errors.Is(err, ErrAdoptMismatch) {
+				return fmt.Errorf("adopt %s: %w", ann.Key, err)
+			}
+			// Installed route drifted from the spec; fall through and
+			// re-announce at the desired fingerprint.
+		}
 		if rec, inflight := r.inflightAnn[ann.Key]; inflight && rec.fp == fp && now.Sub(rec.at) < r.cfg.ActuationGrace {
 			pending++
 			continue
+		}
+		if shed != nil && shed.Shedding(ann.Key.PoP) {
+			// The router would treat-as-withdraw the announcement
+			// anyway; skipping the send saves the update budget.
+			return &RejectedError{Kind: RejectShedding,
+				Reason: fmt.Sprintf("PoP %s is shedding new announcements (overload)", ann.Key.PoP)}
 		}
 		actions++
 		ann := ann
@@ -456,6 +714,7 @@ func (r *Reconciler) convergeObject(obj *Object, st *ObjectStatus, obs Observed)
 			return fmt.Errorf("announce %s: %w", ann.Key, err)
 		}
 		r.inflightAnn[ann.Key] = actRecord{fp: fp, at: now}
+		r.store.LogAct("announce", ann.Key, fp)
 	}
 
 	// Withdraw strays: observed announcements of this experiment no
@@ -476,6 +735,7 @@ func (r *Reconciler) convergeObject(obj *Object, st *ObjectStatus, obs Observed)
 			return fmt.Errorf("withdraw %s: %w", key, err)
 		}
 		r.inflightWd[key] = now
+		r.store.LogAct("withdraw", key, "")
 	}
 
 	// Close sessions at PoPs the spec no longer references.
@@ -523,10 +783,12 @@ func (r *Reconciler) teardownObject(obj *Object, st *ObjectStatus, obs Observed)
 		}); err != nil {
 			return fmt.Errorf("withdraw %s: %w", key, err)
 		}
+		r.store.LogAct("withdraw", key, "")
 	}
 	if err := r.action("teardown", st, func() error { return r.act.Teardown(name) }); err != nil {
 		return fmt.Errorf("teardown: %w", err)
 	}
+	r.tornDown[name] = time.Now()
 	if err := r.store.Remove(name); err != nil {
 		return err
 	}

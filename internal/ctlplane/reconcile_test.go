@@ -25,6 +25,34 @@ type fakeActuator struct {
 	// released, simulating slow RIB install.
 	holdInstall bool
 	pendingAnns map[AnnKey]string
+
+	// adoptable marks fingerprint-unknown routes (anns[key] == "") that
+	// Adopt should accept, simulating a recovered install whose
+	// attributes still match the spec.
+	adoptable map[AnnKey]bool
+
+	// rejections drained by the reconciler's RejectionSource poll.
+	rejections []Rejection
+	// shedding marks PoPs reporting overload shed.
+	shedding map[string]bool
+}
+
+func (f *fakeActuator) Rejections(since time.Time) []Rejection {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Rejection, 0, len(f.rejections))
+	for _, rej := range f.rejections {
+		if rej.At.After(since) {
+			out = append(out, rej)
+		}
+	}
+	return out
+}
+
+func (f *fakeActuator) Shedding(pop string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.shedding[pop]
 }
 
 func newFakeActuator() *fakeActuator {
@@ -35,6 +63,8 @@ func newFakeActuator() *fakeActuator {
 		calls:       make(map[string]int),
 		fail:        make(map[string]error),
 		pendingAnns: make(map[AnnKey]string),
+		adoptable:   make(map[AnnKey]bool),
+		shedding:    make(map[string]bool),
 	}
 }
 
@@ -86,6 +116,29 @@ func (f *fakeActuator) Announce(spec Spec, ann CompiledAnn) error {
 	} else {
 		f.anns[ann.Key] = ann.Fingerprint()
 	}
+	return nil
+}
+
+func (f *fakeActuator) Adopt(spec Spec, ann CompiledAnn) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.called("adopt"); err != nil {
+		return err
+	}
+	cur, ok := f.anns[ann.Key]
+	if !ok {
+		return fmt.Errorf("adopt %s: not installed", ann.Key)
+	}
+	// The fake models fingerprint-unknown recovered routes as "": an
+	// adoptable route either matches the desired fingerprint already or
+	// was seeded by the test as adoptable via adoptable[key].
+	if cur != "" && cur != ann.Fingerprint() {
+		return ErrAdoptMismatch
+	}
+	if cur == "" && !f.adoptable[ann.Key] {
+		return ErrAdoptMismatch
+	}
+	f.anns[ann.Key] = ann.Fingerprint()
 	return nil
 }
 
@@ -359,6 +412,7 @@ func TestReconcilerPublishesTransitions(t *testing.T) {
 				Phase    Phase  `json:"phase"`
 				Revision int64  `json:"revision"`
 				Error    string `json:"error,omitempty"`
+				Reject   string `json:"reject_kind,omitempty"`
 			})
 			if !ok {
 				t.Fatalf("unexpected payload type %T", e.Data)

@@ -20,6 +20,9 @@ var (
 	ErrConflict = errors.New("ctlplane: revision conflict")
 	// ErrDeleting: the object is being torn down and cannot be updated.
 	ErrDeleting = errors.New("ctlplane: experiment is being deleted")
+	// ErrStoreFailed: a durable-log write failed; the store fails closed
+	// (read-only) until the daemon restarts and recovers from disk.
+	ErrStoreFailed = errors.New("ctlplane: desired-state log write failed; store is read-only until restart")
 )
 
 // Object is one stored experiment: its desired spec plus the
@@ -82,6 +85,22 @@ type Store struct {
 	// onChange publishes store transitions to the watch hub.
 	onChange func(Change)
 
+	// wal, when set, makes every commit durable before it is
+	// acknowledged; walErr fails the store closed after a log-write
+	// failure (the raced commit becomes an orphan that the recovery
+	// reconciliation pass tears down on restart).
+	wal    *WAL
+	walErr error
+	// acts mirrors the last-known actuation fingerprints (LogAct), and
+	// deployed the per-PoP deploy map (LogDeploy) — both are snapshotted
+	// at compaction so recovery starts with exact knowledge.
+	acts     map[AnnKey]string
+	deployed map[string]int
+	// crashHook, when set, fires at the seeded chaos injection points
+	// around the WAL write ("pre-wal-write", "post-wal-pre-actuate").
+	// Test-only; nil in production.
+	crashHook func(point string)
+
 	mCommits  metric
 	mObjects  gaugeMetric
 	mConflict metric
@@ -93,19 +112,129 @@ type StoreConfig struct {
 	Config *config.Store
 	// BaseModel supplies PlatformASN/GlobalPool/PoPs for the mirror.
 	BaseModel func() config.Model
+	// CrashHook fires at the seeded crash-injection points around the
+	// durable write. Test-only; leave nil in production.
+	CrashHook func(point string)
 }
 
-// NewStore creates an empty desired-state store.
+// NewStore creates an empty, in-memory desired-state store. Use
+// RecoverStore for one backed by a durable state directory.
 func NewStore(cfg StoreConfig) *Store {
 	s := &Store{
-		objects: make(map[string]*Object),
-		cfg:     cfg.Config,
-		base:    cfg.BaseModel,
+		objects:   make(map[string]*Object),
+		cfg:       cfg.Config,
+		base:      cfg.BaseModel,
+		acts:      make(map[AnnKey]string),
+		crashHook: cfg.CrashHook,
 	}
 	s.mCommits = counter("ctlplane_store_commits_total")
 	s.mObjects = gauge("ctlplane_objects")
 	s.mConflict = counter("ctlplane_store_conflicts_total")
 	return s
+}
+
+// RecoverStore opens the durable desired-state log in dir, replays
+// snapshot + WAL, and returns a store resuming exactly where the last
+// process stopped: objects with their revisions, the mirrored config
+// revision log with its commit notes, and the recovered actuation
+// fingerprints (for budget-free re-adoption). The mirrored config
+// store must be empty — recovery reproduces its revision numbering.
+func RecoverStore(cfg StoreConfig, dir string) (*Store, *WAL, *RecoveredState, error) {
+	wal, rec, err := OpenWAL(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	s := NewStore(cfg)
+	if rec != nil {
+		if s.cfg != nil {
+			if _, latest := s.cfg.Latest(); latest != 0 {
+				wal.Close()
+				return nil, nil, nil, fmt.Errorf("ctlplane: mirrored config store already has %d revisions; recovery needs an empty one", latest)
+			}
+			for i, cr := range rec.Config {
+				if _, err := s.cfg.PutNoted(cr.Model, cr.Note); err != nil {
+					wal.Close()
+					return nil, nil, nil, fmt.Errorf("ctlplane: recovering config revision %d: %w", i+1, err)
+				}
+			}
+		}
+		s.nextRev = rec.NextRev
+		for i := range rec.Objects {
+			obj := rec.Objects[i]
+			obj.Spec = obj.Spec.Clone()
+			s.objects[obj.Spec.Name] = &obj
+		}
+		for key, fp := range rec.Acts {
+			s.acts[key] = fp
+		}
+		if len(rec.Deployed) > 0 {
+			s.deployed = make(map[string]int, len(rec.Deployed))
+			for pop, rev := range rec.Deployed {
+				s.deployed[pop] = rev
+			}
+		}
+		s.mObjects.Set(int64(len(s.objects)))
+	}
+	s.wal = wal
+	wal.snapshot = s.walSnapshotLocked
+	return s, wal, rec, nil
+}
+
+// walSnapshotLocked builds the compaction checkpoint. Called by the WAL
+// with s.mu already held (compaction runs inside commitLocked).
+func (s *Store) walSnapshotLocked() walSnapshot {
+	snap := walSnapshot{NextRev: s.nextRev}
+	names := make([]string, 0, len(s.objects))
+	for name := range s.objects {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		snap.Objects = append(snap.Objects, *s.objects[name])
+	}
+	if s.cfg != nil {
+		notes := s.cfg.Notes()
+		for i, m := range s.cfg.Revisions() {
+			snap.Config = append(snap.Config, ConfigRev{Model: m, Note: notes[i+1]})
+		}
+	}
+	if len(s.deployed) > 0 {
+		snap.Deployed = make(map[string]int, len(s.deployed))
+		for pop, rev := range s.deployed {
+			snap.Deployed[pop] = rev
+		}
+	}
+	keys := make([]AnnKey, 0, len(s.acts))
+	for key := range s.acts {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	for _, key := range keys {
+		snap.Acts = append(snap.Acts, walAct{
+			Op: "announce", Experiment: key.Experiment, PoP: key.PoP,
+			Prefix: key.Prefix.String(), Version: key.Version, Fp: s.acts[key],
+		})
+	}
+	return snap
+}
+
+// Close closes the durable log, if any.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	wal := s.wal
+	s.mu.Unlock()
+	if wal == nil {
+		return nil
+	}
+	return wal.Close()
+}
+
+// failedLocked reports the fail-closed state after a WAL write error.
+func (s *Store) failedLocked() error {
+	if s.walErr == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %v", ErrStoreFailed, s.walErr)
 }
 
 // OnCommit registers the reconciler wake-up hook.
@@ -115,8 +244,9 @@ func (s *Store) OnCommit(fn func()) { s.onCommit = fn }
 func (s *Store) OnChange(fn func(Change)) { s.onChange = fn }
 
 // commitLocked finalizes a mutation: bumps the global revision counter,
-// mirrors the model, and schedules notifications. Caller holds s.mu and
-// must fire the returned function after unlocking.
+// mirrors the model, appends the durable commit record (fsynced before
+// the commit is acknowledged), and schedules notifications. Caller
+// holds s.mu and must fire the returned function after unlocking.
 func (s *Store) commitLocked(obj *Object, name string, kind ChangeKind) func() {
 	s.nextRev++
 	rev := s.nextRev
@@ -124,11 +254,47 @@ func (s *Store) commitLocked(obj *Object, name string, kind ChangeKind) func() {
 		obj.Revision = rev
 		obj.UpdatedAt = time.Now()
 	}
+	var model *config.Model
+	note := ""
 	if s.cfg != nil {
 		m := s.renderLocked()
-		note := fmt.Sprintf("%s %s @%d", kind, name, rev)
-		if cfgRev, err := s.cfg.PutNoted(m, note); err == nil && obj != nil {
-			obj.ConfigRev = cfgRev
+		note = fmt.Sprintf("%s %s @%d", kind, name, rev)
+		if cfgRev, err := s.cfg.PutNoted(m, note); err == nil {
+			if obj != nil {
+				obj.ConfigRev = cfgRev
+			}
+			model = &m
+		}
+	}
+	if s.wal != nil {
+		if s.crashHook != nil {
+			s.crashHook("pre-wal-write")
+		}
+		recObj := obj
+		if kind == ChangeRemoved {
+			recObj = nil
+			for key := range s.acts {
+				if key.Experiment == name {
+					delete(s.acts, key)
+				}
+			}
+		}
+		if err := s.wal.append(walTypeCommit, walCommit{
+			Kind: kind, Name: name, Revision: rev,
+			Object: recObj, Model: model, Note: note,
+		}); err != nil {
+			// Fail closed: this commit raced the log (its actuation will
+			// surface as an orphan after restart) and no further
+			// mutations are accepted.
+			s.walErr = err
+		}
+		if s.crashHook != nil {
+			s.crashHook("post-wal-pre-actuate")
+		}
+		if s.walErr == nil && s.wal.needsCompact() {
+			if err := s.wal.Compact(); err != nil {
+				s.walErr = err
+			}
 		}
 	}
 	s.mCommits.Inc()
@@ -184,6 +350,10 @@ func (s *Store) Create(spec Spec) (Object, bool, error) {
 		return Object{}, false, err
 	}
 	s.mu.Lock()
+	if err := s.failedLocked(); err != nil {
+		s.mu.Unlock()
+		return Object{}, false, err
+	}
 	if existing, ok := s.objects[spec.Name]; ok {
 		defer s.mu.Unlock()
 		if existing.Deleting {
@@ -216,6 +386,10 @@ func (s *Store) Update(name string, rev int64, spec Spec) (Object, error) {
 		return Object{}, fmt.Errorf("ctlplane: spec name %q does not match object %q", spec.Name, name)
 	}
 	s.mu.Lock()
+	if err := s.failedLocked(); err != nil {
+		s.mu.Unlock()
+		return Object{}, err
+	}
 	obj, ok := s.objects[name]
 	if !ok {
 		s.mu.Unlock()
@@ -250,6 +424,10 @@ func (s *Store) Update(name string, rev int64, spec Spec) (Object, error) {
 // remains visible (Deleting=true) until the reconciler calls Remove.
 func (s *Store) Delete(name string, rev int64) (Object, error) {
 	s.mu.Lock()
+	if err := s.failedLocked(); err != nil {
+		s.mu.Unlock()
+		return Object{}, err
+	}
 	obj, ok := s.objects[name]
 	if !ok {
 		s.mu.Unlock()
@@ -280,6 +458,10 @@ func (s *Store) Delete(name string, rev int64) (Object, error) {
 // reconciler only calls this after Delete.
 func (s *Store) Remove(name string) error {
 	s.mu.Lock()
+	if err := s.failedLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
 	obj, ok := s.objects[name]
 	if !ok {
 		s.mu.Unlock()
@@ -317,6 +499,56 @@ func (s *Store) List() []Object {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Spec.Name < out[j].Spec.Name })
 	return out
+}
+
+// LogAct records one successful actuation in the durable log: op is
+// "announce" (fp is the fingerprint installed) or "withdraw". The
+// reconciler calls it after each actuator mutation so a restarted
+// daemon knows exactly what was sent and can re-adopt matching
+// installs without re-announcing (budget-free recovery). Best-effort:
+// an append failure fails the store closed like any other WAL error.
+func (s *Store) LogAct(op string, key AnnKey, fp string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if op == "announce" {
+		s.acts[key] = fp
+	} else {
+		delete(s.acts, key)
+	}
+	if s.wal == nil || s.walErr != nil {
+		return
+	}
+	if err := s.wal.append(walTypeAct, walAct{
+		Op: op, Experiment: key.Experiment, PoP: key.PoP,
+		Prefix: key.Prefix.String(), Version: key.Version, Fp: fp,
+	}); err != nil {
+		s.walErr = err
+	}
+}
+
+// LogDeploy records one deploy-plane operation (canary / promote /
+// rollback) with the resulting per-PoP deployed map, so deploy state
+// survives a restart alongside the specs it rolls out.
+func (s *Store) LogDeploy(verb string, rev int, pops []string, newRev int, deployed map[string]int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(deployed) > 0 {
+		if s.deployed == nil {
+			s.deployed = make(map[string]int, len(deployed))
+		}
+		for pop, r := range deployed {
+			s.deployed[pop] = r
+		}
+	}
+	if s.wal == nil || s.walErr != nil {
+		return
+	}
+	if err := s.wal.append(walTypeDeploy, walDeploy{
+		Verb: verb, Revision: rev, PoPs: pops,
+		NewRevision: newRev, Deployed: deployed,
+	}); err != nil {
+		s.walErr = err
+	}
 }
 
 // Revision returns the store's global revision counter (the revision of

@@ -1,0 +1,40 @@
+package ctlplane
+
+import "testing"
+
+// FuzzDecodeWALRecord drives the record parser with arbitrary frame
+// payloads: it must never panic, and anything it accepts must carry a
+// known record type (the replay switch depends on it).
+func FuzzDecodeWALRecord(f *testing.F) {
+	seed := func(seq uint64, typ byte, body any) {
+		payload, err := encodeRecord(seq, typ, body)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(payload)
+	}
+	seed(1, walTypeCommit, walCommit{
+		Kind: ChangeCreated, Name: "alpha", Revision: 1,
+		Object: &Object{Spec: Spec{Name: "alpha"}, Revision: 1},
+	})
+	seed(2, walTypeDeploy, walDeploy{Verb: "canary", Revision: 3, PoPs: []string{"seattle"}})
+	seed(3, walTypeAct, walAct{
+		Op: "announce", Experiment: "alpha", PoP: "seattle",
+		Prefix: "184.164.224.0/24", Version: 1, Fp: "fp",
+	})
+	f.Add([]byte{})
+	f.Add([]byte("vbgpwal1 not a record"))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 1, walTypeCommit, '{', '}'})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		rec, err := DecodeWALRecord(payload)
+		if err != nil {
+			return
+		}
+		switch rec.typ {
+		case walTypeCommit, walTypeDeploy, walTypeAct:
+		default:
+			t.Fatalf("accepted record with unknown type %d", rec.typ)
+		}
+	})
+}

@@ -1,0 +1,275 @@
+package ctlplane
+
+import (
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+)
+
+// recoverTestStore opens a durable store in dir with a fresh mirrored
+// config store.
+func recoverTestStore(t *testing.T, dir string) (*Store, *WAL, *RecoveredState, *config.Store) {
+	t.Helper()
+	cfg := config.NewStore()
+	s, w, rec, err := RecoverStore(StoreConfig{
+		Config: cfg,
+		BaseModel: func() config.Model {
+			return config.Model{
+				PlatformASN: 47065,
+				PoPs:        []config.PoPSpec{{Name: "seattle"}},
+			}
+		},
+	}, dir)
+	if err != nil {
+		t.Fatalf("RecoverStore: %v", err)
+	}
+	return s, w, rec, cfg
+}
+
+func actKey(exp, pop, prefix string, version uint32) AnnKey {
+	return AnnKey{Experiment: exp, PoP: pop, Prefix: netip.MustParsePrefix(prefix), Version: version}
+}
+
+func TestWALRecoverRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	s, _, rec, cfg := recoverTestStore(t, dir)
+	if rec != nil {
+		t.Fatalf("fresh dir recovered state: %+v", rec)
+	}
+
+	alpha, _, err := s.Create(testSpec("alpha"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	next := testSpec("alpha")
+	next.Plan = "phase two"
+	alpha2, err := s.Update("alpha", alpha.Revision, next)
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if _, _, err := s.Create(testSpec("beta")); err != nil {
+		t.Fatalf("Create beta: %v", err)
+	}
+	if _, err := s.Delete("beta", 0); err != nil {
+		t.Fatalf("Delete beta: %v", err)
+	}
+	if err := s.Remove("beta"); err != nil {
+		t.Fatalf("Remove beta: %v", err)
+	}
+	keep := actKey("alpha", "seattle", "184.164.224.0/24", 1)
+	drop := actKey("alpha", "seattle", "184.164.225.0/24", 2)
+	s.LogAct("announce", keep, "fp-keep")
+	s.LogAct("announce", drop, "fp-drop")
+	s.LogAct("withdraw", drop, "")
+	s.LogDeploy("canary", 3, []string{"seattle"}, 0, map[string]int{"seattle": 3})
+	s.LogDeploy("promote", 3, nil, 0, map[string]int{"seattle": 3, "amsix": 3})
+
+	wantRev := s.Revision()
+	wantNotes := cfg.Notes()
+	wantModels := cfg.Revisions()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, _, rec2, cfg2 := recoverTestStore(t, dir)
+	defer s2.Close()
+	if rec2 == nil {
+		t.Fatal("no recovered state after restart")
+	}
+	if s2.Revision() != wantRev {
+		t.Fatalf("recovered revision = %d, want %d", s2.Revision(), wantRev)
+	}
+	objs := s2.List()
+	if len(objs) != 1 || objs[0].Spec.Name != "alpha" {
+		t.Fatalf("recovered objects = %+v, want just alpha", objs)
+	}
+	if objs[0].Revision != alpha2.Revision || objs[0].Spec.Plan != "phase two" {
+		t.Fatalf("recovered alpha = rev %d plan %q, want rev %d plan \"phase two\"",
+			objs[0].Revision, objs[0].Spec.Plan, alpha2.Revision)
+	}
+	if got := rec2.Acts[keep]; got != "fp-keep" {
+		t.Fatalf("recovered act fp = %q, want fp-keep", got)
+	}
+	if _, ok := rec2.Acts[drop]; ok {
+		t.Fatal("withdrawn act survived recovery")
+	}
+	if rec2.Deployed["seattle"] != 3 || rec2.Deployed["amsix"] != 3 {
+		t.Fatalf("recovered deployed = %v", rec2.Deployed)
+	}
+	// The mirrored config revision log is rebuilt byte-for-byte:
+	// numbering and commit notes included.
+	gotModels := cfg2.Revisions()
+	if len(gotModels) != len(wantModels) {
+		t.Fatalf("recovered %d config revisions, want %d", len(gotModels), len(wantModels))
+	}
+	for i := range wantModels {
+		if len(gotModels[i].Experiments) != len(wantModels[i].Experiments) {
+			t.Fatalf("config revision %d: %d experiments, want %d",
+				i+1, len(gotModels[i].Experiments), len(wantModels[i].Experiments))
+		}
+	}
+	gotNotes := cfg2.Notes()
+	for rev, note := range wantNotes {
+		if gotNotes[rev] != note {
+			t.Fatalf("config revision %d note = %q, want %q", rev, gotNotes[rev], note)
+		}
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tail func(valid []byte) []byte
+	}{
+		{"short-frame", func(_ []byte) []byte { return []byte{0, 0, 0} }},
+		{"torn-payload", func(_ []byte) []byte {
+			// Claims 100 payload bytes, delivers 4.
+			return []byte{0, 0, 0, 100, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4}
+		}},
+		{"bad-crc-at-eof", func(valid []byte) []byte {
+			torn := append([]byte(nil), valid...)
+			torn[len(torn)-1] ^= 0xff
+			return torn
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, _, _, _ := recoverTestStore(t, dir)
+			if _, _, err := s.Create(testSpec("alpha")); err != nil {
+				t.Fatalf("Create: %v", err)
+			}
+			s.Close()
+
+			// A valid frame to mangle for the bad-CRC case.
+			payload, err := encodeRecord(99, walTypeAct, walAct{
+				Op: "announce", Experiment: "alpha", PoP: "seattle",
+				Prefix: "184.164.224.0/24", Version: 1, Fp: "fp",
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := os.OpenFile(filepath.Join(dir, walFileName), os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(tc.tail(encodeFrame(payload))); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			// Recovery truncates the torn tail and proceeds.
+			s2, _, rec, _ := recoverTestStore(t, dir)
+			if rec == nil || len(rec.Objects) != 1 || rec.Objects[0].Spec.Name != "alpha" {
+				t.Fatalf("recovered state after torn tail = %+v", rec)
+			}
+			// The log is writable again on a clean frame boundary.
+			if _, _, err := s2.Create(testSpec("beta")); err != nil {
+				t.Fatalf("Create after torn-tail recovery: %v", err)
+			}
+			s2.Close()
+			s3, _, rec3, _ := recoverTestStore(t, dir)
+			if len(rec3.Objects) != 2 {
+				t.Fatalf("recovered %d objects after re-append, want 2", len(rec3.Objects))
+			}
+			s3.Close()
+		})
+	}
+}
+
+func TestWALMidFileCorruptionFailsClosed(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _, _ := recoverTestStore(t, dir)
+	if _, _, err := s.Create(testSpec("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Create(testSpec("beta")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	path := filepath.Join(dir, walFileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the first record's payload: damage that does
+	// NOT extend to EOF is corruption, not a crash artifact.
+	data[len(walMagic)+12] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, _, err = RecoverStore(StoreConfig{}, dir)
+	if err == nil {
+		t.Fatal("recovery from a mid-file corrupt log succeeded")
+	}
+	if !strings.Contains(err.Error(), "offset") || !strings.Contains(err.Error(), "refusing to recover") {
+		t.Fatalf("corruption error lacks offset / fail-closed wording: %v", err)
+	}
+}
+
+func TestWALDuplicateRevisionRejected(t *testing.T) {
+	dir := t.TempDir()
+	obj := &Object{Spec: testSpec("alpha"), Revision: 5}
+	var data []byte
+	data = append(data, walMagic...)
+	for seq := uint64(1); seq <= 2; seq++ {
+		payload, err := encodeRecord(seq, walTypeCommit, walCommit{
+			Kind: ChangeCreated, Name: "alpha", Revision: 5, Object: obj,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data = append(data, encodeFrame(payload)...)
+	}
+	if err := os.WriteFile(filepath.Join(dir, walFileName), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := OpenWAL(dir)
+	if err == nil || !strings.Contains(err.Error(), "duplicate revision") {
+		t.Fatalf("OpenWAL with duplicate revision = %v, want duplicate-revision error", err)
+	}
+}
+
+func TestWALSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, w, _, cfg := recoverTestStore(t, dir)
+	w.CompactEvery = 2
+
+	names := []string{"a1", "a2", "a3", "a4", "a5"}
+	for _, name := range names {
+		if _, _, err := s.Create(testSpec(name)); err != nil {
+			t.Fatalf("Create %s: %v", name, err)
+		}
+	}
+	s.LogAct("announce", actKey("a1", "seattle", "184.164.224.0/24", 1), "fp1")
+	if _, err := os.Stat(filepath.Join(dir, snapFileName)); err != nil {
+		t.Fatalf("no snapshot after %d commits with CompactEvery=2: %v", len(names), err)
+	}
+	wantNotes := cfg.Notes()
+	s.Close()
+
+	s2, _, rec, cfg2 := recoverTestStore(t, dir)
+	defer s2.Close()
+	if len(rec.Objects) != len(names) {
+		t.Fatalf("recovered %d objects, want %d", len(rec.Objects), len(names))
+	}
+	for i, name := range names {
+		if rec.Objects[i].Spec.Name != name {
+			t.Fatalf("recovered object %d = %s, want %s", i, rec.Objects[i].Spec.Name, name)
+		}
+	}
+	if rec.Acts[actKey("a1", "seattle", "184.164.224.0/24", 1)] != "fp1" {
+		t.Fatalf("act lost across compaction: %v", rec.Acts)
+	}
+	gotNotes := cfg2.Notes()
+	for rev, note := range wantNotes {
+		if gotNotes[rev] != note {
+			t.Fatalf("config note %d = %q, want %q after compaction", rev, gotNotes[rev], note)
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package rib
 
-import "net/netip"
+import (
+	"net/netip"
+
+	"repro/internal/bgp"
+)
 
 // Graceful-restart stale-path retention (RFC 4724 §4.2): when a session
 // whose peer negotiated graceful restart drops, its Adj-RIB-In paths are
@@ -74,6 +78,40 @@ func (t *Table) SweepStale(peer string, v6 bool) []*Path {
 	ribPaths.Add(-int64(n))
 	t.maybeSnapshot(0)
 	return removed
+}
+
+// AdoptPath clears the stale mark on the path identified by the
+// (prefix, peer, id) implicit-withdraw key, returning true when a
+// stale copy was found. A restarted control plane calls this after
+// verifying a graceful-restart-retained route still matches its
+// recovered desired state: the route is re-claimed in place instead of
+// re-announced, so no sweep removes it and no update budget is burned.
+// Copy-on-write like MarkPeerStale — concurrent readers holding the
+// old slice keep seeing consistent state.
+func (t *Table) AdoptPath(prefix netip.Prefix, peer string, id bgp.PathID) bool {
+	sh := t.shardFor(prefix)
+	t.lockWrite(sh)
+	adopted := false
+	if paths, ok := sh.trie.Get(prefix); ok {
+		for i, e := range paths {
+			if e.Peer == peer && e.ID == id && e.Stale {
+				out := make([]*Path, len(paths))
+				copy(out, paths)
+				c := *e
+				c.Stale = false
+				out[i] = &c
+				sh.trie.Insert(prefix, out)
+				adopted = true
+				break
+			}
+		}
+	}
+	sh.mu.Unlock()
+	if adopted {
+		ribStaleAdopted.Inc()
+		t.maybeSnapshot(0)
+	}
+	return adopted
 }
 
 // StaleCount returns how many of peer's paths are currently stale

@@ -17,6 +17,9 @@ var (
 	// re-advertisement.
 	ribStaleMarked *telemetry.Counter
 	ribStaleSwept  *telemetry.Counter
+	// ribStaleAdopted counts stale paths re-claimed in place by a
+	// restarted control plane (AdoptPath) instead of re-announced.
+	ribStaleAdopted *telemetry.Counter
 	// ribSnapshotBuilds counts FIB-snapshot rebuilds (explicit and
 	// auto-maintained) across every table.
 	ribSnapshotBuilds *telemetry.Counter
@@ -29,5 +32,6 @@ func init() {
 	ribPaths = reg.Gauge("rib_paths")
 	ribStaleMarked = reg.Counter("rib_stale_marked_total")
 	ribStaleSwept = reg.Counter("rib_stale_swept_total")
+	ribStaleAdopted = reg.Counter("rib_stale_adopted_total")
 	ribSnapshotBuilds = reg.Counter("rib_snapshot_builds_total")
 }

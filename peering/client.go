@@ -30,6 +30,12 @@ type Client struct {
 	// the experiment side). The control plane sets it from a spec's
 	// pacing override.
 	MRAI time.Duration
+	// GR, when positive, advertises the graceful-restart capability
+	// (RFC 4724) with this restart time on plain (non-resilient)
+	// sessions started after it is set. The control plane sets it so a
+	// crash-killed daemon's routes are retained as stale — adoptable on
+	// recovery — instead of withdrawn the moment the tunnel dies.
+	GR time.Duration
 
 	mu        sync.Mutex
 	resilient bool
@@ -284,7 +290,7 @@ func (c *Client) StartBGP(popName string) error {
 			return err
 		}
 	}
-	sess := bgp.NewSession(pc.transport().Control(), bgp.Config{
+	cfg := bgp.Config{
 		LocalASN:  c.ASN,
 		RemoteASN: pc.platformASN,
 		LocalID:   pc.local(),
@@ -296,7 +302,14 @@ func (c *Client) StartBGP(popName string) error {
 		},
 		OnUpdate:      func(u *bgp.Update) { pc.handleUpdate(u) },
 		OnEstablished: func() { pc.signalEstablished() },
-	})
+	}
+	if c.GR > 0 {
+		// A plain client never sends End-of-RIB after a restart (only
+		// resilient mode replays), so the router's stale routes persist
+		// until adopted or flushed by the restart timer.
+		cfg.GracefulRestart = &bgp.GracefulRestartConfig{RestartTime: c.GR}
+	}
+	sess := bgp.NewSession(pc.transport().Control(), cfg)
 	pc.setSession(sess)
 	go sess.Run()
 	return nil
@@ -521,6 +534,30 @@ func (c *Client) Announce(popName string, prefix netip.Prefix, opts ...AnnounceO
 	pc.anns[annKey{prefix, a.version}] = a
 	pc.annMu.Unlock()
 	return sess.Send(buildAnnouncement(c.ASN, pc.platformASN, pc.local(), prefix, a))
+}
+
+// Adopt records an announcement as live without sending it: the route
+// is already installed at the PoP (retained across a control-plane
+// restart via graceful restart) and verified to match, so re-sending
+// would only burn the experiment's update budget. After Adopt the
+// announcement is replayed on reconnects exactly as if this client had
+// announced it.
+func (c *Client) Adopt(popName string, prefix netip.Prefix, opts ...AnnounceOption) error {
+	pc, err := c.conn(popName)
+	if err != nil {
+		return err
+	}
+	if pc.session() == nil {
+		return fmt.Errorf("peering: BGP not running at %s", popName)
+	}
+	a := announcement{origin: c.ASN}
+	for _, o := range opts {
+		o(&a)
+	}
+	pc.annMu.Lock()
+	pc.anns[annKey{prefix, a.version}] = a
+	pc.annMu.Unlock()
+	return nil
 }
 
 // Withdraw retracts a prefix (a specific version, or version 0).

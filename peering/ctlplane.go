@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -40,6 +41,14 @@ type ControlPlaneConfig struct {
 	// EstablishTimeout bounds how long EnsureSession waits for a BGP
 	// session to establish. Default 10s.
 	EstablishTimeout time.Duration
+	// StateDir, when set, makes the desired-state store durable: every
+	// commit, deploy, and actuation is logged to a WAL under this
+	// directory before it is acknowledged, and NewControlPlane replays
+	// snapshot+log on startup so specs survive a crash.
+	StateDir string
+	// CrashHook, when set, is invoked at seeded crash points inside the
+	// store's commit path (chaos testing). Production leaves it nil.
+	CrashHook func(point string)
 	// Logf receives control-plane logs (defaults to the platform's).
 	Logf func(format string, args ...any)
 }
@@ -47,8 +56,9 @@ type ControlPlaneConfig struct {
 // NewControlPlane builds and starts a control plane over the platform:
 // the reconciler loop runs until Close. The API server is returned
 // unmounted — register it on a mux (peeringd mounts it on the metrics
-// listener).
-func NewControlPlane(p *Platform, cfg ControlPlaneConfig) *ControlPlane {
+// listener). With a StateDir the desired state is recovered from the
+// WAL first; recovery fails closed on a corrupt log.
+func NewControlPlane(p *Platform, cfg ControlPlaneConfig) (*ControlPlane, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = p.cfg.Logf
 	}
@@ -62,9 +72,9 @@ func NewControlPlane(p *Platform, cfg ControlPlaneConfig) *ControlPlane {
 		p:                p,
 		establishTimeout: cfg.EstablishTimeout,
 		runtimes:         make(map[string]*expRuntime),
+		recovered:        make(map[ctlplane.AnnKey]string),
 	}
-	hub := ctlplane.NewHub()
-	store := ctlplane.NewStore(ctlplane.StoreConfig{
+	storeCfg := ctlplane.StoreConfig{
 		// Every accepted commit renders the full desired state into the
 		// platform's versioned config store, so the §5 canary/promote/
 		// rollback machinery operates on exactly the reconciled state.
@@ -72,9 +82,35 @@ func NewControlPlane(p *Platform, cfg ControlPlaneConfig) *ControlPlane {
 		BaseModel: func() config.Model {
 			return p.controlPlaneBaseModel(act.managedNames())
 		},
-	})
+		CrashHook: cfg.CrashHook,
+	}
+	var (
+		store *ctlplane.Store
+		rec   *ctlplane.RecoveredState
+	)
+	if cfg.StateDir != "" {
+		var err error
+		store, _, rec, err = ctlplane.RecoverStore(storeCfg, cfg.StateDir)
+		if err != nil {
+			return nil, err
+		}
+		// rec is nil on a pristine state directory: nothing to adopt.
+		if rec != nil {
+			cfg.Logf("control plane: recovered %d object(s), %d config revision(s), %d actuation record(s) from %s (wal seq %d)",
+				len(rec.Objects), len(rec.Config), len(rec.Acts), cfg.StateDir, rec.Seq)
+			// The WAL's actuation records are the proof obligations for
+			// budget-free adoption: the reconciler re-claims a retained
+			// route only when its fingerprint matches what was logged.
+			for key, fp := range rec.Acts {
+				act.recovered[key] = fp
+			}
+		}
+	} else {
+		store = ctlplane.NewStore(storeCfg)
+	}
+	hub := ctlplane.NewHub()
 	store.OnChange(func(c ctlplane.Change) { hub.Publish(ctlplane.StreamStore, c) })
-	rec := ctlplane.NewReconciler(store, act, hub, cfg.Reconciler)
+	reconciler := ctlplane.NewReconciler(store, act, hub, cfg.Reconciler)
 
 	deployer := config.NewDeployer(p.Store, func(pop string, m config.Model) error {
 		if p.PoP(pop) == nil {
@@ -83,10 +119,13 @@ func NewControlPlane(p *Platform, cfg ControlPlaneConfig) *ControlPlane {
 		m.SyncPolicy(p.Engine)
 		return nil
 	})
+	if rec != nil {
+		deployer.Restore(rec.Deployed)
+	}
 
 	api := ctlplane.NewServer(ctlplane.ServerConfig{
 		Store:      store,
-		Reconciler: rec,
+		Reconciler: reconciler,
 		Hub:        hub,
 		Deploy:     &ctlplane.Deploy{Store: p.Store, Deployer: deployer},
 		Queries: ctlplane.Queries{
@@ -109,22 +148,23 @@ func NewControlPlane(p *Platform, cfg ControlPlaneConfig) *ControlPlane {
 		}{pop, s.String()})
 	})
 
-	go rec.Run()
+	go reconciler.Run()
 	return &ControlPlane{
 		Platform: p, Store: store, Hub: hub,
-		Reconciler: rec, API: api, Deployer: deployer, act: act,
-	}
+		Reconciler: reconciler, API: api, Deployer: deployer, act: act,
+	}, nil
 }
 
-// Close stops the reconciler, detaches the platform taps, and closes
-// the watch hub (draining SSE handlers). Experiment state actuated so
-// far is left running.
+// Close stops the reconciler, detaches the platform taps, closes the
+// watch hub (draining SSE handlers), and syncs and closes the WAL.
+// Experiment state actuated so far is left running.
 func (cp *ControlPlane) Close() {
 	cp.closeOnce.Do(func() {
 		cp.Platform.SetEventSink(nil)
 		cp.Platform.SetHealthSink(nil)
 		cp.Reconciler.Close()
 		cp.Hub.Close()
+		cp.Store.Close()
 	})
 }
 
@@ -138,7 +178,9 @@ func (p *Platform) controlPlaneBaseModel(managed map[string]bool) config.Model {
 		m.PoPs = append(m.PoPs, config.PoPSpec{Name: name})
 	}
 	for _, prop := range p.Proposals() {
-		if prop.Status != StatusApproved || managed[prop.Name] {
+		// prop.Managed covers recovered proposals whose runtime has not
+		// been rebuilt yet (between restart and the first reconcile).
+		if prop.Status != StatusApproved || managed[prop.Name] || prop.Managed {
 			continue
 		}
 		m.Experiments = append(m.Experiments, config.ExperimentSpec{
@@ -273,6 +315,11 @@ type platformActuator struct {
 
 	mu       sync.Mutex
 	runtimes map[string]*expRuntime
+	// recovered maps announcement atoms replayed from the WAL to the
+	// fingerprint they were last actuated with. Adopt consumes entries
+	// as proof that a graceful-restart-retained route still matches the
+	// recovered desired state.
+	recovered map[ctlplane.AnnKey]string
 }
 
 // managedNames snapshots the experiments the actuator owns.
@@ -337,8 +384,23 @@ func (a *platformActuator) EnsureExperiment(spec ctlplane.Spec) error {
 		if err := a.p.Submit(Proposal{
 			Name: spec.Name, Owner: spec.Owner, Plan: plan,
 			Prefixes: prefixes, ASNs: []uint32{spec.ASN}, Caps: caps,
+			Managed: true,
 		}); err != nil {
-			return err
+			// A Managed proposal surviving under this name is our own,
+			// left behind by a crash: adopt it rather than failing, after
+			// syncing its resource grant to the recovered spec so the
+			// re-approval registers current state with enforcement.
+			a.p.mu.Lock()
+			prior := a.p.proposals[spec.Name]
+			adoptable := prior != nil && prior.Managed && prior.Status != StatusRejected
+			if adoptable {
+				prior.Prefixes = prefixes
+				prior.ASNs = []uint32{spec.ASN}
+			}
+			a.p.mu.Unlock()
+			if !adoptable {
+				return err
+			}
 		}
 		key, err := a.p.Approve(spec.Name, &caps)
 		if err != nil {
@@ -349,6 +411,10 @@ func (a *platformActuator) EnsureExperiment(spec ctlplane.Spec) error {
 			pops:   make(map[string]bool),
 			sent:   make(map[ctlplane.AnnKey]string),
 		}
+		// Advertise graceful restart so a control-plane crash leaves the
+		// experiment's routes retained (stale) for the restart window,
+		// where the recovered reconciler can adopt them in place.
+		rt.client.GR = clientGRTime
 		a.mu.Lock()
 		a.runtimes[spec.Name] = rt
 		a.mu.Unlock()
@@ -404,12 +470,10 @@ func (a *platformActuator) EnsureSession(spec ctlplane.Spec, popName string) err
 	return nil
 }
 
-// Announce actuates one announcement atom through the audited client.
-func (a *platformActuator) Announce(spec ctlplane.Spec, ann ctlplane.CompiledAnn) error {
-	rt := a.runtime(spec.Name)
-	if rt == nil {
-		return fmt.Errorf("peering: experiment %s not registered", spec.Name)
-	}
+// annOptions translates a compiled announcement atom into client
+// announce options (shared by Announce and Adopt, which must record
+// identical state for replay).
+func annOptions(ann ctlplane.CompiledAnn) []AnnounceOption {
 	var opts []AnnounceOption
 	if ann.Key.Version != 0 {
 		opts = append(opts, WithVersion(ann.Key.Version))
@@ -433,11 +497,94 @@ func (a *platformActuator) Announce(spec ctlplane.Spec, ann ctlplane.CompiledAnn
 	if len(ann.ExceptNeighbors) > 0 {
 		opts = append(opts, ExceptNeighbors(ann.ExceptNeighbors...))
 	}
-	if err := rt.client.Announce(ann.Key.PoP, ann.Key.Prefix, opts...); err != nil {
+	return opts
+}
+
+// Announce actuates one announcement atom through the audited client.
+func (a *platformActuator) Announce(spec ctlplane.Spec, ann ctlplane.CompiledAnn) error {
+	rt := a.runtime(spec.Name)
+	if rt == nil {
+		return fmt.Errorf("peering: experiment %s not registered", spec.Name)
+	}
+	if err := rt.client.Announce(ann.Key.PoP, ann.Key.Prefix, annOptions(ann)...); err != nil {
 		return err
 	}
 	a.mu.Lock()
 	rt.sent[ann.Key] = ann.Fingerprint()
+	a.mu.Unlock()
+	return nil
+}
+
+// expectedASPath is the flat AS path an announcement atom installs
+// (buildAnnouncement's shape after policy strips nothing from the
+// path): the experiment ASN repeated 1+prepend times, the poisoned
+// ASNs, and a closing origin copy when poisoning.
+func expectedASPath(asn uint32, ann ctlplane.CompiledAnn) []uint32 {
+	path := make([]uint32, 0, ann.Prepend+len(ann.Poison)+2)
+	for i := 0; i <= ann.Prepend; i++ {
+		path = append(path, asn)
+	}
+	path = append(path, ann.Poison...)
+	if len(ann.Poison) > 0 {
+		path = append(path, asn)
+	}
+	return path
+}
+
+// Adopt re-claims a route retained across a control-plane restart
+// (graceful restart keeps it installed, marked stale) without
+// re-announcing it, so recovery does not burn the §4.7 update budget.
+// The route must be proven to still match desired state: the WAL's
+// recovered actuation fingerprint must equal the atom's current
+// fingerprint AND the installed path's AS path must have the shape this
+// atom would build. Anything less falls back to a normal re-announce
+// via ErrAdoptMismatch.
+func (a *platformActuator) Adopt(spec ctlplane.Spec, ann ctlplane.CompiledAnn) error {
+	rt := a.runtime(spec.Name)
+	if rt == nil {
+		return fmt.Errorf("peering: experiment %s not registered", spec.Name)
+	}
+	pop := a.p.PoP(ann.Key.PoP)
+	if pop == nil {
+		return fmt.Errorf("peering: unknown pop %s", ann.Key.PoP)
+	}
+	fp := ann.Fingerprint()
+	a.mu.Lock()
+	logged, ok := a.recovered[ann.Key]
+	a.mu.Unlock()
+	if !ok || logged != fp {
+		return ctlplane.ErrAdoptMismatch
+	}
+	var installed *rib.Path
+	for _, path := range pop.Router.ExperimentRoutes().Paths(ann.Key.Prefix) {
+		if path.Peer == spec.Name && uint32(path.ID) == ann.Key.Version {
+			installed = path
+			break
+		}
+	}
+	if installed == nil || installed.Attrs == nil {
+		return ctlplane.ErrAdoptMismatch
+	}
+	want := expectedASPath(spec.ASN, ann)
+	got := installed.Attrs.ASPathFlat()
+	if len(got) != len(want) {
+		return ctlplane.ErrAdoptMismatch
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return ctlplane.ErrAdoptMismatch
+		}
+	}
+	// Record the announcement client-side (replayed on reconnect exactly
+	// like a sent one) and clear the stale mark router-side so neither
+	// the restart-window flush nor a re-announce is needed.
+	if err := rt.client.Adopt(ann.Key.PoP, ann.Key.Prefix, annOptions(ann)...); err != nil {
+		return err
+	}
+	pop.Router.AdoptExperimentRoute(spec.Name, ann.Key.Prefix, bgp.PathID(ann.Key.Version))
+	a.mu.Lock()
+	rt.sent[ann.Key] = fp
+	delete(a.recovered, ann.Key)
 	a.mu.Unlock()
 	return nil
 }
@@ -492,11 +639,57 @@ func (a *platformActuator) Teardown(experiment string) error {
 			_ = rt.client.CloseTunnel(pop)
 		}
 	}
+	// Purge whatever the routers still hold for this owner — including
+	// graceful-restart-retained routes of an orphan with no runtime
+	// (its client died with the previous control-plane process).
+	for _, popName := range a.p.PoPs() {
+		a.p.PoP(popName).Router.PurgeExperiment(experiment)
+	}
 	a.p.Forget(experiment)
 	a.mu.Lock()
 	delete(a.runtimes, experiment)
+	for key := range a.recovered {
+		if key.Experiment == experiment {
+			delete(a.recovered, key)
+		}
+	}
 	a.mu.Unlock()
 	return nil
+}
+
+// Rejections reports engine-side rejections recorded after since,
+// classified from the audit trail so the reconciler can surface why an
+// actuation was refused (damping, rate limit, RPKI, generic policy)
+// and when retrying makes sense.
+func (a *platformActuator) Rejections(since time.Time) []ctlplane.Rejection {
+	var out []ctlplane.Rejection
+	for _, e := range a.p.Engine.Audit() {
+		if e.Action != policy.ActionReject || !e.Time.After(since) {
+			continue
+		}
+		reason := strings.Join(e.Reasons, "; ")
+		kind := ctlplane.RejectPolicy
+		switch {
+		case strings.Contains(reason, "flap damping"):
+			kind = ctlplane.RejectDamping
+		case strings.Contains(reason, "update rate for"):
+			kind = ctlplane.RejectRateLimit
+		case strings.Contains(reason, "RPKI invalid"):
+			kind = ctlplane.RejectRPKI
+		}
+		out = append(out, ctlplane.Rejection{
+			Experiment: e.Experiment, PoP: e.PoP, Prefix: e.Prefix,
+			Kind: kind, Reason: reason, At: e.Time,
+		})
+	}
+	return out
+}
+
+// Shedding reports whether a PoP's overload guard is refusing work, so
+// the reconciler can mark objects rejected without burning their update
+// budget on announcements the guard would drop.
+func (a *platformActuator) Shedding(pop string) bool {
+	return a.p.PoPHealth(pop) == guard.Shedding
 }
 
 // Observed reports ground truth for the managed experiments: session
@@ -523,8 +716,22 @@ func (a *platformActuator) Observed() (ctlplane.Observed, error) {
 		views[name] = v
 	}
 	a.mu.Unlock()
+	// Managed proposals without a runtime are crash leftovers: their
+	// client died with the previous process, but their routes may still
+	// be installed (graceful-restart retention). Include them so the
+	// reconciler can adopt survivors and sweep orphans.
+	for _, prop := range a.p.Proposals() {
+		if prop.Managed {
+			if _, ok := views[prop.Name]; !ok {
+				views[prop.Name] = rtView{}
+			}
+		}
+	}
 
 	for name, v := range views {
+		if v.client == nil {
+			continue
+		}
 		for _, pop := range v.pops {
 			if v.client.BGPStatus(pop) == bgp.StateEstablished {
 				obs.Sessions[ctlplane.SessKey{Experiment: name, PoP: pop}] = true

@@ -41,7 +41,7 @@ func ctlplaneTestbed(t *testing.T) (*Platform, *ControlPlane, *httptest.Server) 
 	if err := p.ConnectBackbone(popA, popB, 400e6, 30*time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
-	cp := NewControlPlane(p, ControlPlaneConfig{
+	cp, err := NewControlPlane(p, ControlPlaneConfig{
 		Reconciler: ctlplane.ReconcilerConfig{
 			Resync:         10 * time.Millisecond,
 			BackoffBase:    5 * time.Millisecond,
@@ -50,6 +50,9 @@ func ctlplaneTestbed(t *testing.T) (*Platform, *ControlPlane, *httptest.Server) 
 		},
 		Logf: t.Logf,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	mux := http.NewServeMux()
 	cp.API.Register(mux)
 	srv := httptest.NewServer(mux)

@@ -46,6 +46,11 @@ type Proposal struct {
 	Reason string
 	// VPNKey is the tunnel credential issued on approval.
 	VPNKey string
+	// Managed marks a proposal owned by the declarative control plane:
+	// its platform state (sessions, installed routes) is observed and
+	// reconciled — including orphan teardown after a crash — while
+	// unmanaged proposals (REPL, TE controller, tests) are left alone.
+	Managed bool
 }
 
 // Submit files a proposal for review.

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Black-box smoke test of the peeringd control-plane API: boot a small
-# platform, drive a full experiment lifecycle purely over HTTP — index,
-# dry-run, create, idempotent re-create, convergence, RIB query, stale
-# CAS, delete — and check the daemon drains cleanly on SIGTERM.
+# platform with a durable state dir, drive a full experiment lifecycle
+# purely over HTTP — index, dry-run, create, idempotent re-create,
+# convergence, RIB query, stale CAS — kill the daemon with SIGKILL and
+# check specs and deploy revisions survive the restart, then delete and
+# check the daemon drains cleanly on SIGTERM.
 #
 # Usage: scripts/api_smoke.sh [host:port]   (default 127.0.0.1:19179)
 set -euo pipefail
@@ -32,16 +34,20 @@ req() {
 }
 
 go build -o "$workdir/peeringd" ./cmd/peeringd
-"$workdir/peeringd" -pops 2 -edges 60 -ixp-members 10 -metrics "$addr" \
-    >"$workdir/peeringd.log" 2>&1 &
-pd=$!
 
-say "waiting for $base"
-for _ in $(seq 1 120); do
-    curl -fsS "$base/" >/dev/null 2>&1 && break
-    kill -0 "$pd" 2>/dev/null || fail "peeringd exited during startup"
-    sleep 1
-done
+boot() {
+    "$workdir/peeringd" -pops 2 -edges 60 -ixp-members 10 -metrics "$addr" \
+        -state-dir "$workdir/state" >>"$workdir/peeringd.log" 2>&1 &
+    pd=$!
+    say "waiting for $base"
+    for _ in $(seq 1 120); do
+        curl -fsS "$base/" >/dev/null 2>&1 && break
+        kill -0 "$pd" 2>/dev/null || fail "peeringd exited during startup"
+        sleep 1
+    done
+}
+
+boot
 curl -fsS "$base/" | grep -q '"service": "peeringd"' || fail "root index is not the JSON service index"
 [ "$(req GET /no-such-path)" = 404 ] || fail "unknown path did not 404"
 say "index + 404 ok"
@@ -76,6 +82,37 @@ say "converged; announcement present in both experiment RIBs"
 req GET /v1/experiments/smoke >/dev/null
 grep -q '"phase": "converged"' "$workdir/last.json" || fail "stale PATCH disturbed the object"
 say "stale CAS rejected with 409"
+
+# Crash phase: promote the mirrored revision, SIGKILL the daemon, and
+# restart it over the same state dir. The WAL must bring back the spec
+# at its exact revision and the deploy map, and the recovered reconciler
+# must re-actuate the experiment on the rebuilt platform.
+req GET /v1/experiments/smoke >/dev/null
+rev=$(sed -n 's/.*"revision": \([0-9]*\).*/\1/p' "$workdir/last.json" | head -1)
+cfgrev=$(sed -n 's/.*"config_rev": \([0-9]*\).*/\1/p' "$workdir/last.json" | head -1)
+[ -n "$cfgrev" ] || fail "no mirrored config revision before the crash"
+[ "$(req POST /v1/deploy/promote "{\"revision\":$cfgrev}")" = 200 ] || fail "promote before the crash failed"
+
+say "killing peeringd with SIGKILL"
+kill -9 "$pd"
+wait "$pd" 2>/dev/null || true
+pd=""
+boot
+
+[ "$(req GET /v1/experiments/smoke)" = 200 ] || fail "spec did not survive the crash"
+grep -q "\"revision\": $rev" "$workdir/last.json" || fail "recovered spec lost revision $rev: $(cat "$workdir/last.json")"
+say "waiting for reconvergence after restart"
+for _ in $(seq 1 150); do
+    req GET /v1/experiments/smoke >/dev/null
+    grep -q '"phase": "converged"' "$workdir/last.json" && break
+    sleep 0.2
+done
+grep -q '"phase": "converged"' "$workdir/last.json" || fail "experiment never reconverged after the crash: $(cat "$workdir/last.json")"
+[ "$(req GET "/v1/rib?pop=pop00&table=experiments")" = 200 ] || fail "rib query after restart failed"
+grep -q '184.164.224.0/24' "$workdir/last.json" || fail "announcement not re-actuated after the crash"
+[ "$(req GET /v1/deploy)" = 200 ] || fail "deploy status after restart failed"
+grep -q "\"pop00\": $cfgrev" "$workdir/last.json" || fail "deploy revisions did not survive the crash: $(cat "$workdir/last.json")"
+say "crash ok: spec (revision $rev), actuation, and deploy map survived kill -9"
 
 [ "$(req DELETE /v1/experiments/smoke)" = 202 ] || fail "delete did not return 202"
 for _ in $(seq 1 150); do
